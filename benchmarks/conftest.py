@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Benchmarks print the paper-style tables to stdout (captured into
+``bench_output.txt`` by the Makefile-style invocation in the README) and use
+``pytest-benchmark`` to time a representative query for each experiment.
+Index builds are memoized in ``repro.bench.workloads`` so the suite pays for
+each configuration once.
+
+Sizing is env-tunable: ``REPRO_BENCH_N`` (vectors per segment) and
+``REPRO_BENCH_QUERIES``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _flush_tables(capsys):
+    """Let the printed tables through to the terminal (-s not required)."""
+    yield
+    out = capsys.readouterr().out
+    if out:
+        with capsys.disabled():
+            print(out, end="")

@@ -1,0 +1,91 @@
+"""Appendix C/D/F (Tab. 5, 6, 7; Fig. 21) — BNF parameters and BNF vs BNS.
+
+Tab. 5/6 shape: OR(G) rises quickly with β then plateaus (β = 8 suffices);
+execution time grows ~linearly with β; larger datasets get lower OR(G) and
+higher time.  Tab. 7 shape: BNS reaches a higher OR(G) than BNF but each
+iteration costs orders of magnitude more.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.workloads import bench_segment_size, vamana_graph
+from repro.layout import bnf_layout, bnp_layout, bns_layout
+from repro.storage import VertexFormat
+
+FAMILY = "bigann"
+BETAS = [1, 2, 4, 8, 16]
+
+
+def _eps_for(ds):
+    return VertexFormat(
+        dim=ds.dim, dtype=ds.vectors.dtype, max_degree=24, block_bytes=4096
+    ).vertices_per_block
+
+
+def test_tab5_tab6_bnf_beta_sweep(benchmark):
+    rows = []
+    sizes = [bench_segment_size() // 3, bench_segment_size()]
+    for n in sizes:
+        graph, _, ds = vamana_graph(FAMILY, n)
+        eps = _eps_for(ds)
+        initial = bnp_layout(graph, eps)
+        for beta in BETAS:
+            t0 = time.perf_counter()
+            report = bnf_layout(
+                graph, eps, max_iterations=beta, gain_threshold=-1.0,
+                initial_layout=initial,
+            )
+            elapsed = time.perf_counter() - t0
+            rows.append([n, beta, report.final_or, elapsed])
+    print()
+    print(format_table(
+        "Tab. 5/6 — BNF OR(G) and execution time vs β (bigann-like)",
+        ["n", "beta", "OR(G)", "time_s"],
+        rows,
+    ))
+    # OR(G) plateaus: β=16 gains little over β=8 (Fig. 21's knee).
+    per_size = {n: [r for r in rows if r[0] == n] for n in sizes}
+    for n, series in per_size.items():
+        ors = [r[2] for r in series]
+        assert ors[-1] >= ors[0]
+        assert ors[-1] - ors[-2] < 0.1
+    # Larger dataset: lower OR(G), higher time (paper's Tab. 5/6 trend).
+    small, large = per_size[sizes[0]][-1], per_size[sizes[1]][-1]
+    assert large[3] > small[3]
+
+    graph, _, ds = vamana_graph(FAMILY, sizes[0])
+    eps = _eps_for(ds)
+    benchmark(lambda: bnf_layout(graph, eps, max_iterations=2))
+
+
+def test_tab7_bnf_vs_bns(benchmark):
+    n = max(bench_segment_size() // 4, 300)
+    graph, _, ds = vamana_graph(FAMILY, n)
+    eps = _eps_for(ds)
+    initial = bnp_layout(graph, eps)
+
+    t0 = time.perf_counter()
+    bnf = bnf_layout(graph, eps, max_iterations=8, initial_layout=initial)
+    t_bnf = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bns = bns_layout(graph, eps, max_iterations=1, initial_layout=initial)
+    t_bns = time.perf_counter() - t0
+
+    print()
+    print(format_table(
+        f"Tab. 7 — BNF vs BNS on bigann-like (n={n})",
+        ["algorithm", "iterations", "time_s", "OR(G)"],
+        [
+            ["bnf", bnf.iterations, t_bnf, bnf.final_or],
+            ["bns", bns.iterations, t_bns, bns.final_or],
+        ],
+    ))
+    # BNS is far slower per iteration (the paper's reason to default to BNF).
+    assert t_bns > t_bnf
+    # BNS never degrades its initial layout (Lemma 4.2).
+    assert bns.final_or >= bns.or_history[0] - 1e-12
+
+    benchmark(lambda: bnf_layout(graph, eps, max_iterations=4))

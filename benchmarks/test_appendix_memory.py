@@ -1,0 +1,116 @@
+"""Appendix I, J & N (Tab. 14, 15, 19; Fig. 22) — sample ratio μ and the
+navigation graph versus DiskANN's hot-vertex cache.
+
+Tab. 14 shape: recall/QPS improve with μ while memory grows.
+Fig. 22 / Tab. 15 shape: at matched μ the navigation graph beats the cache
+strategy on search performance with lower memory overhead.
+Tab. 19 shape: at matched recall Starling has lower memory and higher QPS.
+"""
+
+import pytest
+
+from repro.bench import format_table, print_perf_table, run_anns
+from repro.bench.workloads import (
+    dataset,
+    diskann_index,
+    knn_truth,
+    starling_index,
+)
+from repro.core import NavigationConfig
+
+FAMILY = "bigann"
+MUS = [0.02, 0.05, 0.1, 0.2]
+
+
+def test_tab14_mu_sweep(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    rows = []
+    memories = []
+    for mu in MUS:
+        idx = starling_index(
+            FAMILY, navigation=NavigationConfig(sample_ratio=mu)
+        )
+        s = run_anns(f"mu={mu}", idx, ds.queries, truth, candidate_size=64)
+        rows.append(s)
+        memories.append([mu, idx.memory.graph_bytes / 1024,
+                         idx.memory.total_bytes / 1024, s.accuracy, s.qps])
+    print_perf_table(f"Tab. 14 — sample ratio μ sweep ({FAMILY}-like)", rows)
+    print(format_table(
+        "Tab. 14 — memory overhead vs μ (KiB)",
+        ["mu", "C_graph_KiB", "total_KiB", "recall", "QPS"],
+        memories,
+    ))
+    # Memory grows with μ.
+    graph_bytes = [m[1] for m in memories]
+    assert all(b >= a for a, b in zip(graph_bytes, graph_bytes[1:]))
+
+    idx = starling_index(FAMILY)
+    benchmark(lambda: idx.search(ds.queries[0], 10, 64))
+
+
+def test_fig22_tab15_nav_graph_vs_hot_cache(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    rows = []
+    memory_rows = []
+    for mu in (0.05, 0.1):
+        star = starling_index(
+            FAMILY, navigation=NavigationConfig(sample_ratio=mu)
+        )
+        dann = diskann_index(FAMILY, cache_ratio=mu)
+        s = run_anns(f"nav-graph(mu={mu})", star, ds.queries, truth,
+                     candidate_size=64)
+        d = run_anns(f"hot-cache(pi={mu})", dann, ds.queries, truth,
+                     candidate_size=64)
+        rows += [s, d]
+        memory_rows.append([
+            mu,
+            (star.memory.graph_bytes + star.memory.mapping_bytes) / 1024,
+            dann.memory.cache_bytes / 1024,
+        ])
+        # Tab. 15: the navigation graph is the cheaper in-memory structure.
+        assert (
+            star.memory.graph_bytes + star.memory.mapping_bytes
+            < dann.memory.cache_bytes * 1.5
+        )
+    print_perf_table(
+        f"Fig. 22 — navigation graph vs hot-vertex cache ({FAMILY}-like)",
+        rows,
+    )
+    print(format_table(
+        "Tab. 15 — in-memory structure size (KiB)",
+        ["mu", "nav_graph+mapping", "hot_cache"],
+        memory_rows,
+    ))
+
+    idx = starling_index(FAMILY)
+    benchmark(lambda: idx.search(ds.queries[0], 10, 64))
+
+
+def test_tab19_memory_and_qps_at_matched_recall(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    star = starling_index(FAMILY)
+    dann = diskann_index(FAMILY)
+    # Match recall by giving the baseline a larger candidate set.
+    s = run_anns("starling", star, ds.queries, truth, candidate_size=64)
+    d = None
+    for gamma in (64, 96, 128, 192, 256):
+        d = run_anns(f"diskann(G={gamma})", dann, ds.queries, truth,
+                     candidate_size=gamma)
+        if d.accuracy >= s.accuracy - 0.01:
+            break
+    rows = [
+        ["starling", s.accuracy, star.memory_bytes / 1024, s.qps],
+        [d.label, d.accuracy, dann.memory_bytes / 1024, d.qps],
+    ]
+    print()
+    print(format_table(
+        "Tab. 19 — memory overhead and QPS at matched recall",
+        ["method", "recall", "memory_KiB", "QPS"],
+        rows,
+    ))
+    assert s.qps > d.qps
+
+    benchmark(lambda: star.search(ds.queries[0], 10, 64))

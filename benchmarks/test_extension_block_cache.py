@@ -1,0 +1,60 @@
+"""Extension bench — LRU block cache ablation (paper §8 future work: caches).
+
+Not a paper figure: the conclusion lists cache optimization as future work,
+and §6.2's SSNPP analysis shows how much a cache holding the hot region can
+help.  Shape to verify: with a warm LRU block cache, repeated workloads
+serve part of their reads from memory, cutting mean I/Os at identical
+accuracy; a larger cache helps monotonically (up to the working set).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.workloads import dataset, default_graph_config, knn_truth
+from repro.core import StarlingConfig, build_starling
+from repro.metrics import mean_recall_at_k
+
+FAMILY = "bigann"
+CACHE_SIZES = [0, 64, 256]
+
+
+def test_block_cache_ablation(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    rows = []
+    ios_by_cache = []
+    for blocks in CACHE_SIZES:
+        idx = build_starling(
+            ds,
+            StarlingConfig(graph=default_graph_config(),
+                           block_cache_blocks=blocks),
+        )
+        # Warm pass, then the measured pass over the same workload.
+        for q in ds.queries:
+            idx.search(q, 10, 64)
+        results = [idx.search(q, 10, 64) for q in ds.queries]
+        recall = mean_recall_at_k([r.ids for r in results], truth, 10)
+        mean_ios = sum(r.stats.num_ios for r in results) / len(results)
+        hits = sum(r.stats.block_cache_hits for r in results) / len(results)
+        rows.append([
+            blocks, recall, mean_ios, hits,
+            idx.memory.block_cache_bytes / 1024,
+        ])
+        ios_by_cache.append(mean_ios)
+    print()
+    print(format_table(
+        "Extension — LRU block cache ablation (bigann-like, warm workload)",
+        ["cache_blocks", "recall", "mean_IOs", "cache_hits/query",
+         "cache_KiB"],
+        rows,
+    ))
+    # More cache, fewer disk I/Os; accuracy unchanged.
+    assert ios_by_cache[1] <= ios_by_cache[0]
+    assert ios_by_cache[2] <= ios_by_cache[1]
+    assert rows[2][1] == pytest.approx(rows[0][1], abs=1e-9)
+
+    idx = build_starling(
+        ds,
+        StarlingConfig(graph=default_graph_config(), block_cache_blocks=256),
+    )
+    benchmark(lambda: idx.search(ds.queries[0], 10, 64))

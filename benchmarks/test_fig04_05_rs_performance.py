@@ -1,0 +1,51 @@
+"""Fig. 4 & 5 — Range-search latency and QPS versus AP (four datasets).
+
+Paper shape: under matched AP, Starling's RS cuts latency by up to 98% and
+reaches up to 43.9× higher QPS than DiskANN's repeated-ANNS RS; the gap is
+largest on queries with long result lists.  Text2image has no RS workload
+(Tab. 1), so the sweep covers the three L2 datasets.
+"""
+
+import pytest
+
+from repro.bench import print_perf_table, sweep_range
+from repro.bench.workloads import (
+    dataset,
+    diskann_index,
+    range_truth,
+    starling_index,
+)
+
+RS_FAMILIES = ["bigann", "deep", "ssnpp"]
+INITIAL_SIZES = [8, 16, 32, 64]
+
+
+@pytest.mark.parametrize("family", RS_FAMILIES)
+def test_fig4_5_rs_latency_and_qps(family, benchmark):
+    ds = dataset(family)
+    radius, truth = range_truth(family)
+    star = starling_index(family)
+    dann = diskann_index(family)
+
+    rows = []
+    rows += sweep_range(
+        f"starling/{family}", star, ds.queries, truth, radius, INITIAL_SIZES
+    )
+    rows += sweep_range(
+        f"diskann/{family}", dann, ds.queries, truth, radius, INITIAL_SIZES[:1]
+    )
+    print_perf_table(
+        f"Fig. 4/5 — RS latency & QPS vs AP ({family}-like, r={radius:.1f})",
+        rows,
+    )
+
+    star_best = max(rows[: len(INITIAL_SIZES)], key=lambda s: s.accuracy)
+    dann_row = rows[-1]
+    print(
+        f"  -> at AP {star_best.accuracy:.3f} vs {dann_row.accuracy:.3f}: "
+        f"Starling {star_best.qps:,.0f} QPS vs DiskANN {dann_row.qps:,.0f} "
+        f"QPS ({star_best.qps / max(dann_row.qps, 1e-9):.1f}x)"
+    )
+
+    q = ds.queries[0]
+    benchmark(lambda: star.range_search(q, radius))

@@ -1,0 +1,51 @@
+"""Fig. 6 & 7 — ANNS latency and QPS versus Recall (three frameworks).
+
+Paper shape: Starling dominates the recall-latency frontier (e.g. 2× faster
+than DiskANN and 10× faster than SPANN at recall 0.95 on BIGANN); SPANN's
+position degrades under the segment's disk budget because its closure
+replication is capped (§6.2, §6.9).
+"""
+
+import pytest
+
+from repro.bench import print_perf_table, run_anns, sweep_anns
+from repro.bench.workloads import (
+    dataset,
+    diskann_index,
+    knn_truth,
+    spann_index,
+    starling_index,
+)
+from repro.core import SegmentBudget
+
+FAMILIES = ["bigann", "deep", "text2image"]
+GAMMAS = [16, 32, 64, 128]
+SPANN_PROBES = [1, 2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_fig6_7_anns_frontier(family, benchmark):
+    ds = dataset(family)
+    truth = knn_truth(family, k=10)
+    star = starling_index(family)
+    dann = diskann_index(family)
+
+    rows = []
+    rows += sweep_anns(f"starling/{family}", star, ds.queries, truth, GAMMAS)
+    rows += sweep_anns(f"diskann/{family}", dann, ds.queries, truth, GAMMAS)
+    # SPANN sweeps probes instead of Γ; its disk budget is the segment's
+    # 2.5x-data allowance, which caps replication (Fig. 17(b) context).
+    budget = SegmentBudget.for_data_bytes(ds.vectors.nbytes)
+    for probes in SPANN_PROBES:
+        sp = spann_index(family, max_probes=probes)
+        if sp.disk_bytes > budget.disk_bytes:
+            print(f"  !! spann index exceeds segment disk budget on {family}")
+        rows.append(
+            run_anns(f"spann/{family}(p={probes})", sp, ds.queries, truth)
+        )
+    print_perf_table(
+        f"Fig. 6/7 — ANNS latency & QPS vs recall ({family}-like)", rows
+    )
+
+    q = ds.queries[0]
+    benchmark(lambda: star.search(q, 10, 64))

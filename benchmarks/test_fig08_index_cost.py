@@ -1,0 +1,78 @@
+"""Fig. 8 & Tab. 13 — index processing time and memory cost breakdowns.
+
+Paper shape, Fig. 8(a): Starling's extra steps (T_shuffling +
+T_memory_graph) cost *less* than DiskANN's T_hot, so total build time is
+lower; Tab. 13: T_shuffling is only 3–12% of T_disk_graph.
+Fig. 8(b): C_graph + C_mapping ≲ C_hot, so Starling's memory is not higher.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.workloads import (
+    FAMILY_ORDER,
+    dataset,
+    diskann_index,
+    starling_index,
+)
+
+
+def test_fig8a_index_processing_time(benchmark):
+    rows = []
+    for family in FAMILY_ORDER:
+        star = starling_index(family)
+        dann = diskann_index(family)
+        st, dt = star.timings, dann.timings
+        rows.append([
+            family,
+            st.disk_graph_s, st.shuffle_s, st.memory_graph_s, st.pq_s,
+            st.total_s,
+            dt.hot_cache_s, dt.total_s,
+        ])
+    print()
+    print(format_table(
+        "Fig. 8(a) — index processing time breakdown (seconds)",
+        ["dataset", "T_disk_graph", "T_shuffle", "T_mem_graph", "T_PQ",
+         "starling_total", "T_hot(diskann)", "diskann_total"],
+        rows,
+    ))
+
+    # Tab. 13's ratio: shuffling is a small fraction of graph construction.
+    for family in FAMILY_ORDER:
+        star = starling_index(family)
+        ratio = star.timings.shuffle_s / max(star.timings.disk_graph_s, 1e-9)
+        print(f"  Tab. 13  {family}: T_shuffling/T_disk_graph = {ratio:.2%}")
+        assert ratio < 0.5  # paper: 3-12%; generous bound for small segments
+
+    star = starling_index("bigann")
+    ds = dataset("bigann")
+    benchmark(lambda: star.search(ds.queries[0], 10, 32))
+
+
+def test_fig8b_memory_cost(benchmark):
+    rows = []
+    for family in FAMILY_ORDER:
+        star = starling_index(family)
+        dann = diskann_index(family)
+        sm, dm = star.memory, dann.memory
+        rows.append([
+            family,
+            sm.graph_bytes / 1024, sm.mapping_bytes / 1024,
+            sm.pq_bytes / 1024, sm.total_bytes / 1024,
+            dm.cache_bytes / 1024, dm.pq_bytes / 1024,
+            dm.total_bytes / 1024,
+        ])
+    print()
+    print(format_table(
+        "Fig. 8(b) — memory cost breakdown (KiB)",
+        ["dataset", "C_graph", "C_mapping", "C_PQ(star)", "starling_total",
+         "C_hot", "C_PQ(dann)", "diskann_total"],
+        rows,
+    ))
+    # Disk cost is identical by construction (§6.4).
+    for family in FAMILY_ORDER:
+        assert starling_index(family).disk_bytes == diskann_index(family).disk_bytes
+
+    star = starling_index("deep")
+    ds = dataset("deep")
+    benchmark(lambda: star.search(ds.queries[0], 10, 32))

@@ -1,0 +1,79 @@
+"""Fig. 9 — Effect of block shuffling (DEEP).
+
+Fig. 9(a): OR(G) and the number of blocks containing each query's top-1000
+neighbours, for the baseline layout vs BNP vs BNF.  Paper shape: OR(G) near
+zero for DiskANN, BNP < BNF; BNP/BNF cut the top-k block count by >30%.
+Fig. 9(b): QPS vs recall per layout — BNF > BNP > baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, print_perf_table, sweep_anns
+from repro.bench.workloads import (
+    dataset,
+    knn_truth,
+    starling_index,
+    vamana_graph,
+)
+from repro.layout import (
+    assignment_from_layout,
+    blocks_containing,
+    bnf_layout,
+    bnp_layout,
+    id_contiguous_layout,
+    overlap_ratio,
+)
+from repro.vectors.ground_truth import knn
+
+FAMILY = "deep"
+TOP_K = 200  # scaled-down stand-in for the paper's top-1000
+
+
+def test_fig9a_or_and_block_counts(benchmark):
+    graph, _, ds = vamana_graph(FAMILY)
+    eps = starling_index(FAMILY).disk_graph.fmt.vertices_per_block
+    layouts = {
+        "diskann(id)": id_contiguous_layout(graph.num_vertices, eps),
+        "bnp": bnp_layout(graph, eps),
+        "bnf": bnf_layout(graph, eps, max_iterations=8).layout,
+    }
+    top_ids, _ = knn(ds.vectors, ds.queries, TOP_K, ds.metric)
+    rows = []
+    ors = {}
+    for name, layout in layouts.items():
+        org = overlap_ratio(graph, layout)
+        ors[name] = org
+        assignment = assignment_from_layout(layout, graph.num_vertices)
+        blocks = np.mean([
+            blocks_containing(assignment, top_ids[i])
+            for i in range(ds.num_queries)
+        ])
+        rows.append([name, org, blocks, TOP_K])
+    print()
+    print(format_table(
+        f"Fig. 9(a) — OR(G) and blocks holding top-{TOP_K} ({FAMILY}-like)",
+        ["layout", "OR(G)", "mean_blocks_top_k", "k"],
+        rows,
+    ))
+    assert ors["diskann(id)"] < 0.1
+    assert ors["bnp"] > ors["diskann(id)"]
+    assert ors["bnf"] >= ors["bnp"]
+    benchmark(lambda: bnp_layout(graph, eps))
+
+
+def test_fig9b_qps_per_layout(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    rows = []
+    for shuffle in ("none", "bnp", "bnf"):
+        idx = starling_index(FAMILY, shuffle=shuffle)
+        rows += sweep_anns(
+            f"{shuffle}", idx, ds.queries, truth, [32, 64],
+        )
+    print_perf_table(
+        f"Fig. 9(b) — QPS vs recall per layout ({FAMILY}-like)", rows
+    )
+
+    idx = starling_index(FAMILY, shuffle="bnf")
+    benchmark(lambda: idx.search(ds.queries[0], 10, 64))

@@ -1,0 +1,120 @@
+"""Fig. 11 & Fig. 23 — the three block-search optimizations (BIGANN).
+
+(a) block pruning on/off: pruning wins by skipping distant co-located
+    vertices; (b) the I/O-computation pipeline raises QPS at matched recall;
+(c) PQ-based routing slashes disk I/Os versus exact routing;
+(d) the time breakdown: DiskANN ~92.5% I/O, Starling ~57.7% I/O.
+Fig. 23 sweeps the pruning ratio σ: QPS peaks near σ = 0.3 while mean I/Os
+decrease monotonically with σ.
+"""
+
+import pytest
+
+from repro.bench import format_table, print_perf_table, run_anns, sweep_anns
+from repro.bench.workloads import dataset, diskann_index, knn_truth, starling_index
+from repro.engine import BlockSearchEngine
+from repro.metrics import mean_recall_at_k, summarize
+
+FAMILY = "bigann"
+
+
+def _engine_variant(index, **kwargs):
+    """A BlockSearchEngine sharing the built index (no rebuild needed)."""
+    defaults = dict(
+        beam_width=index.config.beam_width,
+        pruning_ratio=index.config.pruning_ratio,
+        use_pq_routing=index.config.use_pq_routing,
+        pipeline=index.config.pipeline,
+        num_entry_points=index.config.num_entry_points,
+    )
+    defaults.update(kwargs)
+    return BlockSearchEngine(
+        index.disk_graph, index.pq, index.metric, index.entry_provider,
+        **defaults,
+    )
+
+
+def _run_engine(label, index, engine, queries, truth, gamma=64):
+    results = [engine.search(q, 10, gamma) for q in queries]
+    recall = mean_recall_at_k([r.ids for r in results], truth, 10)
+    return summarize(label, index, results, recall)
+
+
+def test_fig11a_fig23_block_pruning(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    idx = starling_index(FAMILY)
+    rows = []
+    for sigma in (0.0, 0.1, 0.3, 0.4, 0.5):
+        engine = _engine_variant(idx, pruning_ratio=sigma)
+        rows.append(_run_engine(f"sigma={sigma}", idx, engine,
+                                ds.queries, truth))
+    print_perf_table(
+        f"Fig. 11(a)/Fig. 23 — pruning ratio sweep ({FAMILY}-like)", rows
+    )
+    # Mean I/Os decrease as sigma grows (App. K).
+    assert rows[-1].mean_ios <= rows[0].mean_ios
+    # Pruning at the paper's optimum beats sigma=0 on the recall frontier.
+    assert rows[2].accuracy >= rows[0].accuracy - 0.02
+
+    engine = _engine_variant(idx, pruning_ratio=0.3)
+    benchmark(lambda: engine.search(ds.queries[0], 10, 64))
+
+
+def test_fig11b_pipeline(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    idx = starling_index(FAMILY)
+    piped = _run_engine("pipeline=on", idx, _engine_variant(idx, pipeline=True),
+                        ds.queries, truth)
+    serial = _run_engine("pipeline=off", idx,
+                         _engine_variant(idx, pipeline=False),
+                         ds.queries, truth)
+    print_perf_table(f"Fig. 11(b) — I/O & computation pipeline", [piped, serial])
+    assert piped.mean_latency_us <= serial.mean_latency_us
+    assert piped.accuracy == pytest.approx(serial.accuracy, abs=1e-9)
+
+    engine = _engine_variant(idx)
+    benchmark(lambda: engine.search(ds.queries[0], 10, 64))
+
+
+def test_fig11c_pq_routing(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    idx = starling_index(FAMILY)
+    pq_mode = _run_engine("routing=pq", idx, _engine_variant(idx),
+                          ds.queries, truth, gamma=32)
+    exact = _run_engine("routing=exact", idx,
+                        _engine_variant(idx, use_pq_routing=False),
+                        ds.queries, truth, gamma=32)
+    print_perf_table("Fig. 11(c) — PQ-based approximate distance", [pq_mode,
+                                                                    exact])
+    assert pq_mode.mean_ios < exact.mean_ios
+
+    engine = _engine_variant(idx)
+    benchmark(lambda: engine.search(ds.queries[0], 10, 32))
+
+
+def test_fig11d_time_breakdown(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    star = run_anns("starling", starling_index(FAMILY), ds.queries, truth,
+                    candidate_size=64)
+    dann = run_anns("diskann", diskann_index(FAMILY), ds.queries, truth,
+                    candidate_size=64)
+    rows = [
+        [s.label, s.mean_io_time_us, s.mean_compute_time_us,
+         s.mean_other_time_us, s.io_fraction]
+        for s in (dann, star)
+    ]
+    print()
+    print(format_table(
+        "Fig. 11(d) — search time breakdown (µs; paper: DiskANN 92.5% I/O, "
+        "Starling 57.7%)",
+        ["framework", "T_io", "T_comp", "T_other", "io_fraction"],
+        rows,
+    ))
+    assert dann.io_fraction > star.io_fraction
+
+    idx = starling_index(FAMILY)
+    benchmark(lambda: idx.search(ds.queries[0], 10, 64))

@@ -1,0 +1,91 @@
+"""Fig. 12, 13, 14 & 24 — parameter sensitivity (BIGANN).
+
+Fig. 12: QPS scales with thread count while recall is thread-invariant and
+Starling stays ~2× above DiskANN at every setting.
+Fig. 13: Starling's QPS edge holds across k ∈ {1..50}.
+Fig. 14: Starling's RS edge holds across radii.
+Fig. 24: a larger candidate set Γ raises accuracy and lowers QPS.
+"""
+
+import pytest
+
+from repro.bench import format_table, print_perf_table, run_anns, run_range, sweep_anns
+from repro.bench.workloads import (
+    dataset,
+    diskann_index,
+    knn_truth,
+    range_truth,
+    starling_index,
+)
+
+FAMILY = "bigann"
+
+
+def test_fig12_threads(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    star = starling_index(FAMILY)
+    dann = diskann_index(FAMILY)
+    rows = []
+    for threads in (4, 8, 12, 16):
+        s = run_anns(f"starling(t={threads})", star, ds.queries, truth,
+                     candidate_size=64, threads=threads)
+        d = run_anns(f"diskann(t={threads})", dann, ds.queries, truth,
+                     candidate_size=64, threads=threads)
+        rows += [s, d]
+        # Recall is thread-invariant; QPS ratio stays roughly constant.
+        assert s.accuracy == rows[0].accuracy
+        assert s.qps > d.qps
+    print_perf_table(f"Fig. 12 — thread sweep ({FAMILY}-like)", rows)
+
+    benchmark(lambda: star.search(ds.queries[0], 10, 64))
+
+
+def test_fig13_k_sweep(benchmark):
+    ds = dataset(FAMILY)
+    star = starling_index(FAMILY)
+    dann = diskann_index(FAMILY)
+    rows = []
+    for k in (1, 10, 20, 50):
+        truth = knn_truth(FAMILY, k=k)
+        gamma = max(64, 2 * k)
+        s = run_anns(f"starling(k={k})", star, ds.queries, truth, k=k,
+                     candidate_size=gamma)
+        d = run_anns(f"diskann(k={k})", dann, ds.queries, truth, k=k,
+                     candidate_size=gamma)
+        rows += [s, d]
+        assert s.qps > d.qps
+    print_perf_table(f"Fig. 13 — result count k sweep ({FAMILY}-like)", rows)
+
+    benchmark(lambda: star.search(ds.queries[0], 50, 100))
+
+
+def test_fig14_radius_sweep(benchmark):
+    ds = dataset(FAMILY)
+    star = starling_index(FAMILY)
+    dann = diskann_index(FAMILY)
+    rows = []
+    for scale in (0.5, 1.0, 2.0):
+        radius, truth = range_truth(FAMILY, radius_scale=scale)
+        s = run_range(f"starling(r×{scale})", star, ds.queries, truth, radius)
+        d = run_range(f"diskann(r×{scale})", dann, ds.queries, truth, radius)
+        rows += [s, d]
+        assert s.mean_latency_us <= d.mean_latency_us * 1.2
+    print_perf_table(f"Fig. 14 — RS radius sweep ({FAMILY}-like)", rows)
+
+    radius, _ = range_truth(FAMILY)
+    benchmark(lambda: star.range_search(ds.queries[0], radius))
+
+
+def test_fig24_candidate_size(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    star = starling_index(FAMILY)
+    rows = sweep_anns("starling", star, ds.queries, truth, [16, 32, 64, 128,
+                                                            256])
+    print_perf_table(f"Fig. 24 — candidate size Γ sweep ({FAMILY}-like)", rows)
+    # Larger Γ: higher accuracy, lower QPS (App. M).
+    assert rows[-1].accuracy >= rows[0].accuracy
+    assert rows[-1].qps <= rows[0].qps
+
+    benchmark(lambda: star.search(ds.queries[0], 10, 256))

@@ -1,0 +1,66 @@
+"""Fig. 15 & 16 — segment-size scaling and other graph algorithms.
+
+Fig. 15: Starling sustains a higher QPS than DiskANN as the per-segment
+dataset grows (both RS and ANNS).
+Fig. 16: the framework is graph-agnostic — Starling-NSG beats Disk-NSG and
+Starling-HNSW beats Disk-HNSW (the latter using HNSW's upper layers as the
+in-memory navigation structure).
+"""
+
+import pytest
+
+from repro.bench import print_perf_table, run_anns
+from repro.bench.workloads import (
+    bench_segment_size,
+    dataset,
+    default_graph_config,
+    diskann_index,
+    knn_truth,
+    starling_index,
+)
+from repro.core import GraphConfig
+
+FAMILY = "bigann"
+
+
+def test_fig15_segment_sizes(benchmark):
+    base = bench_segment_size()
+    rows = []
+    for n in (base // 2, base, base * 2):
+        ds = dataset(FAMILY, n)
+        truth = knn_truth(FAMILY, n, k=10)
+        s = run_anns(f"starling(n={n})", starling_index(FAMILY, n),
+                     ds.queries, truth, candidate_size=64)
+        d = run_anns(f"diskann(n={n})", diskann_index(FAMILY, n),
+                     ds.queries, truth, candidate_size=64)
+        rows += [s, d]
+        assert s.qps > d.qps
+    print_perf_table(
+        f"Fig. 15 — segment size sweep ({FAMILY}-like)", rows
+    )
+
+    idx = starling_index(FAMILY)
+    ds = dataset(FAMILY)
+    benchmark(lambda: idx.search(ds.queries[0], 10, 64))
+
+
+@pytest.mark.parametrize("algorithm", ["nsg", "hnsw"])
+def test_fig16_graph_algorithms(algorithm, benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    cfg = default_graph_config(algorithm=algorithm)
+    star = starling_index(FAMILY, graph=cfg)
+    disk = diskann_index(FAMILY, graph=cfg)
+    s = run_anns(f"starling-{algorithm}", star, ds.queries, truth,
+                 candidate_size=64)
+    d = run_anns(f"disk-{algorithm}", disk, ds.queries, truth,
+                 candidate_size=64)
+    print_perf_table(
+        f"Fig. 16 — Starling-{algorithm.upper()} vs Disk-{algorithm.upper()} "
+        f"({FAMILY}-like)",
+        [s, d],
+    )
+    assert s.mean_ios < d.mean_ios
+    assert s.qps > d.qps
+
+    benchmark(lambda: star.search(ds.queries[0], 10, 64))

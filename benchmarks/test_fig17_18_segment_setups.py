@@ -1,0 +1,136 @@
+"""Fig. 17, 18 & Tab. 22 — query distribution and segment setups (BIGANN).
+
+Fig. 17(a): in-database queries are faster than not-in-database ones for
+both frameworks; Starling wins on both.
+Fig. 17(b)/Tab. 22: SPANN's index size grows with its closure replica count
+ε, so a larger disk budget lets it replicate more and lose fewer I/Os —
+while Starling already fits the smallest budget.
+Fig. 18: at a fixed space budget, growing the dataset widens Starling's
+lead (SPANN can no longer replicate enough).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SPANNConfig, build_spann
+from repro.bench import format_table, print_perf_table, run_anns
+from repro.bench.workloads import (
+    bench_segment_size,
+    dataset,
+    diskann_index,
+    knn_truth,
+    starling_index,
+)
+from repro.core import SegmentBudget
+from repro.vectors import knn
+
+FAMILY = "bigann"
+
+
+def test_fig17a_in_vs_not_in_database(benchmark):
+    ds = dataset(FAMILY)
+    star = starling_index(FAMILY)
+    dann = diskann_index(FAMILY)
+    rng = np.random.default_rng(0)
+    in_db = ds.vectors[
+        rng.choice(ds.size, size=ds.num_queries, replace=False)
+    ].astype(np.float32)
+    truth_in, _ = knn(ds.vectors, in_db, 10, ds.metric)
+    truth_out = knn_truth(FAMILY, k=10)
+
+    rows = [
+        run_anns("starling/in-db", star, in_db, truth_in, candidate_size=64),
+        run_anns("starling/not-in-db", star, ds.queries, truth_out,
+                 candidate_size=64),
+        run_anns("diskann/in-db", dann, in_db, truth_in, candidate_size=64),
+        run_anns("diskann/not-in-db", dann, ds.queries, truth_out,
+                 candidate_size=64),
+    ]
+    print_perf_table(
+        f"Fig. 17(a) — in- vs not-in-database queries ({FAMILY}-like)", rows
+    )
+    assert rows[0].qps > rows[3].qps  # starling in-db beats diskann out-db
+    assert rows[0].mean_ios <= rows[1].mean_ios * 1.2
+
+    benchmark(lambda: star.search(in_db[0], 10, 64))
+
+
+def test_fig17b_tab22_disk_capacity(benchmark):
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=10)
+    data_bytes = ds.vectors.nbytes
+
+    size_rows = []
+    perf_rows_ = []
+    for eps in (1, 2, 4, 8):
+        # A loose closure threshold lets replication actually approach ε so
+        # the Tab. 22 size curve is visible at segment scale.
+        sp = build_spann(
+            ds, SPANNConfig(posting_size=32, replicas=eps, max_probes=8,
+                            closure_factor=4.0),
+        )
+        size_rows.append([
+            eps, sp.replication_ratio, sp.disk_bytes / 1e6,
+            sp.disk_bytes / data_bytes,
+        ])
+        perf_rows_.append(
+            run_anns(f"spann(eps={eps})", sp, ds.queries, truth)
+        )
+    print()
+    print(format_table(
+        "Tab. 22 — SPANN index size vs closure replicas ε",
+        ["eps", "replication", "disk_MB", "disk/data"],
+        size_rows,
+    ))
+    print_perf_table(
+        "Fig. 17(b) — SPANN accuracy/IO as disk capacity admits more "
+        "replication",
+        perf_rows_,
+    )
+    # Index size must grow monotonically with ε (Tab. 22).
+    sizes = [r[2] for r in size_rows]
+    assert all(b >= a for a, b in zip(sizes, sizes[1:]))
+
+    # The segment budget (2.5x data) caps which ε fits — Starling always fits.
+    budget = SegmentBudget.for_data_bytes(data_bytes)
+    star = starling_index(FAMILY)
+    assert star.check_budget(budget).disk_ok
+    fitting = [r[0] for r in size_rows if r[2] * 1e6 <= budget.disk_bytes]
+    print(f"  -> SPANN ε fitting the 10GB-equivalent budget: {fitting}")
+
+    sp = build_spann(ds, SPANNConfig(posting_size=32, replicas=2,
+                                     max_probes=8))
+    benchmark(lambda: sp.search(ds.queries[0], 10))
+
+
+def test_fig18_dataset_size_at_fixed_budget(benchmark):
+    base = bench_segment_size()
+    rows = []
+    gaps = []
+    for n in (base, base * 2):
+        ds = dataset(FAMILY, n)
+        truth = knn_truth(FAMILY, n, k=10)
+        # Fixed absolute budget: the *base* segment's 2.5x-data allowance.
+        budget = SegmentBudget.for_data_bytes(
+            dataset(FAMILY, base).vectors.nbytes
+        )
+        sp = build_spann(
+            ds, SPANNConfig(posting_size=32, replicas=8, max_probes=8),
+            disk_budget_bytes=budget.disk_bytes,
+        )
+        s = run_anns(f"starling(n={n})", starling_index(FAMILY, n),
+                     ds.queries, truth, candidate_size=64)
+        p = run_anns(f"spann(n={n},capped)", sp, ds.queries, truth)
+        rows += [s, p]
+        gaps.append((n, sp.replication_ratio))
+    print_perf_table(
+        f"Fig. 18 — dataset size sweep at fixed disk budget ({FAMILY}-like)",
+        rows,
+    )
+    print(f"  -> SPANN replication under the fixed budget: {gaps}")
+    # The budget clamps SPANN's replication as data grows.
+    assert gaps[1][1] <= gaps[0][1] + 1e-9
+
+    idx = starling_index(FAMILY)
+    ds = dataset(FAMILY)
+    benchmark(lambda: idx.search(ds.queries[0], 10, 64))

@@ -1,0 +1,51 @@
+"""Tab. 2 — Vertex utilization ratio ξ and search path length ℓ.
+
+Paper values (BIGANN / DEEP / SSNPP / Text2image):
+    DiskANN  ξ = 0.0625 / 0.1429 / 0.1111 / 0.2500, ℓ = 362 / 341 / 269 / 100
+    Starling ξ = 0.3438 / 0.4429 / 0.4111 / 0.8760, ℓ = 182 / 240 / 167 /  52
+
+Shape to reproduce: ξ(Starling) ≈ (1 + ⌈(ε−1)σ⌉)/ε, several times the
+baseline's 1/ε; ℓ(Starling) < ℓ(DiskANN) thanks to the navigation graph.
+"""
+
+import pytest
+
+from repro.bench import format_table, run_anns
+from repro.bench.workloads import (
+    dataset,
+    diskann_index,
+    knn_truth,
+    starling_index,
+)
+
+FAMILIES = ["bigann", "deep", "ssnpp", "text2image"]
+
+
+def test_tab2_xi_and_path_length(benchmark):
+    rows = []
+    for family in FAMILIES:
+        ds = dataset(family)
+        truth = knn_truth(family, k=10)
+        star = starling_index(family)
+        dann = diskann_index(family)
+        s = run_anns("s", star, ds.queries, truth, candidate_size=64)
+        d = run_anns("d", dann, ds.queries, truth, candidate_size=64)
+        eps = star.disk_graph.fmt.vertices_per_block
+        rows.append([
+            family, eps,
+            d.mean_vertex_utilization, s.mean_vertex_utilization,
+            d.mean_hops, s.mean_hops,
+        ])
+        assert s.mean_vertex_utilization > d.mean_vertex_utilization
+        assert s.mean_hops < d.mean_hops
+    print()
+    print(format_table(
+        "Tab. 2 — vertex utilization ξ and search path length ℓ",
+        ["dataset", "eps", "xi_diskann", "xi_starling", "l_diskann",
+         "l_starling"],
+        rows,
+    ))
+
+    ds = dataset("bigann")
+    star = starling_index("bigann")
+    benchmark(lambda: star.search(ds.queries[0], 10, 64))

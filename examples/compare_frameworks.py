@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare Starling, DiskANN and SPANN on one data segment.
+
+Reproduces the flavour of the paper's §6.2 headline comparison at laptop
+scale: builds all three indexes on a DEEP-like segment, sweeps each one's
+accuracy knob, and prints the recall / QPS / mean-I/O frontier plus the
+space cost of each index under the segment budget.
+
+Run:  python examples/compare_frameworks.py
+"""
+
+from repro.baselines import SPANNConfig, build_spann
+from repro.bench import print_perf_table, run_anns, sweep_anns
+from repro.core import (
+    DiskANNConfig,
+    GraphConfig,
+    SegmentBudget,
+    StarlingConfig,
+    build_diskann,
+    build_starling,
+)
+from repro.vectors import deep_like, knn
+
+N = 5_000
+QUERIES = 25
+
+
+def main() -> None:
+    dataset = deep_like(N, QUERIES)
+    truth_ids, _ = knn(dataset.vectors, dataset.queries, 10, dataset.metric)
+    graph = GraphConfig(max_degree=24, build_ef=48)
+
+    print("building Starling...")
+    starling = build_starling(dataset, StarlingConfig(graph=graph))
+    print("building DiskANN...")
+    diskann = build_diskann(dataset, DiskANNConfig(graph=graph))
+    print("building SPANN...")
+    spann = build_spann(
+        dataset, SPANNConfig(posting_size=32, replicas=2, max_probes=8)
+    )
+
+    budget = SegmentBudget.for_data_bytes(dataset.vectors.nbytes)
+    print("\nspace cost (segment budget: "
+          f"{budget.memory_bytes / 1e6:.0f} MB mem / "
+          f"{budget.disk_bytes / 1e6:.0f} MB disk):")
+    for name, idx in (("starling", starling), ("diskann", diskann),
+                      ("spann", spann)):
+        print(
+            f"  {name:9s} disk={idx.disk_bytes / 1e6:7.1f} MB   "
+            f"memory={idx.memory_bytes / 1e6:6.2f} MB"
+        )
+    print(f"  (spann replication: {spann.replication_ratio:.2f}x)")
+
+    rows = sweep_anns(
+        "starling", starling, dataset.queries, truth_ids, [16, 32, 64, 128]
+    )
+    rows += sweep_anns(
+        "diskann", diskann, dataset.queries, truth_ids, [16, 32, 64, 128]
+    )
+    for probes in (1, 2, 4, 8):
+        spann.config = spann.config.with_(max_probes=probes)
+        rows.append(
+            run_anns(f"spann(p={probes})", spann, dataset.queries, truth_ids)
+        )
+    print_perf_table("ANNS frontier: recall vs QPS vs I/Os", rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: build a Starling segment index and run ANNS + range search.
+
+Builds a BIGANN-like segment (uint8, 128-d, L2), indexes it with the paper's
+default configuration (Vamana graph, BNF block shuffling, in-memory
+navigation graph, PQ routing, block search), and compares accuracy and I/O
+cost against exact brute-force ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import StarlingConfig, build_starling
+from repro.core import GraphConfig, SegmentBudget
+from repro.metrics import recall_at_k
+from repro.vectors import bigann_like, knn
+
+
+def main() -> None:
+    # 1. A data segment: 5,000 vectors, 20 not-in-database queries.
+    dataset = bigann_like(5_000, 20)
+    print(f"dataset: {dataset}")
+
+    # 2. Build the index.  Every knob has a paper-faithful default; here we
+    #    size the graph for a small segment.
+    config = StarlingConfig(graph=GraphConfig(max_degree=24, build_ef=48))
+    index = build_starling(dataset, config)
+    print(
+        f"built Starling index: OR(G)={index.layout_or:.3f}, "
+        f"disk={index.disk_bytes / 1e6:.1f} MB, "
+        f"memory={index.memory_bytes / 1e6:.2f} MB, "
+        f"build={index.timings.total_s:.1f}s"
+    )
+
+    # 3. Check the segment budget (2 GB memory / 10 GB disk, scaled to data).
+    budget = SegmentBudget.for_data_bytes(dataset.vectors.nbytes)
+    report = index.check_budget(budget)
+    print(
+        f"budget check: memory_ok={report.memory_ok}, disk_ok={report.disk_ok}"
+    )
+
+    # 4. ANNS: top-10 with a candidate set of 64.
+    truth_ids, _ = knn(dataset.vectors, dataset.queries, 10, dataset.metric)
+    total_recall = total_ios = total_latency = 0.0
+    for i, query in enumerate(dataset.queries):
+        result = index.search(query, k=10, candidate_size=64)
+        total_recall += recall_at_k(result.ids, truth_ids[i], 10)
+        total_ios += result.stats.num_ios
+        total_latency += index.latency_us(result)
+    nq = dataset.num_queries
+    print(
+        f"ANNS: recall@10={total_recall / nq:.3f}, "
+        f"mean I/Os={total_ios / nq:.1f}, "
+        f"simulated latency={total_latency / nq / 1000:.2f} ms"
+    )
+
+    # 5. Range search at the dataset's calibrated radius.
+    radius = dataset.default_radius
+    result = index.range_search(dataset.queries[0], radius)
+    print(
+        f"RS(r={radius:.0f}): {len(result)} results, "
+        f"{result.stats.num_ios} I/Os, final |C|={result.final_candidate_size}"
+    )
+
+
+if __name__ == "__main__":
+    main()

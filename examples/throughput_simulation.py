@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Throughput under disk contention: naive QPS model vs discrete-event sim.
+
+The paper serves query batches with a thread pool over one NVMe device.
+``QPS = threads / mean_latency`` is the usual quick estimate, but it
+silently assumes the device absorbs unlimited concurrent round-trips.  This
+example records real per-query I/O schedules from a Starling and a DiskANN
+index, replays them through the discrete-event simulator at several device
+queue depths, and shows where the naive model breaks — and that Starling's
+smaller I/O footprint matters *more*, not less, once the disk saturates.
+
+Run:  python examples/throughput_simulation.py
+"""
+
+from repro.bench import format_table
+from repro.core import (
+    DiskANNConfig,
+    GraphConfig,
+    StarlingConfig,
+    build_diskann,
+    build_starling,
+)
+from repro.engine import ThroughputSimulator
+from repro.vectors import bigann_like
+
+N = 3_000
+QUERIES = 25
+
+
+def main() -> None:
+    dataset = bigann_like(N, QUERIES)
+    graph = GraphConfig(max_degree=24, build_ef=48)
+    print("building indexes...")
+    indexes = {
+        "starling": build_starling(dataset, StarlingConfig(graph=graph)),
+        "diskann": build_diskann(dataset, DiskANNConfig(graph=graph)),
+    }
+    batches = {
+        name: [idx.search(q, 10, 64).stats for q in dataset.queries]
+        for name, idx in indexes.items()
+    }
+
+    rows = []
+    for depth in (64, 8, 4, 2, 1):
+        for name, idx in indexes.items():
+            sim = ThroughputSimulator(
+                idx.disk_spec, idx.compute_spec, threads=8, queue_depth=depth
+            )
+            report = sim.run(batches[name], idx.dim, idx.pq.num_subspaces)
+            rows.append([
+                name, depth, report.qps,
+                report.mean_latency_us / 1000, report.disk_utilization,
+            ])
+    print()
+    print(format_table(
+        "8 worker threads, one simulated NVMe, varying queue depth",
+        ["framework", "queue_depth", "QPS", "mean_latency_ms", "disk_util"],
+        rows,
+    ))
+    saturated = {r[0]: r[2] for r in rows if r[1] == 1}
+    print(
+        f"\nfully serialized disk: starling {saturated['starling']:,.0f} QPS "
+        f"vs diskann {saturated['diskann']:,.0f} QPS — the I/O-count gap "
+        "becomes the whole story once the device is the bottleneck."
+    )
+
+
+if __name__ == "__main__":
+    main()

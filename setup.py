@@ -1,0 +1,6 @@
+"""Setup shim: environments without the `wheel` package cannot build
+PEP-517 editable wheels, so `python setup.py develop` (or a .pth file)
+is the offline-friendly install path."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""Starling reproduction: I/O-efficient disk-resident graph index for HVSS.
+
+Reproduction of Wang et al., "Starling: An I/O-Efficient Disk-Resident Graph
+Index Framework for High-Dimensional Vector Similarity Search on Data
+Segment" (SIGMOD 2024).  See README.md for a quickstart and DESIGN.md for
+the system inventory and substitutions.
+
+Public API highlights:
+
+- :func:`repro.core.build_starling` / :class:`repro.core.StarlingIndex` —
+  the paper's contribution: shuffled disk layout + in-memory navigation
+  graph + block search.
+- :func:`repro.core.build_diskann` / :class:`repro.core.DiskANNIndex` —
+  the baseline framework.
+- :func:`repro.baselines.build_spann` — the SPANN baseline.
+- :mod:`repro.vectors` — datasets, metrics, brute-force ground truth.
+- :mod:`repro.layout` — block shuffling (BNP/BNF/BNS) and OR(G).
+"""
+
+from . import baselines, bench, core, engine, graphs, layout, metrics
+from . import quantization, storage, vectors
+from .core import (
+    DiskANNConfig,
+    DiskANNIndex,
+    GraphConfig,
+    SegmentBudget,
+    SegmentCoordinator,
+    StarlingConfig,
+    StarlingIndex,
+    build_diskann,
+    build_starling,
+    split_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiskANNConfig",
+    "DiskANNIndex",
+    "GraphConfig",
+    "SegmentBudget",
+    "SegmentCoordinator",
+    "StarlingConfig",
+    "StarlingIndex",
+    "__version__",
+    "baselines",
+    "bench",
+    "build_diskann",
+    "build_starling",
+    "core",
+    "engine",
+    "graphs",
+    "layout",
+    "metrics",
+    "quantization",
+    "split_dataset",
+    "storage",
+    "vectors",
+]

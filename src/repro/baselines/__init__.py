@@ -1,0 +1,13 @@
+"""Baseline systems the paper compares against (beyond the DiskANN facade)."""
+
+from .memory import HNSWMemoryIndex, IVFPQConfig, IVFPQIndex
+from .spann import SPANNConfig, SPANNIndex, build_spann
+
+__all__ = [
+    "HNSWMemoryIndex",
+    "IVFPQConfig",
+    "IVFPQIndex",
+    "SPANNConfig",
+    "SPANNIndex",
+    "build_spann",
+]

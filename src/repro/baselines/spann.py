@@ -1,0 +1,391 @@
+"""SPANN baseline (Chen et al., NeurIPS 2021) — clustering-based disk index.
+
+SPANN partitions the dataset with hierarchical balanced clustering into
+posting lists stored contiguously on disk, keeps the centroids in an
+in-memory graph index for fast retrieval, and *replicates* boundary vectors
+into up to ε closure clusters (the source of its disk-space appetite — up to
+8× the base data, Tab. 22).  At query time it finds nearby centroids, applies
+query-aware dynamic pruning (centroids farther than ``(1 + ε₂)·d_min`` are
+dropped), streams the surviving posting lists from disk sequentially, and
+ranks their members exactly.
+
+This is the second baseline of the paper's evaluation (Fig. 6/7, 17(b), 18):
+fast when disk is plentiful, but unable to replicate enough data inside a
+segment's 10 GB budget.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.cost import QueryStats
+from ..engine.results import RangeResult, SearchResult
+from ..graphs.search import greedy_search
+from ..graphs.vamana import VamanaParams, build_vamana
+from ..quantization.kmeans import balanced_kmeans
+from ..storage.device import BlockDevice, DiskSpec
+from ..engine.cost import ComputeSpec
+from ..vectors.dataset import VectorDataset
+from ..vectors.metrics import Metric
+
+
+@dataclass(frozen=True)
+class SPANNConfig:
+    """SPANN parameters mirroring the paper's Tab. 20.
+
+    Attributes:
+        replicas: ε — maximum closure copies per vector.
+        posting_size: α — target posting-list length (vectors per cluster).
+        closure_factor: ε₁-style threshold: a vector joins every cluster with
+            ``d(x, c) <= closure_factor · d(x, c_1)`` (plus the RNG rule).
+            Distances here are squared L2, so 2.0 corresponds to ~1.41× the
+            true distance of the closest centroid.
+        pruning_factor: ε₂-style query pruning: probe only centroids with
+            ``d(q, c) <= pruning_factor · d(q, c_1)``.
+        rng_relax: ε₁'s relaxation of the RNG rule: a candidate cluster is
+            skipped only when its centroid sits much closer to an already
+            chosen centroid than the vector does — specifically when
+            ``d²(c, prev) < d²(x, c) / rng_relax²``.  Larger values replicate
+            more.
+        max_probes: Upper bound on posting lists read per query (the search
+            knob swept to trade accuracy for I/O).
+        block_bytes: η.
+        centroid_graph_degree: Degree of the in-memory centroid graph.
+        seed: RNG seed.
+    """
+
+    replicas: int = 4
+    posting_size: int = 48
+    closure_factor: float = 2.0
+    pruning_factor: float = 2.5
+    max_probes: int = 16
+    rng_relax: float = 4.0
+    block_bytes: int = 4096
+    centroid_graph_degree: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.posting_size < 1:
+            raise ValueError("posting_size must be >= 1")
+        if self.closure_factor < 1.0 or self.pruning_factor < 1.0:
+            raise ValueError("closure/pruning factors must be >= 1.0")
+        if self.rng_relax <= 0.0:
+            raise ValueError("rng_relax must be positive")
+
+    def with_(self, **changes) -> "SPANNConfig":
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+
+@dataclass
+class _Posting:
+    first_block: int
+    num_blocks: int
+    length: int
+
+
+class SPANNIndex:
+    """A built SPANN segment index with the same query API as the others."""
+
+    name = "spann"
+
+    def __init__(
+        self,
+        dataset_dim: int,
+        dtype: np.dtype,
+        metric: Metric,
+        config: SPANNConfig,
+        device: BlockDevice,
+        postings: list[_Posting],
+        centroids: np.ndarray,
+        centroid_graph,
+        centroid_entry: int,
+        build_seconds: float,
+        *,
+        disk_spec: DiskSpec | None = None,
+        compute_spec: ComputeSpec | None = None,
+    ) -> None:
+        self.dim = dataset_dim
+        self.dtype = np.dtype(dtype)
+        self.metric = metric
+        self.config = config
+        self.device = device
+        self.postings = postings
+        self.centroids = centroids
+        self.centroid_graph = centroid_graph
+        self.centroid_entry = centroid_entry
+        self.build_seconds = build_seconds
+        self.disk_spec = disk_spec or DiskSpec()
+        self.compute_spec = compute_spec or ComputeSpec()
+        self._record_bytes = 4 + self.dim * self.dtype.itemsize
+        self._records_per_block = config.block_bytes // self._record_bytes
+
+    # -- space accounting --------------------------------------------------------
+
+    @property
+    def disk_bytes(self) -> int:
+        return self.device.disk_bytes
+
+    @property
+    def memory_bytes(self) -> int:
+        edges = sum(a.nbytes for a in self.centroid_graph.neighbor_lists())
+        return int(self.centroids.nbytes) + int(edges)
+
+    @property
+    def replication_ratio(self) -> float:
+        """Stored copies per vector (drives Tab. 22's index size)."""
+        total = sum(p.length for p in self.postings)
+        distinct = len(set(self._all_ids())) or 1
+        return total / distinct
+
+    def _all_ids(self) -> list[int]:
+        ids: list[int] = []
+        for posting in self.postings:
+            blocks = [
+                self.device._fetch(posting.first_block + i)
+                for i in range(posting.num_blocks)
+            ]
+            pids, _ = self._decode_posting(blocks, posting.length)
+            ids.extend(pids.tolist())
+        return ids
+
+    # -- codec ---------------------------------------------------------------------
+
+    def _decode_posting(
+        self, blocks: list[bytes], length: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        payload = b"".join(blocks)[: length * self._record_bytes]
+        raw = np.frombuffer(payload, dtype=np.uint8).reshape(
+            length, self._record_bytes
+        )
+        ids = raw[:, :4].copy().view(np.uint32).reshape(length)
+        vectors = raw[:, 4:].copy().view(self.dtype).reshape(length, self.dim)
+        return ids.astype(np.int64), vectors
+
+    # -- search ---------------------------------------------------------------------
+
+    def _probe_postings(
+        self, query: np.ndarray, stats: QueryStats
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pick posting lists, stream them, return (ids, exact distances)."""
+        nprobe = min(self.config.max_probes, len(self.postings))
+        cand_ids, cand_d, trace = greedy_search(
+            self.centroid_graph, self.centroids, self.metric, query,
+            [self.centroid_entry], max(2 * nprobe, 16), nprobe,
+        )
+        stats.exact_distances += trace.distance_computations
+        # Query-aware dynamic pruning (ε₂ rule).
+        if cand_d.size:
+            keep = cand_d <= self.config.pruning_factor * max(cand_d[0], 1e-30)
+            if self.metric.name == "ip":
+                # Negated IP distances can be negative; fall back to rank cut.
+                keep = np.ones_like(keep)
+            cand_ids = cand_ids[keep]
+        all_ids: list[np.ndarray] = []
+        all_vecs: list[np.ndarray] = []
+        for cid in cand_ids.tolist():
+            posting = self.postings[cid]
+            if posting.length == 0:
+                continue
+            blocks = self.device.read_sequential(
+                posting.first_block, posting.num_blocks
+            )
+            stats.sequential_blocks.append(posting.num_blocks)
+            pids, vecs = self._decode_posting(blocks, posting.length)
+            stats.vertices_loaded += posting.length
+            stats.vertices_used += posting.length
+            all_ids.append(pids)
+            all_vecs.append(vecs)
+            stats.hops += 1
+        if not all_ids:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        ids = np.concatenate(all_ids)
+        vecs = np.concatenate(all_vecs)
+        dists = self.metric.distances(query, vecs)
+        stats.exact_distances += int(ids.size)
+        # Replicated vectors appear in several postings; keep the best copy.
+        order = np.lexsort((dists, ids))
+        ids, dists = ids[order], dists[order]
+        first = np.ones(ids.size, dtype=bool)
+        first[1:] = ids[1:] != ids[:-1]
+        return ids[first], dists[first]
+
+    def search(
+        self, query: np.ndarray, k: int = 10, candidate_size: int = 64
+    ) -> SearchResult:
+        """ANNS: probe posting lists and rank members exactly.
+
+        ``candidate_size`` is accepted for interface parity; SPANN's accuracy
+        knob is ``config.max_probes``.
+        """
+        query = np.asarray(query, dtype=np.float32)
+        stats = QueryStats()
+        ids, dists = self._probe_postings(query, stats)
+        order = np.argsort(dists, kind="stable")[:k]
+        return SearchResult(
+            ids[order], np.asarray(dists)[order].astype(np.float64), stats
+        )
+
+    def range_search(self, query: np.ndarray, radius: float) -> RangeResult:
+        """RS: same probe, filtered by the radius."""
+        query = np.asarray(query, dtype=np.float32)
+        stats = QueryStats()
+        ids, dists = self._probe_postings(query, stats)
+        keep = dists <= radius
+        order = np.argsort(dists[keep], kind="stable")
+        return RangeResult(
+            ids[keep][order],
+            np.asarray(dists[keep][order], dtype=np.float64),
+            stats,
+        )
+
+    def latency_us(self, result) -> float:
+        return result.stats.latency_us(
+            self.disk_spec, self.compute_spec, self.dim, 1
+        )
+
+
+def build_spann(
+    dataset: VectorDataset,
+    config: SPANNConfig | None = None,
+    *,
+    path: str | os.PathLike | None = None,
+    disk_spec: DiskSpec | None = None,
+    compute_spec: ComputeSpec | None = None,
+    disk_budget_bytes: int | None = None,
+) -> SPANNIndex:
+    """Build a SPANN index for one segment.
+
+    Args:
+        dataset: Segment data.
+        config: SPANN parameters.
+        path: Optional backing file for the posting store.
+        disk_spec / compute_spec: Cost models.
+        disk_budget_bytes: If given, closure replication stops once the index
+            would exceed the budget — this is exactly the constraint that
+            degrades SPANN inside a data segment (§6.2, §6.9).
+    """
+    config = config or SPANNConfig()
+    t0 = time.perf_counter()
+    vectors = dataset.vectors
+    metric = dataset.metric
+    n, dim = vectors.shape
+
+    num_clusters = max(-(-n // config.posting_size), 1)
+    clustering = balanced_kmeans(
+        vectors, num_clusters,
+        max_cluster_size=max(config.posting_size, n // num_clusters + 1),
+        seed=config.seed,
+    )
+    centroids = clustering.centroids.astype(np.float32)
+
+    # Closure assignment with the relaxed RNG rule (Appendix P).  The primary
+    # copy follows the *balanced* clustering so posting lists stay near α;
+    # closure copies are capped at 2α per posting.
+    members: list[list[int]] = [[] for _ in range(num_clusters)]
+    d_all = metric.pairwise(vectors, centroids)
+    order = np.argsort(d_all, axis=1)
+    record_bytes = 4 + dim * vectors.dtype.itemsize
+    per_block = config.block_bytes // record_bytes
+    budget_copies = None
+    if disk_budget_bytes is not None:
+        budget_copies = int(
+            disk_budget_bytes // record_bytes
+        )  # coarse copy cap; exact block padding is checked post-hoc
+    posting_cap = config.posting_size * 2
+    copies = 0
+    # First pass: one primary copy per vector, following the balanced
+    # clustering, so every posting starts within α before closure fills it.
+    for i in range(n):
+        members[int(clustering.assignment[i])].append(i)
+        copies += 1
+    for i in range(n):
+        primary = int(clustering.assignment[i])
+        chosen = [primary]
+        d_min = max(float(d_all[i].min()), 1e-30)
+        for c in order[i, : max(config.replicas * 3, config.replicas)]:
+            c = int(c)
+            if len(chosen) >= config.replicas:
+                break
+            if c == primary:
+                continue
+            if d_all[i, c] > config.closure_factor * d_min:
+                break
+            if len(members[c]) >= posting_cap:
+                continue
+            # Relaxed RNG rule (ε₁): skip a cluster only when its centroid
+            # nearly coincides with an already-chosen one, i.e. the two
+            # posting lists would be near-duplicates.
+            skip = False
+            threshold = d_all[i, c] / (config.rng_relax**2)
+            for prev in chosen:
+                if metric.distance(centroids[c], centroids[prev]) < threshold:
+                    skip = True
+                    break
+            if skip:
+                continue
+            if budget_copies is not None and copies >= budget_copies:
+                break
+            members[c].append(i)
+            chosen.append(c)
+            copies += 1
+
+    # Serialize posting lists to contiguous blocks.
+    postings: list[_Posting] = []
+    payloads: list[bytes] = []
+    next_block = 0
+    for c in range(num_clusters):
+        ids = np.asarray(members[c], dtype=np.uint32)
+        length = int(ids.size)
+        if length == 0:
+            postings.append(_Posting(first_block=next_block, num_blocks=0,
+                                     length=0))
+            continue
+        raw = np.empty((length, record_bytes), dtype=np.uint8)
+        raw[:, :4] = ids[:, None].view(np.uint8).reshape(length, 4)
+        raw[:, 4:] = (
+            vectors[ids.astype(np.int64)]
+            .view(np.uint8)
+            .reshape(length, dim * vectors.dtype.itemsize)
+        )
+        payload = raw.tobytes()
+        num_blocks = -(-length // per_block)
+        payload += b"\x00" * (num_blocks * config.block_bytes - len(payload))
+        postings.append(
+            _Posting(first_block=next_block, num_blocks=num_blocks,
+                     length=length)
+        )
+        payloads.append(payload)
+        next_block += num_blocks
+
+    device = BlockDevice(
+        config.block_bytes, next_block, path=path, spec=disk_spec
+    )
+    block_id = 0
+    for payload in payloads:
+        for off in range(0, len(payload), config.block_bytes):
+            device.write_block(block_id, payload[off : off + config.block_bytes])
+            block_id += 1
+    device.reset_counters()
+
+    centroid_graph, centroid_entry = build_vamana(
+        centroids, metric,
+        VamanaParams(
+            max_degree=min(config.centroid_graph_degree, max(num_clusters - 1, 1)),
+            build_ef=max(2 * config.centroid_graph_degree, 32),
+            seed=config.seed,
+        ),
+    )
+    build_seconds = time.perf_counter() - t0
+    return SPANNIndex(
+        dim, vectors.dtype, metric, config, device, postings, centroids,
+        centroid_graph, centroid_entry, build_seconds,
+        disk_spec=disk_spec, compute_spec=compute_spec,
+    )

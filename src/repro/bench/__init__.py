@@ -1,0 +1,42 @@
+"""Benchmark harness: workload runners, presets, and table rendering."""
+
+from .report import MarkdownReport, markdown_table
+from .runner import ground_truth_for, run_anns, run_range, sweep_anns, sweep_range
+from .tables import (
+    PERF_HEADERS,
+    format_table,
+    perf_rows,
+    print_perf_table,
+    speedup,
+)
+from .workloads import (
+    bench_num_queries,
+    bench_segment_size,
+    dataset,
+    default_graph_config,
+    diskann_index,
+    spann_index,
+    starling_index,
+)
+
+__all__ = [
+    "MarkdownReport",
+    "PERF_HEADERS",
+    "markdown_table",
+    "bench_num_queries",
+    "bench_segment_size",
+    "dataset",
+    "default_graph_config",
+    "diskann_index",
+    "format_table",
+    "ground_truth_for",
+    "perf_rows",
+    "print_perf_table",
+    "run_anns",
+    "run_range",
+    "spann_index",
+    "speedup",
+    "starling_index",
+    "sweep_anns",
+    "sweep_range",
+]

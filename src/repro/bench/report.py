@@ -1,0 +1,87 @@
+"""Markdown report generation from benchmark results.
+
+The plain-text tables in ``bench_output.txt`` are greppable; this module
+renders the same rows as GitHub-flavoured markdown so a run can be dropped
+into an issue, a PR description, or EXPERIMENTS.md verbatim.
+
+Typical use from a bench or notebook::
+
+    report = MarkdownReport("Starling reproduction — run 2026-07-06")
+    report.add_perf_section("Fig. 6/7 ANNS frontier", summaries)
+    report.add_table("Tab. 2", ["dataset", "xi"], rows)
+    report.write("run_report.md")
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from ..metrics.perf import PerfSummary
+from .tables import PERF_HEADERS, perf_rows
+
+
+def _escape(cell: object) -> str:
+    text = f"{cell:.4f}" if isinstance(cell, float) else str(cell)
+    return text.replace("|", "\\|")
+
+
+def markdown_table(headers: Sequence[str],
+                   rows: Sequence[Sequence[object]]) -> str:
+    """Render one GitHub-flavoured markdown table."""
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    rule = "|" + "|".join(" --- " for _ in headers) + "|"
+    body = [
+        "| " + " | ".join(_escape(c) for c in row) + " |" for row in rows
+    ]
+    return "\n".join([head, rule, *body])
+
+
+class MarkdownReport:
+    """Accumulate titled sections and render/write them as one document."""
+
+    def __init__(self, title: str) -> None:
+        if not title:
+            raise ValueError("title must be non-empty")
+        self.title = title
+        self._sections: list[str] = []
+
+    def add_text(self, text: str) -> "MarkdownReport":
+        self._sections.append(text.strip())
+        return self
+
+    def add_table(
+        self,
+        heading: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+        *,
+        note: str | None = None,
+    ) -> "MarkdownReport":
+        parts = [f"## {heading}", "", markdown_table(headers, rows)]
+        if note:
+            parts += ["", f"*{note}*"]
+        self._sections.append("\n".join(parts))
+        return self
+
+    def add_perf_section(
+        self,
+        heading: str,
+        summaries: Sequence[PerfSummary],
+        *,
+        note: str | None = None,
+    ) -> "MarkdownReport":
+        """A section in the standard accuracy/QPS/latency/I-O row format."""
+        return self.add_table(
+            heading, PERF_HEADERS, perf_rows(summaries), note=note
+        )
+
+    def render(self) -> str:
+        parts = [f"# {self.title}", ""]
+        for section in self._sections:
+            parts += [section, ""]
+        return "\n".join(parts).rstrip() + "\n"
+
+    def write(self, path: str | os.PathLike) -> None:
+        with open(path, "w") as f:
+            f.write(self.render())

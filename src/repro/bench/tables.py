@@ -1,0 +1,75 @@
+"""Plain-text rendering of benchmark rows and series.
+
+Every bench prints the same rows/series the paper reports; these helpers
+keep the output aligned and greppable in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..metrics.perf import PerfSummary
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule, ready for printing."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def perf_rows(summaries: Sequence[PerfSummary]) -> list[list[object]]:
+    """Standard row layout used by most benches."""
+    return [
+        [
+            s.label,
+            s.accuracy,
+            s.qps,
+            s.mean_latency_us / 1000.0,  # ms, as the paper plots
+            s.mean_ios,
+            s.mean_hops,
+            s.mean_vertex_utilization,
+        ]
+        for s in summaries
+    ]
+
+
+PERF_HEADERS = [
+    "config", "accuracy", "QPS", "latency_ms", "mean_IOs", "hops", "xi",
+]
+
+
+def print_perf_table(title: str, summaries: Sequence[PerfSummary]) -> None:
+    print()
+    print(format_table(title, PERF_HEADERS, perf_rows(summaries)))
+
+
+def speedup(candidate: float, baseline: float) -> str:
+    """'3.2x' style ratio used in the paper's scalability tables."""
+    if baseline <= 0:
+        return "n/a"
+    return f"{candidate / baseline:.1f}x"

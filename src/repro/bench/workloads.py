@@ -1,0 +1,109 @@
+"""Standard workload and configuration presets for the benchmark harness.
+
+Benchmarks default to segment sizes that keep a full suite run in minutes
+(override via the ``REPRO_BENCH_N`` / ``REPRO_BENCH_QUERIES`` environment
+variables); indexes are memoized per configuration so figures sharing a
+build don't pay for it twice.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from ..baselines.spann import SPANNConfig, build_spann
+from ..core.builder import build_diskann, build_starling
+from ..core.config import DiskANNConfig, GraphConfig, StarlingConfig
+from ..vectors.synthetic import by_name
+
+
+#: canonical dataset order used by multi-dataset tables (matches Tab. 1)
+FAMILY_ORDER = ("bigann", "deep", "ssnpp", "text2image")
+
+
+def bench_segment_size() -> int:
+    """Vectors per segment used by the benches (env-tunable)."""
+    return int(os.environ.get("REPRO_BENCH_N", "3000"))
+
+
+def bench_num_queries() -> int:
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "30"))
+
+
+def default_graph_config(**overrides) -> GraphConfig:
+    base = dict(max_degree=24, build_ef=48, alpha=1.2, seed=0)
+    base.update(overrides)
+    return GraphConfig(**base)
+
+
+@lru_cache(maxsize=32)
+def dataset(family: str, n: int | None = None, num_queries: int | None = None):
+    """Memoized dataset construction."""
+    return by_name(
+        family,
+        n if n is not None else bench_segment_size(),
+        num_queries if num_queries is not None else bench_num_queries(),
+    )
+
+
+@lru_cache(maxsize=32)
+def starling_index(family: str, n: int | None = None, **config_overrides):
+    """Memoized Starling build with the default bench configuration."""
+    cfg = StarlingConfig(graph=default_graph_config()).with_(**config_overrides)
+    return build_starling(dataset(family, n), cfg)
+
+
+@lru_cache(maxsize=32)
+def diskann_index(family: str, n: int | None = None, **config_overrides):
+    """Memoized DiskANN build with the default bench configuration."""
+    cfg = DiskANNConfig(graph=default_graph_config()).with_(**config_overrides)
+    return build_diskann(dataset(family, n), cfg)
+
+
+@lru_cache(maxsize=32)
+def spann_index(family: str, n: int | None = None, **config_overrides):
+    """Memoized SPANN build."""
+    cfg = SPANNConfig(posting_size=32, replicas=2).with_(**config_overrides)
+    return build_spann(dataset(family, n), cfg)
+
+
+@lru_cache(maxsize=16)
+def vamana_graph(family: str, n: int | None = None):
+    """Memoized bare Vamana graph for layout-only experiments.
+
+    Returns ``(graph, entry_point, dataset)``.
+    """
+    from ..graphs.vamana import VamanaParams, build_vamana
+
+    ds = dataset(family, n)
+    cfg = default_graph_config()
+    graph, entry = build_vamana(
+        ds.vectors, ds.metric,
+        VamanaParams(max_degree=cfg.max_degree, build_ef=cfg.build_ef,
+                     alpha=cfg.alpha, seed=cfg.seed),
+    )
+    return graph, entry, ds
+
+
+@lru_cache(maxsize=16)
+def knn_truth(family: str, n: int | None = None, k: int = 10):
+    """Memoized exact KNN ground truth for the bench workload."""
+    from ..vectors.ground_truth import knn
+
+    ds = dataset(family, n)
+    ids, _ = knn(ds.vectors, ds.queries, k, ds.metric)
+    return ids
+
+
+@lru_cache(maxsize=16)
+def range_truth(family: str, n: int | None = None,
+                radius_scale: float = 1.0):
+    """Memoized exact RS ground truth; returns ``(radius, truth_lists)``."""
+    from ..vectors.ground_truth import range_search
+
+    ds = dataset(family, n)
+    if ds.default_radius is None:
+        raise ValueError(f"dataset family {family!r} has no default radius")
+    radius = ds.default_radius * radius_scale
+    lists = range_search(ds.vectors, ds.queries, radius, ds.metric)
+    return radius, tuple(tuple(int(x) for x in lst) for lst in lists)

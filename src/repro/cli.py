@@ -1,0 +1,278 @@
+"""Command-line interface: build, inspect, and query segment indexes.
+
+Mirrors the workflow of disk-ANN tooling: build an index from a vector file
+(fvecs/bvecs/fbin/u8bin — or a synthetic dataset for smoke tests), persist
+it to a directory, compute ground truth, and run query batches that report
+recall, mean I/Os, and simulated latency.
+
+Examples:
+    repro-starling build --synthetic bigann:5000 --out /tmp/idx
+    repro-starling info --index /tmp/idx
+    repro-starling gt --synthetic bigann:5000 --k 10 --out /tmp/gt.bin
+    repro-starling search --index /tmp/idx --synthetic bigann:5000 \
+        --gt /tmp/gt.bin --k 10 --gamma 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import (
+    DiskANNConfig,
+    GraphConfig,
+    StarlingConfig,
+    build_diskann,
+    build_starling,
+)
+from .metrics import mean_recall_at_k
+from .storage import load_diskann, load_starling, save_diskann, save_starling
+from .vectors import (
+    VectorDataset,
+    by_name,
+    get_metric,
+    knn,
+    read_bin,
+    read_ground_truth,
+    read_vecs,
+    write_ground_truth,
+)
+
+_VECS_EXTS = (".fvecs", ".bvecs", ".ivecs")
+_BIN_EXTS = (".fbin", ".u8bin", ".i8bin")
+
+
+def _load_vector_file(path: str, max_vectors: int | None) -> np.ndarray:
+    suffix = Path(path).suffix.lower()
+    if suffix in _VECS_EXTS:
+        return read_vecs(path, max_vectors=max_vectors)
+    if suffix in _BIN_EXTS:
+        return read_bin(path, max_vectors=max_vectors)
+    raise SystemExit(
+        f"unsupported vector file {path!r}; expected one of "
+        f"{_VECS_EXTS + _BIN_EXTS}"
+    )
+
+
+def _dataset_from_args(args) -> VectorDataset:
+    """Build the dataset from --synthetic or --data/--queries flags."""
+    if args.synthetic:
+        family, _, n = args.synthetic.partition(":")
+        size = int(n) if n else 5000
+        return by_name(family, size, args.num_queries)
+    if not args.data:
+        raise SystemExit("either --synthetic or --data is required")
+    vectors = _load_vector_file(args.data, args.max_vectors)
+    if args.queries:
+        queries = _load_vector_file(args.queries, None)
+    else:
+        queries = vectors[: min(args.num_queries, len(vectors))]
+    return VectorDataset(
+        name=Path(args.data).stem,
+        vectors=vectors,
+        queries=queries,
+        metric=get_metric(args.metric),
+    )
+
+
+def _add_dataset_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--synthetic", metavar="FAMILY[:N]",
+                   help="synthetic dataset, e.g. bigann:5000")
+    p.add_argument("--data", help="base vectors file (fvecs/bvecs/fbin/u8bin)")
+    p.add_argument("--queries", help="query vectors file")
+    p.add_argument("--metric", default="l2", choices=("l2", "ip"))
+    p.add_argument("--max-vectors", type=int, default=None)
+    p.add_argument("--num-queries", type=int, default=50)
+
+
+def _cmd_build(args) -> int:
+    dataset = _dataset_from_args(args)
+    graph = GraphConfig(
+        algorithm=args.algorithm, max_degree=args.max_degree,
+        build_ef=args.build_ef, seed=args.seed,
+    )
+    print(f"building {args.framework} index over {dataset} ...")
+    if args.framework == "starling":
+        index = build_starling(
+            dataset,
+            StarlingConfig(graph=graph, shuffle=args.shuffle,
+                           pruning_ratio=args.pruning_ratio),
+        )
+        save_starling(index, args.out)
+        extra = f", OR(G)={index.layout_or:.3f}"
+    else:
+        index = build_diskann(dataset, DiskANNConfig(graph=graph))
+        save_diskann(index, args.out)
+        extra = ""
+    print(
+        f"saved to {args.out}: n={index.num_vectors}, "
+        f"disk={index.disk_bytes / 1e6:.1f} MB, "
+        f"memory={index.memory_bytes / 1e6:.2f} MB, "
+        f"build={index.timings.total_s:.1f}s{extra}"
+    )
+    return 0
+
+
+def _load_index(path: str):
+    meta = json.loads((Path(path) / "meta.json").read_text())
+    if meta.get("kind") == "starling":
+        return load_starling(path)
+    return load_diskann(path)
+
+
+def _cmd_info(args) -> int:
+    meta = json.loads((Path(args.index) / "meta.json").read_text())
+    print(json.dumps(meta, indent=2))
+    return 0
+
+
+def _cmd_gt(args) -> int:
+    dataset = _dataset_from_args(args)
+    print(f"computing exact top-{args.k} for {dataset.num_queries} queries...")
+    ids, dists = knn(dataset.vectors, dataset.queries, args.k, dataset.metric)
+    write_ground_truth(args.out, ids, dists)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    index = _load_index(args.index)
+    dataset = _dataset_from_args(args)
+    truth = read_ground_truth(args.gt)[0] if args.gt else None
+
+    results = [
+        index.search(q, args.k, args.gamma) for q in dataset.queries
+    ]
+    ios = sum(r.stats.num_ios for r in results) / len(results)
+    latency = sum(index.latency_us(r) for r in results) / len(results)
+    line = (
+        f"queries={len(results)}, k={args.k}, Γ={args.gamma}: "
+        f"mean I/Os={ios:.1f}, simulated latency={latency / 1000:.2f} ms"
+    )
+    if truth is not None:
+        recall = mean_recall_at_k([r.ids for r in results], truth, args.k)
+        line += f", recall@{args.k}={recall:.3f}"
+    print(line)
+    if args.show:
+        for i, r in enumerate(results[: args.show]):
+            print(f"  q{i}: {r.ids.tolist()}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Compact three-framework comparison, written as a markdown report."""
+    from .baselines import SPANNConfig, build_spann
+    from .bench import MarkdownReport, run_anns, sweep_anns
+    from .core import build_starling as _build_starling
+    from .core import build_diskann as _build_diskann
+
+    dataset = _dataset_from_args(args)
+    graph = GraphConfig(max_degree=args.max_degree, build_ef=args.build_ef)
+    truth, _ = knn(dataset.vectors, dataset.queries, args.k, dataset.metric)
+
+    print("building starling...")
+    star = _build_starling(dataset, StarlingConfig(graph=graph))
+    print("building diskann...")
+    dann = _build_diskann(dataset, DiskANNConfig(graph=graph))
+    print("building spann...")
+    spann = build_spann(
+        dataset, SPANNConfig(posting_size=32, replicas=2, max_probes=8)
+    )
+
+    gammas = [16, 32, 64, 128]
+    rows = sweep_anns("starling", star, dataset.queries, truth, gammas,
+                      k=args.k)
+    rows += sweep_anns("diskann", dann, dataset.queries, truth, gammas,
+                       k=args.k)
+    rows.append(run_anns("spann(p=8)", spann, dataset.queries, truth,
+                         k=args.k))
+    report = MarkdownReport(
+        f"Starling reproduction — {dataset.name}, n={dataset.size}, "
+        f"k={args.k}"
+    )
+    report.add_text(
+        "Latency/QPS are simulated from exact I/O and compute counts "
+        "(see docs/COST_MODEL.md); only ratios are meaningful."
+    )
+    report.add_perf_section("ANNS frontier", rows)
+    report.add_table(
+        "Space cost",
+        ["framework", "disk_MB", "memory_MB"],
+        [
+            [name, idx.disk_bytes / 1e6, idx.memory_bytes / 1e6]
+            for name, idx in (("starling", star), ("diskann", dann),
+                              ("spann", spann))
+        ],
+    )
+    report.write(args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-starling",
+        description="Starling (SIGMOD 2024) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="build and persist a segment index")
+    _add_dataset_args(p)
+    p.add_argument("--out", required=True, help="output index directory")
+    p.add_argument("--framework", default="starling",
+                   choices=("starling", "diskann"))
+    p.add_argument("--algorithm", default="vamana",
+                   choices=("vamana", "nsg", "hnsw"))
+    p.add_argument("--max-degree", type=int, default=32)
+    p.add_argument("--build-ef", type=int, default=64)
+    p.add_argument("--shuffle", default="bnf",
+                   choices=("bnf", "bnp", "bns", "gp1", "gp2", "gp3",
+                            "kmeans", "none"))
+    p.add_argument("--pruning-ratio", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("info", help="print a persisted index's metadata")
+    p.add_argument("--index", required=True)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("gt", help="compute exact KNN ground truth")
+    _add_dataset_args(p)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_gt)
+
+    p = sub.add_parser(
+        "bench", help="three-framework comparison -> markdown report"
+    )
+    _add_dataset_args(p)
+    p.add_argument("--out", required=True, help="output markdown file")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--max-degree", type=int, default=24)
+    p.add_argument("--build-ef", type=int, default=48)
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("search", help="run an ANNS query batch")
+    _add_dataset_args(p)
+    p.add_argument("--index", required=True)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--gamma", type=int, default=64,
+                   help="candidate set size Γ")
+    p.add_argument("--gt", help="ground-truth file for recall")
+    p.add_argument("--show", type=int, default=0,
+                   help="print the ids of the first N queries")
+    p.set_defaults(func=_cmd_search)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Core library: segment index facades, builders, budgets, coordination."""
+
+from .builder import build_diskann, build_starling
+from .config import (
+    DiskANNConfig,
+    GraphConfig,
+    NavigationConfig,
+    PQConfig,
+    SegmentBudget,
+    StarlingConfig,
+)
+from .coordinator import CoordinatedResult, SegmentCoordinator, split_dataset
+from .updates import DynamicIndex, UpdatableSegment
+from .segment import (
+    BudgetReport,
+    BuildTimings,
+    DiskANNIndex,
+    MemoryFootprint,
+    StarlingIndex,
+)
+
+__all__ = [
+    "BudgetReport",
+    "BuildTimings",
+    "CoordinatedResult",
+    "DiskANNConfig",
+    "DiskANNIndex",
+    "DynamicIndex",
+    "GraphConfig",
+    "MemoryFootprint",
+    "NavigationConfig",
+    "PQConfig",
+    "SegmentBudget",
+    "SegmentCoordinator",
+    "StarlingConfig",
+    "StarlingIndex",
+    "UpdatableSegment",
+    "build_diskann",
+    "build_starling",
+    "split_dataset",
+]

@@ -1,0 +1,156 @@
+"""Configuration for segment indexes (the paper's Tab. 16/17/21 parameters)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class SegmentBudget:
+    """Space limits of one data segment (§2.2).
+
+    The paper's segment holds ≤ 4 GB of raw vectors with 2 GB of memory and
+    10 GB of disk.  Reproductions run at reduced scale, so
+    :meth:`for_data_bytes` keeps the paper's *ratios*: memory = data/2,
+    disk = 2.5 × data.
+    """
+
+    memory_bytes: int
+    disk_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.disk_bytes <= 0:
+            raise ValueError("budgets must be positive")
+
+    @classmethod
+    def for_data_bytes(
+        cls, data_bytes: int, *, memory_fraction: float = 0.5,
+        disk_fraction: float = 2.5,
+    ) -> "SegmentBudget":
+        return cls(
+            memory_bytes=max(int(data_bytes * memory_fraction), 1),
+            disk_bytes=max(int(data_bytes * disk_fraction), 1),
+        )
+
+    @classmethod
+    def paper_segment(cls) -> "SegmentBudget":
+        """The literal 2 GB / 10 GB segment of §6.1."""
+        return cls(memory_bytes=2 * 1024**3, disk_bytes=10 * 1024**3)
+
+
+@dataclass(frozen=True)
+class GraphConfig:
+    """Disk-based graph construction parameters (Λ, L, α)."""
+
+    algorithm: str = "vamana"  # "vamana" | "nsg" | "hnsw"
+    max_degree: int = 32
+    build_ef: int = 64
+    alpha: float = 1.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("vamana", "nsg", "hnsw"):
+            raise ValueError(
+                f"unknown graph algorithm {self.algorithm!r}; expected "
+                "'vamana', 'nsg' or 'hnsw'"
+            )
+
+
+@dataclass(frozen=True)
+class NavigationConfig:
+    """In-memory navigation graph parameters (μ, Λ', §4.2)."""
+
+    sample_ratio: float = 0.1
+    max_degree: int = 16
+    build_ef: int = 48
+    search_ef: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sample_ratio <= 1.0:
+            raise ValueError("sample_ratio must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class PQConfig:
+    """Product-quantization parameters (memory budget B of the paper)."""
+
+    num_subspaces: int = 8
+    num_centroids: int = 256
+
+
+@dataclass(frozen=True)
+class StarlingConfig:
+    """Everything needed to build and query a Starling segment index."""
+
+    graph: GraphConfig = field(default_factory=GraphConfig)
+    navigation: NavigationConfig = field(default_factory=NavigationConfig)
+    pq: PQConfig = field(default_factory=PQConfig)
+    #: block shuffler: "bnf" | "bnp" | "bns" | "gp1" | "gp2" | "gp3" |
+    #: "kmeans" | "none" (ID-contiguous baseline layout)
+    shuffle: str = "bnf"
+    shuffle_iterations: int = 8  # β
+    shuffle_gain_threshold: float = 0.01  # τ
+    block_bytes: int = 4096  # η
+    beam_width: int = 4
+    pruning_ratio: float = 0.3  # σ
+    pipeline: bool = True
+    use_pq_routing: bool = True
+    num_entry_points: int = 4
+    use_navigation_graph: bool = True
+    #: LRU block cache capacity in blocks (0 disables; charged to memory)
+    block_cache_blocks: int = 0
+    #: approximate router: "pq" (paper default), "opq" (learned rotation,
+    #: L2 only) or "sq8" (per-dimension scalar quantization)
+    quantizer: str = "pq"
+    seed: int = 0
+
+    _SHUFFLERS = ("bnf", "bnp", "bns", "gp1", "gp2", "gp3", "kmeans", "none")
+    _QUANTIZERS = ("pq", "opq", "sq8")
+
+    def __post_init__(self) -> None:
+        if self.shuffle not in self._SHUFFLERS:
+            raise ValueError(
+                f"unknown shuffler {self.shuffle!r}; expected one of "
+                f"{self._SHUFFLERS}"
+            )
+        if self.quantizer not in self._QUANTIZERS:
+            raise ValueError(
+                f"unknown quantizer {self.quantizer!r}; expected one of "
+                f"{self._QUANTIZERS}"
+            )
+        if not 0.0 <= self.pruning_ratio <= 1.0:
+            raise ValueError("pruning_ratio must be in [0, 1]")
+
+    def with_(self, **changes) -> "StarlingConfig":
+        """Functional update helper used heavily by sweeps."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class DiskANNConfig:
+    """The baseline framework: same disk graph, hot cache, vertex search."""
+
+    graph: GraphConfig = field(default_factory=GraphConfig)
+    pq: PQConfig = field(default_factory=PQConfig)
+    block_bytes: int = 4096
+    beam_width: int = 4
+    cache_ratio: float = 0.06  # π — fraction of hot vertices pinned in memory
+    cache_sample_queries: int = 64
+    use_pq_routing: bool = True
+    #: LRU block cache capacity in blocks (0 disables; charged to memory)
+    block_cache_blocks: int = 0
+    #: approximate router: "pq" | "opq" | "sq8" (see StarlingConfig)
+    quantizer: str = "pq"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cache_ratio <= 1.0:
+            raise ValueError("cache_ratio must be in [0, 1]")
+        if self.quantizer not in StarlingConfig._QUANTIZERS:
+            raise ValueError(
+                f"unknown quantizer {self.quantizer!r}; expected one of "
+                f"{StarlingConfig._QUANTIZERS}"
+            )
+
+    def with_(self, **changes) -> "DiskANNConfig":
+        return replace(self, **changes)

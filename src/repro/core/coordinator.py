@@ -1,0 +1,129 @@
+"""Multi-segment query coordination (§6.7, §6.11).
+
+Vector databases shard data into segments; a machine hosts several and a
+query coordinator fans a query out and merges per-segment candidates.  The
+coordinator here is deliberately simple — search every segment, merge by
+exact distance — matching the setting of Tab. 3 and Fig. 19(b) (the paper's
+billion-scale runs merge candidates from 31 segments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.cost import QueryStats
+from ..engine.results import RangeResult, SearchResult
+from ..vectors.dataset import VectorDataset
+
+
+def split_dataset(
+    dataset: VectorDataset, num_segments: int
+) -> tuple[list[VectorDataset], list[int]]:
+    """Split a dataset into contiguous segments; returns (parts, id offsets)."""
+    if num_segments <= 0:
+        raise ValueError("num_segments must be positive")
+    if num_segments > dataset.size:
+        raise ValueError("more segments than vectors")
+    bounds = np.linspace(0, dataset.size, num_segments + 1, dtype=np.int64)
+    parts: list[VectorDataset] = []
+    offsets: list[int] = []
+    for i in range(num_segments):
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
+        parts.append(
+            VectorDataset(
+                name=f"{dataset.name}#seg{i}",
+                vectors=dataset.vectors[lo:hi],
+                queries=dataset.queries,
+                metric=dataset.metric,
+                default_radius=dataset.default_radius,
+            )
+        )
+        offsets.append(lo)
+    return parts, offsets
+
+
+@dataclass
+class CoordinatedResult:
+    """Merged result plus per-segment latency decomposition."""
+
+    ids: np.ndarray  # global ids
+    dists: np.ndarray
+    stats: QueryStats  # aggregate counters across all segments
+    per_segment_latency_us: list[float]
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def serial_latency_us(self) -> float:
+        """Latency when one thread visits the segments serially."""
+        return float(sum(self.per_segment_latency_us))
+
+    @property
+    def parallel_latency_us(self) -> float:
+        """Latency when segments are searched concurrently (max)."""
+        return float(max(self.per_segment_latency_us, default=0.0))
+
+
+class SegmentCoordinator:
+    """Fan a query out over segment indexes and merge the candidates."""
+
+    def __init__(self, segments: list, id_offsets: list[int] | None = None) -> None:
+        if not segments:
+            raise ValueError("need at least one segment")
+        if id_offsets is None:
+            id_offsets = [0] * len(segments)
+        if len(id_offsets) != len(segments):
+            raise ValueError("id_offsets must align with segments")
+        self.segments = segments
+        self.id_offsets = id_offsets
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    def search(
+        self, query: np.ndarray, k: int = 10, candidate_size: int = 64
+    ) -> CoordinatedResult:
+        """ANNS across all segments, merged by exact distance."""
+        merged: list[tuple[float, int]] = []
+        total = QueryStats()
+        latencies: list[float] = []
+        for segment, offset in zip(self.segments, self.id_offsets):
+            result: SearchResult = segment.search(query, k, candidate_size)
+            total.merge(result.stats)
+            latencies.append(segment.latency_us(result))
+            merged.extend(
+                (float(d), int(vid) + offset)
+                for d, vid in zip(result.dists, result.ids)
+            )
+        merged.sort()
+        top = merged[:k]
+        return CoordinatedResult(
+            ids=np.asarray([vid for _, vid in top], dtype=np.int64),
+            dists=np.asarray([d for d, _ in top], dtype=np.float64),
+            stats=total,
+            per_segment_latency_us=latencies,
+        )
+
+    def range_search(self, query: np.ndarray, radius: float) -> CoordinatedResult:
+        """RS across all segments; the union is exact per-segment."""
+        ids: list[int] = []
+        dists: list[float] = []
+        total = QueryStats()
+        latencies: list[float] = []
+        for segment, offset in zip(self.segments, self.id_offsets):
+            result: RangeResult = segment.range_search(query, radius)
+            total.merge(result.stats)
+            latencies.append(segment.latency_us(result))
+            ids.extend(int(v) + offset for v in result.ids)
+            dists.extend(float(d) for d in result.dists)
+        order = np.argsort(dists, kind="stable") if dists else np.empty(0, int)
+        return CoordinatedResult(
+            ids=np.asarray(ids, dtype=np.int64)[order],
+            dists=np.asarray(dists, dtype=np.float64)[order],
+            stats=total,
+            per_segment_latency_us=latencies,
+        )

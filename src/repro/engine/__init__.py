@@ -1,0 +1,36 @@
+"""Disk search engines: cost model, candidate sets, beam & block search, RS."""
+
+from .beam_search import BeamSearchEngine
+from .block_cache import CachedDiskGraph
+from .block_search import BlockSearchEngine
+from .cache import HotVertexCache, build_hot_vertex_cache
+from .concurrency import (
+    SimulatedQuery,
+    SimulationReport,
+    ThroughputSimulator,
+    schedule_from_stats,
+)
+from .cost import ComputeSpec, QueryStats
+from .frontier import CandidateSet, ResultSet
+from .range_search import incremental_range_search, repeated_anns_range_search
+from .results import RangeResult, SearchResult
+
+__all__ = [
+    "BeamSearchEngine",
+    "BlockSearchEngine",
+    "CachedDiskGraph",
+    "CandidateSet",
+    "ComputeSpec",
+    "HotVertexCache",
+    "QueryStats",
+    "RangeResult",
+    "ResultSet",
+    "SearchResult",
+    "SimulatedQuery",
+    "SimulationReport",
+    "ThroughputSimulator",
+    "schedule_from_stats",
+    "build_hot_vertex_cache",
+    "incremental_range_search",
+    "repeated_anns_range_search",
+]

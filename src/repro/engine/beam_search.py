@@ -1,0 +1,191 @@
+"""DiskANN-style vertex search on the disk-resident graph (the baseline).
+
+The classic strategy of Appendix B: the candidate set is ordered by PQ
+approximate distance; each step pops a beam of the closest unvisited
+candidates, reads *their* blocks from disk (one batched round-trip — the
+central assumption of §7), uses **only the target vertex** of each block
+(ξ·ε = 1), computes its exact distance, and pushes its neighbours by PQ
+distance.  A hot-vertex cache can serve targets without disk I/O.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quantization.pq import ProductQuantizer
+from ..storage.disk_graph import DiskGraph
+from ..vectors.metrics import Metric
+from .cache import HotVertexCache
+from .cost import QueryStats
+from .frontier import CandidateSet, ResultSet
+from .early_stop import AdaptiveEarlyStopper
+from .io_util import counted_read_blocks_of
+from .results import SearchResult
+
+
+class BeamSearchEngine:
+    """Vertex-granularity disk search (DiskANN's strategy).
+
+    Args:
+        disk_graph: The disk-resident graph index.
+        pq: Trained Product Quantizer holding the dataset's short codes.
+        metric: Full-precision distance.
+        entry_provider: Entry-point source (fixed medoid for the baseline).
+        cache: Optional hot-vertex cache.
+        beam_width: W — candidates expanded (and blocks fetched) per
+            round-trip.
+        use_pq_routing: Route by PQ approximate distance (Fig. 11(c)); when
+            False, every neighbour's exact distance is fetched from disk
+            before it can enter the candidate set.
+        num_entry_points: How many entry points to request per query.
+    """
+
+    #: label used by benches and tables
+    name = "diskann"
+
+    def __init__(
+        self,
+        disk_graph: DiskGraph,
+        pq: ProductQuantizer,
+        metric: Metric,
+        entry_provider,
+        *,
+        cache: HotVertexCache | None = None,
+        beam_width: int = 4,
+        use_pq_routing: bool = True,
+        num_entry_points: int = 1,
+        early_termination: int | None = None,
+    ) -> None:
+        if beam_width <= 0:
+            raise ValueError("beam_width must be positive")
+        self.disk_graph = disk_graph
+        self.pq = pq
+        self.metric = metric
+        self.entry_provider = entry_provider
+        self.cache = cache
+        self.beam_width = beam_width
+        self.use_pq_routing = use_pq_routing
+        self.num_entry_points = num_entry_points
+        if early_termination is not None and early_termination < 1:
+            raise ValueError("early_termination patience must be >= 1")
+        self.early_termination = early_termination
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _routing_distances(
+        self,
+        query: np.ndarray,
+        table: np.ndarray | None,
+        ids: np.ndarray,
+        stats: QueryStats,
+    ) -> np.ndarray:
+        """Approximate (PQ) or exact (extra I/O) distances used for routing."""
+        if self.use_pq_routing:
+            stats.pq_distances += int(ids.size)
+            return self.pq.distances_from_table(table, ids)
+        # Exact routing: the full-precision vectors live on disk, so every
+        # routing decision costs block reads (this is what Fig. 11(c) shows).
+        blocks = counted_read_blocks_of(
+            self.disk_graph, [int(v) for v in ids], stats
+        )
+        lookup: dict[int, np.ndarray] = {}
+        for block in blocks:
+            stats.vertices_loaded += len(block)
+            for pos, vid in enumerate(block.vertex_ids):
+                lookup[int(vid)] = block.vectors[pos]
+        dists = np.empty(ids.size, dtype=np.float64)
+        for i, vid in enumerate(ids):
+            dists[i] = self.metric.distance(query, lookup[int(vid)])
+        stats.exact_distances += int(ids.size)
+        stats.vertices_used += int(ids.size)
+        return dists
+
+    def _seed(
+        self, query: np.ndarray, candidate_size: int, stats: QueryStats
+    ) -> tuple[CandidateSet, ResultSet, np.ndarray | None]:
+        table = self.pq.lookup_table(query) if self.use_pq_routing else None
+        entries = self.entry_provider.entry_points(query, self.num_entry_points)
+        trace = getattr(self.entry_provider, "last_trace", None)
+        if trace is not None:
+            # The navigation-graph walk is in-memory compute, not I/O.
+            stats.exact_distances += trace.distance_computations
+        candidates = CandidateSet(candidate_size, track_kicked=True)
+        results = ResultSet()
+        ids = np.asarray(entries, dtype=np.int64)
+        dists = self._routing_distances(query, table, ids, stats)
+        for vid, d in zip(ids.tolist(), dists.tolist()):
+            candidates.push(vid, d)
+        return candidates, results, table
+
+    # -- main loop ---------------------------------------------------------------
+
+    def search(
+        self, query: np.ndarray, k: int, candidate_size: int
+    ) -> SearchResult:
+        """Answer one ANNS query; ``candidate_size`` is the paper's Γ."""
+        query = np.asarray(query, dtype=np.float32)
+        stats = QueryStats()
+        candidates, results, table = self._seed(query, candidate_size, stats)
+        stopper = (
+            AdaptiveEarlyStopper(k, self.early_termination)
+            if self.early_termination is not None else None
+        )
+        self._run(query, candidates, results, table, stats, stopper=stopper)
+        ids, dists = results.top_k(k)
+        return SearchResult(ids, dists, stats)
+
+    def _run(
+        self,
+        query: np.ndarray,
+        candidates: CandidateSet,
+        results: ResultSet,
+        table: np.ndarray | None,
+        stats: QueryStats,
+        *,
+        stopper: AdaptiveEarlyStopper | None = None,
+    ) -> None:
+        """Drain the candidate set (shared with the range-search driver)."""
+        while candidates.has_unvisited():
+            if stopper is not None and stopper.update(results):
+                break
+            batch = candidates.pop_unvisited(self.beam_width)
+            stats.hops += len(batch)
+            served: list[tuple[int, np.ndarray, np.ndarray]] = []
+            misses: list[int] = []
+            for vid in batch:
+                entry = self.cache.get(vid) if self.cache is not None else None
+                if entry is not None:
+                    stats.cache_hits += 1
+                    served.append((vid, entry[0], entry[1]))
+                else:
+                    misses.append(vid)
+            if misses:
+                blocks = counted_read_blocks_of(
+                    self.disk_graph, misses, stats
+                )
+                for block in blocks:
+                    stats.vertices_loaded += len(block)
+                by_block = {b.block_id: b for b in blocks}
+                for vid in misses:
+                    block = by_block[self.disk_graph.block_of(vid)]
+                    pos = block.index_of(vid)
+                    served.append(
+                        (vid, block.vectors[pos], block.neighbor_lists[pos])
+                    )
+                # The baseline discards every non-target vertex in a block.
+                stats.vertices_used += len(misses)
+
+            fresh: list[int] = []
+            for vid, vector, neighbors in served:
+                d = self.metric.distance(query, vector)
+                stats.exact_distances += 1
+                results.add(vid, float(d))
+                for nbr in neighbors.tolist():
+                    nbr = int(nbr)
+                    if nbr not in candidates and not candidates.is_visited(nbr):
+                        fresh.append(nbr)
+            if fresh:
+                uniq = np.asarray(sorted(set(fresh)), dtype=np.int64)
+                dists = self._routing_distances(query, table, uniq, stats)
+                for vid, d in zip(uniq.tolist(), dists.tolist()):
+                    candidates.push(vid, float(d))

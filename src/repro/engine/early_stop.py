@@ -1,0 +1,52 @@
+"""Adaptive early termination for disk-graph search.
+
+Li et al. (SIGMOD 2020), cited in the paper's related work [38], observe
+that a fixed candidate-set size Γ over-searches easy queries: most queries
+find their true neighbours early and then burn I/Os confirming them.  The
+adaptive criterion here stops a search once the top-k result set has not
+improved for ``patience`` consecutive hops — a per-query budget instead of a
+global one.
+
+Both engines accept ``early_termination=<patience>``; the RS drivers never
+use it (range search's termination is the candidate-ratio rule of §5.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .frontier import ResultSet
+
+
+class AdaptiveEarlyStopper:
+    """Stop when the k-th best exact distance stalls for ``patience`` hops."""
+
+    def __init__(self, k: int, patience: int, *, min_hops: int | None = None,
+                 tolerance: float = 0.0) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.k = k
+        self.patience = patience
+        #: never stop before the result set can even be full
+        self.min_hops = min_hops if min_hops is not None else k
+        self.tolerance = tolerance
+        self._best = math.inf
+        self._stall = 0
+        self._hops = 0
+
+    def update(self, results: ResultSet) -> bool:
+        """Record one hop's outcome; returns True when the search may stop."""
+        self._hops += 1
+        if len(results) < self.k:
+            key = math.inf
+        else:
+            _, dists = results.top_k(self.k)
+            key = float(dists[-1])
+        if key < self._best - self.tolerance:
+            self._best = key
+            self._stall = 0
+        else:
+            self._stall += 1
+        return self._hops >= self.min_hops and self._stall >= self.patience

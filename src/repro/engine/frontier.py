@@ -1,0 +1,145 @@
+"""Candidate and result sets for disk-graph search (§5.2).
+
+The ANNS strategy keeps two ordered structures: a fixed-size *candidate set*
+sorted by approximate (PQ) distance, from which the next disk read is chosen,
+and an unbounded *result set* holding exact distances, sorted only when the
+search terminates.  The range-search algorithm additionally records the
+vertices kicked out of the candidate set (the set P of §5.3) so a resumed
+search with a doubled candidate set loses nothing.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+import numpy as np
+
+
+class CandidateSet:
+    """Fixed-capacity set ordered by ascending distance with visited flags."""
+
+    def __init__(self, capacity: int, *, track_kicked: bool = False) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: list[tuple[float, int]] = []  # sorted ascending
+        self._member: dict[int, float] = {}
+        self._visited: set[int] = set()
+        self.track_kicked = track_kicked
+        self.kicked: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return vertex_id in self._member
+
+    # -- updates ---------------------------------------------------------------
+
+    def push(self, vertex_id: int, distance: float) -> bool:
+        """Insert a candidate; returns True if it entered the set.
+
+        A vertex already present keeps its original key (engines compute one
+        approximate distance per vertex, so re-pushes carry the same key).
+        Anything that falls off the tail is recorded as kicked when
+        ``track_kicked`` is on — unless it was already visited, in which case
+        re-exploring it later would be wasted work.
+        """
+        if vertex_id in self._member:
+            return False
+        if len(self._entries) >= self.capacity:
+            worst_dist, worst_id = self._entries[-1]
+            if distance >= worst_dist:
+                if self.track_kicked and vertex_id not in self._visited:
+                    self.kicked.append((distance, vertex_id))
+                return False
+            self._entries.pop()
+            del self._member[worst_id]
+            if self.track_kicked and worst_id not in self._visited:
+                self.kicked.append((worst_dist, worst_id))
+        insort(self._entries, (distance, vertex_id))
+        self._member[vertex_id] = distance
+        return True
+
+    def mark_visited(self, vertex_id: int) -> None:
+        self._visited.add(vertex_id)
+
+    def is_visited(self, vertex_id: int) -> bool:
+        return vertex_id in self._visited
+
+    # -- queries ---------------------------------------------------------------
+
+    def pop_unvisited(self, count: int = 1) -> list[int]:
+        """The ``count`` closest unvisited candidates, marked visited.
+
+        "Popped" vertices stay in the set (they may still be results); only
+        their visited flag changes — this mirrors the search-list semantics
+        of DiskANN/Starling.
+        """
+        out: list[int] = []
+        for _, vid in self._entries:
+            if vid not in self._visited:
+                out.append(vid)
+                self._visited.add(vid)
+                if len(out) >= count:
+                    break
+        return out
+
+    def has_unvisited(self) -> bool:
+        return any(vid not in self._visited for _, vid in self._entries)
+
+    def grow(self, new_capacity: int) -> None:
+        """Raise the capacity (range search doubles C, §5.3)."""
+        if new_capacity < self.capacity:
+            raise ValueError("capacity can only grow")
+        self.capacity = new_capacity
+
+    def readmit(self, entries: list[tuple[float, int]]) -> int:
+        """Push back previously kicked entries; returns how many re-entered."""
+        added = 0
+        for dist, vid in sorted(entries):
+            if self.push(vid, dist):
+                added += 1
+        return added
+
+    def entries(self) -> list[tuple[float, int]]:
+        return list(self._entries)
+
+    @property
+    def num_visited(self) -> int:
+        return len(self._visited)
+
+
+class ResultSet:
+    """Unbounded id → exact distance map, sorted only on demand (§5.2)."""
+
+    def __init__(self) -> None:
+        self._dists: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._dists)
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return vertex_id in self._dists
+
+    def add(self, vertex_id: int, distance: float) -> None:
+        prev = self._dists.get(vertex_id)
+        if prev is None or distance < prev:
+            self._dists[vertex_id] = distance
+
+    def top_k(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Final sort by exact distance; ties broken by id."""
+        items = sorted(self._dists.items(), key=lambda kv: (kv[1], kv[0]))[:k]
+        ids = np.asarray([vid for vid, _ in items], dtype=np.int64)
+        dists = np.asarray([d for _, d in items], dtype=np.float64)
+        return ids, dists
+
+    def within(self, radius: float) -> tuple[np.ndarray, np.ndarray]:
+        """All results with distance ≤ radius, sorted ascending."""
+        items = sorted(
+            ((vid, d) for vid, d in self._dists.items() if d <= radius),
+            key=lambda kv: (kv[1], kv[0]),
+        )
+        ids = np.asarray([vid for vid, _ in items], dtype=np.int64)
+        dists = np.asarray([d for _, d in items], dtype=np.float64)
+        return ids, dists

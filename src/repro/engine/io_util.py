@@ -1,0 +1,26 @@
+"""Counted block reads shared by the disk search engines.
+
+Engines must charge a query only for the blocks that actually left the
+device — with an LRU block cache in front of the disk graph, some of a
+batch's blocks are served from memory.  Reading through this helper records
+the device-counter delta as the round-trip's size and credits the remainder
+as block-cache hits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .cost import QueryStats
+
+
+def counted_read_blocks_of(disk_graph, vertex_ids: Sequence[int],
+                           stats: QueryStats):
+    """Fetch the blocks holding ``vertex_ids``; charge exactly the misses."""
+    before = disk_graph.device.counters.blocks_read
+    blocks = disk_graph.read_blocks_of(vertex_ids)
+    fetched = disk_graph.device.counters.blocks_read - before
+    if fetched:
+        stats.round_trip_blocks.append(fetched)
+    stats.block_cache_hits += len(blocks) - fetched
+    return blocks

@@ -1,0 +1,35 @@
+"""Result containers returned by the disk search engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cost import QueryStats
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one ANNS query: ids, exact distances, and cost counters."""
+
+    ids: np.ndarray
+    dists: np.ndarray
+    stats: QueryStats
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+
+@dataclass
+class RangeResult:
+    """Outcome of one range-search query."""
+
+    ids: np.ndarray
+    dists: np.ndarray
+    stats: QueryStats
+    #: final candidate-set capacity after dynamic doubling (§5.3)
+    final_candidate_size: int = 0
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])

@@ -1,0 +1,194 @@
+"""Directed adjacency-list graphs used by every index in this package.
+
+Edges are directed and stored as per-vertex numpy ID arrays, exactly how the
+disk format stores them (§4.1 Notations).  The container enforces the
+invariants every builder relies on: IDs in range, no self-loops, no duplicate
+neighbours, and degree at most Λ.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+ID_DTYPE = np.uint32
+
+
+class AdjacencyGraph:
+    """A directed graph over vertices ``0..n-1`` with bounded out-degree."""
+
+    def __init__(self, num_vertices: int, max_degree: int) -> None:
+        if num_vertices <= 0:
+            raise ValueError("num_vertices must be positive")
+        if max_degree <= 0:
+            raise ValueError("max_degree must be positive")
+        self.num_vertices = num_vertices
+        self.max_degree = max_degree
+        self._neighbors: list[np.ndarray] = [
+            np.empty(0, dtype=ID_DTYPE) for _ in range(num_vertices)
+        ]
+
+    # -- construction ---------------------------------------------------------
+
+    def set_neighbors(self, vertex: int, neighbors: Iterable[int]) -> None:
+        """Replace a vertex's adjacency list, enforcing all invariants."""
+        arr = np.asarray(list(neighbors), dtype=np.int64)
+        if arr.size:
+            if arr.min() < 0 or arr.max() >= self.num_vertices:
+                raise ValueError(f"neighbour id out of range for vertex {vertex}")
+            if np.any(arr == vertex):
+                raise ValueError(f"self-loop on vertex {vertex}")
+            # Dedupe while preserving order: builders store neighbours in
+            # ascending-distance order and search quality tooling relies on it.
+            _, first = np.unique(arr, return_index=True)
+            arr = arr[np.sort(first)]
+        if arr.size > self.max_degree:
+            raise ValueError(
+                f"vertex {vertex}: degree {arr.size} exceeds Λ={self.max_degree}"
+            )
+        self._neighbors[vertex] = arr.astype(ID_DTYPE)
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add edge u→v if capacity allows; returns True if added."""
+        if u == v:
+            return False
+        current = self._neighbors[u]
+        if v in current:
+            return False
+        if current.size >= self.max_degree:
+            return False
+        self._neighbors[u] = np.append(current, ID_DTYPE(v))
+        return True
+
+    # -- access ---------------------------------------------------------------
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self._neighbors[vertex]
+
+    def neighbor_lists(self) -> list[np.ndarray]:
+        """All adjacency lists (shared, do not mutate)."""
+        return self._neighbors
+
+    def out_degree(self, vertex: int) -> int:
+        return int(self._neighbors[vertex].size)
+
+    def degrees(self) -> np.ndarray:
+        return np.fromiter(
+            (a.size for a in self._neighbors), dtype=np.int64,
+            count=self.num_vertices,
+        )
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.degrees().sum())
+
+    @property
+    def average_degree(self) -> float:
+        return self.num_edges / self.num_vertices
+
+    def reverse(self) -> "AdjacencyGraph":
+        """Graph with every edge direction flipped (unbounded degree cap)."""
+        indeg = np.zeros(self.num_vertices, dtype=np.int64)
+        for nbrs in self._neighbors:
+            np.add.at(indeg, nbrs.astype(np.int64), 1)
+        rev = AdjacencyGraph(self.num_vertices, max(int(indeg.max()), 1))
+        buckets: list[list[int]] = [[] for _ in range(self.num_vertices)]
+        for u, nbrs in enumerate(self._neighbors):
+            for v in nbrs:
+                buckets[int(v)].append(u)
+        for v, lst in enumerate(buckets):
+            rev._neighbors[v] = np.asarray(lst, dtype=ID_DTYPE)
+        return rev
+
+    def copy(self) -> "AdjacencyGraph":
+        g = AdjacencyGraph(self.num_vertices, self.max_degree)
+        g._neighbors = [a.copy() for a in self._neighbors]
+        return g
+
+    # -- analysis --------------------------------------------------------------
+
+    def is_connected_from(self, start: int) -> bool:
+        """True if every vertex is reachable from ``start`` along edges."""
+        return self.reachable_from(start).all()
+
+    def reachable_from(self, start: int) -> np.ndarray:
+        """Boolean reachability mask from ``start`` (directed BFS)."""
+        seen = np.zeros(self.num_vertices, dtype=bool)
+        seen[start] = True
+        frontier = [start]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in self._neighbors[u]:
+                    v = int(v)
+                    if not seen[v]:
+                        seen[v] = True
+                        nxt.append(v)
+            frontier = nxt
+        return seen
+
+
+def random_regular_graph(
+    num_vertices: int, degree: int, *, seed: int = 0
+) -> AdjacencyGraph:
+    """Random directed graph with out-degree ``min(degree, n-1)`` per vertex.
+
+    Vamana initializes from such a graph before refinement.
+    """
+    degree = min(degree, num_vertices - 1)
+    rng = np.random.default_rng(seed)
+    graph = AdjacencyGraph(num_vertices, max(degree, 1))
+    for u in range(num_vertices):
+        choices = rng.choice(num_vertices - 1, size=degree, replace=False)
+        # Shift ids >= u to skip the self-loop.
+        choices = np.where(choices >= u, choices + 1, choices)
+        graph.set_neighbors(u, choices)
+    return graph
+
+
+def save_graph(graph: AdjacencyGraph, path) -> None:
+    """Persist an adjacency graph as a compressed .npz (flat + offsets).
+
+    Graph construction dominates experiment runtime, so layout-only studies
+    (the Appendix C–G benches) benefit from caching built graphs on disk.
+    """
+    lists = graph.neighbor_lists()
+    offsets = np.zeros(len(lists) + 1, dtype=np.int64)
+    np.cumsum([a.size for a in lists], out=offsets[1:])
+    flat = (
+        np.concatenate(lists) if offsets[-1] > 0
+        else np.empty(0, dtype=ID_DTYPE)
+    )
+    np.savez_compressed(
+        path, flat=flat, offsets=offsets,
+        max_degree=np.asarray([graph.max_degree]),
+    )
+
+
+def load_graph(path) -> AdjacencyGraph:
+    """Inverse of :func:`save_graph`."""
+    data = np.load(path)
+    offsets = data["offsets"]
+    flat = data["flat"]
+    n = offsets.size - 1
+    if n <= 0:
+        raise ValueError(f"{path!r} holds no vertices")
+    graph = AdjacencyGraph(n, int(data["max_degree"][0]))
+    for u in range(n):
+        graph.set_neighbors(u, flat[offsets[u]: offsets[u + 1]])
+    return graph
+
+
+def from_neighbor_lists(
+    neighbor_lists: Sequence[Sequence[int]], max_degree: int | None = None
+) -> AdjacencyGraph:
+    """Build a graph from raw adjacency lists."""
+    n = len(neighbor_lists)
+    cap = max_degree
+    if cap is None:
+        cap = max((len(lst) for lst in neighbor_lists), default=1) or 1
+    graph = AdjacencyGraph(n, cap)
+    for u, lst in enumerate(neighbor_lists):
+        graph.set_neighbors(u, lst)
+    return graph

@@ -1,0 +1,179 @@
+"""In-memory navigation graph (§4.2) and other entry-point providers.
+
+Starling samples a small fraction μ of the segment's vectors, builds a graph
+index on the sample with the same algorithm as the disk-based graph, and uses
+it to answer "give me entry points near this query" without any disk I/O.
+The baseline (DiskANN) instead starts from a fixed medoid; HNSW's upper
+layers provide a third, multi-layered variant (§7, In-memory graph).
+
+All three implement the same provider protocol so the disk search engines are
+agnostic to how entry points are produced.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..vectors.metrics import Metric, get_metric
+from .adjacency import AdjacencyGraph
+from .hnsw import HNSWIndex, HNSWParams, build_hnsw
+from .nsg import NSGParams, build_nsg
+from .search import greedy_search
+from .vamana import VamanaParams, build_vamana
+
+
+class EntryPointProvider(Protocol):
+    """Anything that can seed a disk-graph search with entry points."""
+
+    def entry_points(self, query: np.ndarray, count: int) -> np.ndarray:
+        """Global vertex IDs to start the disk search from."""
+        ...
+
+    @property
+    def memory_bytes(self) -> int:
+        """Main-memory footprint charged against the segment budget."""
+        ...
+
+
+class FixedEntryPoint:
+    """The baseline strategy: always start from one fixed vertex (medoid)."""
+
+    def __init__(self, vertex_id: int) -> None:
+        self.vertex_id = vertex_id
+
+    def entry_points(self, query: np.ndarray, count: int) -> np.ndarray:
+        return np.asarray([self.vertex_id], dtype=np.int64)
+
+    @property
+    def memory_bytes(self) -> int:
+        return 8
+
+
+class NavigationGraph:
+    """Sampled in-memory graph returning query-aware dynamic entry points."""
+
+    def __init__(
+        self,
+        sample_ids: np.ndarray,
+        sample_vectors: np.ndarray,
+        graph: AdjacencyGraph,
+        entry: int,
+        metric: Metric,
+        *,
+        search_ef: int = 32,
+    ) -> None:
+        self.sample_ids = sample_ids
+        self.sample_vectors = sample_vectors
+        self.graph = graph
+        self.entry = entry
+        self.metric = metric
+        self.search_ef = search_ef
+        self.last_trace = None
+
+    def entry_points(self, query: np.ndarray, count: int) -> np.ndarray:
+        ids, _, trace = greedy_search(
+            self.graph, self.sample_vectors, self.metric, query,
+            [self.entry], max(self.search_ef, count), count,
+        )
+        self.last_trace = trace
+        return self.sample_ids[ids]
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.sample_ids.shape[0])
+
+    @property
+    def memory_bytes(self) -> int:
+        """Vector data + adjacency lists + global-ID map (C_graph, §6.4)."""
+        edge_bytes = sum(a.nbytes for a in self.graph.neighbor_lists())
+        return self.sample_vectors.nbytes + edge_bytes + self.sample_ids.nbytes
+
+
+class HNSWUpperLayers:
+    """HNSW's upper layers as a multi-layered navigation structure (§6.7).
+
+    Used by Starling-HNSW: the layer-0 graph lives on disk, the higher layers
+    stay in memory and their greedy descent yields the entry point.
+    """
+
+    def __init__(self, index: HNSWIndex) -> None:
+        self.index = index
+
+    def entry_points(self, query: np.ndarray, count: int) -> np.ndarray:
+        ep = self.index.descend_entry_point(query)
+        return np.asarray([ep], dtype=np.int64)
+
+    @property
+    def memory_bytes(self) -> int:
+        upper = self.index.upper_layer_vertices()
+        vec_bytes = int(upper.size) * self.index.vectors.shape[1] * (
+            self.index.vectors.dtype.itemsize
+        )
+        edge_bytes = 0
+        for layer in self.index.layers[1:]:
+            edge_bytes += sum(a.nbytes for a in layer.neighbor_lists())
+        return vec_bytes + edge_bytes
+
+
+def build_navigation_graph(
+    vectors: np.ndarray,
+    metric: Metric | str,
+    *,
+    sample_ratio: float = 0.1,
+    algorithm: str = "vamana",
+    max_degree: int = 16,
+    build_ef: int = 48,
+    search_ef: int = 32,
+    seed: int = 0,
+) -> NavigationGraph:
+    """Sample μ·n vectors and build an in-memory graph index on them.
+
+    Args:
+        vectors: The segment's full vector array.
+        metric: Distance metric.
+        sample_ratio: μ — fraction of vectors sampled (paper default ≈ 0.1).
+        algorithm: ``"vamana"``, ``"nsg"`` or ``"hnsw"`` — the paper uses the
+            same algorithm as the disk-based graph.
+        max_degree: Λ' — smaller than the disk graph's Λ (§4.2 space cost).
+        build_ef: construction list size L.
+        search_ef: pool size used when answering entry-point queries.
+        seed: RNG seed for sampling and construction.
+    """
+    metric = get_metric(metric)
+    if not 0.0 < sample_ratio <= 1.0:
+        raise ValueError("sample_ratio must be in (0, 1]")
+    n = vectors.shape[0]
+    m = max(int(round(sample_ratio * n)), 2)
+    m = min(m, n)
+    rng = np.random.default_rng(seed)
+    sample_ids = np.sort(rng.choice(n, size=m, replace=False)).astype(np.int64)
+    sample_vectors = np.ascontiguousarray(vectors[sample_ids])
+
+    build_ef = max(build_ef, max_degree)
+    if algorithm == "vamana":
+        graph, entry = build_vamana(
+            sample_vectors, metric,
+            VamanaParams(max_degree=max_degree, build_ef=build_ef, seed=seed),
+        )
+    elif algorithm == "nsg":
+        graph, entry = build_nsg(
+            sample_vectors, metric,
+            NSGParams(max_degree=max_degree, build_ef=build_ef, seed=seed),
+        )
+    elif algorithm == "hnsw":
+        index = build_hnsw(
+            sample_vectors, metric,
+            HNSWParams(m=max(max_degree // 2, 2), ef_construction=build_ef,
+                       seed=seed),
+        )
+        graph, entry = index.base_layer, index.entry_point
+    else:
+        raise ValueError(
+            f"unknown navigation algorithm {algorithm!r}; expected "
+            "'vamana', 'nsg' or 'hnsw'"
+        )
+    return NavigationGraph(
+        sample_ids, sample_vectors, graph, entry, metric, search_ef=search_ef
+    )

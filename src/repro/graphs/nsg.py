@@ -1,0 +1,145 @@
+"""NSG — Navigating Spreading-out Graph (Fu et al., VLDB 2019).
+
+One of the three graph algorithms Starling supports as its disk-based graph
+(§6.7, "Starling-NSG").  Construction:
+
+1. build an (approximate) kNN graph;
+2. find the navigating node — the vertex closest to the dataset centroid;
+3. for every vertex, search the kNN graph from the navigating node and apply
+   the MRNG edge-selection rule over (visited ∪ kNN) candidates;
+4. graft a spanning tree from the navigating node so the graph stays
+   connected (NSG's DFS step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..vectors.metrics import Metric, get_metric
+from .adjacency import AdjacencyGraph
+from .knn import knn_graph
+from .search import greedy_search
+from .vamana import medoid
+
+
+@dataclass(frozen=True)
+class NSGParams:
+    """Construction hyper-parameters."""
+
+    max_degree: int = 32
+    build_ef: int = 64  # search list used while selecting candidates
+    knn_k: int = 24  # degree of the base kNN graph
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_degree <= 0:
+            raise ValueError("max_degree must be positive")
+        if self.knn_k <= 0:
+            raise ValueError("knn_k must be positive")
+
+
+def mrng_select(
+    point: int,
+    candidates: np.ndarray,
+    candidate_dists: np.ndarray,
+    vectors: np.ndarray,
+    metric: Metric,
+    max_degree: int,
+) -> np.ndarray:
+    """MRNG edge selection: keep c unless a kept edge p* is closer to c.
+
+    Identical to RobustPrune with α = 1 — NSG's defining rule.
+    """
+    order = np.argsort(candidate_dists, kind="stable")
+    cand = candidates[order]
+    cand_d = candidate_dists[order]
+    mask = cand != point
+    cand, cand_d = cand[mask], cand_d[mask]
+    selected: list[int] = []
+    for c, d_c in zip(cand, cand_d):
+        if len(selected) >= max_degree:
+            break
+        c = int(c)
+        occluded = False
+        for s in selected:
+            if metric.distance(vectors[s], vectors[c]) < d_c:
+                occluded = True
+                break
+        if not occluded:
+            selected.append(c)
+    return np.asarray(selected, dtype=np.int64)
+
+
+def build_nsg(
+    vectors: np.ndarray,
+    metric: Metric | str = "l2",
+    params: NSGParams | None = None,
+) -> tuple[AdjacencyGraph, int]:
+    """Build an NSG; returns ``(graph, navigating_node)``."""
+    metric = get_metric(metric)
+    params = params or NSGParams()
+    n = vectors.shape[0]
+    if n < 2:
+        raise ValueError("need at least two vectors")
+
+    base = knn_graph(vectors, min(params.knn_k, n - 1), metric, seed=params.seed)
+    nav = medoid(vectors, metric, seed=params.seed)
+
+    graph = AdjacencyGraph(n, params.max_degree)
+    for point in range(n):
+        _, _, trace = greedy_search(
+            base, vectors, metric, vectors[point], [nav],
+            params.build_ef, collect_visited=True,
+        )
+        cand = np.unique(
+            np.concatenate(
+                [
+                    np.asarray(trace.visited, dtype=np.int64),
+                    base.neighbors(point).astype(np.int64),
+                ]
+            )
+        )
+        cand = cand[cand != point]
+        dists = metric.distances(vectors[point], vectors[cand])
+        graph.set_neighbors(
+            point,
+            mrng_select(point, cand, dists, vectors, metric, params.max_degree),
+        )
+
+    _ensure_connectivity(graph, vectors, metric, nav)
+    return graph, nav
+
+
+def _ensure_connectivity(
+    graph: AdjacencyGraph,
+    vectors: np.ndarray,
+    metric: Metric,
+    nav: int,
+) -> None:
+    """NSG's tree-grafting step: link unreachable vertices into the graph.
+
+    Repeatedly finds a vertex not reachable from the navigating node, searches
+    for its nearest reachable vertex, and adds an edge from that vertex (making
+    room by dropping its farthest neighbour if full).
+    """
+    n = graph.num_vertices
+    while True:
+        reachable = graph.reachable_from(nav)
+        missing = np.flatnonzero(~reachable)
+        if missing.size == 0:
+            return
+        u = int(missing[0])
+        reach_ids = np.flatnonzero(reachable)
+        d = metric.distances(vectors[u], vectors[reach_ids])
+        anchor = int(reach_ids[np.argmin(d)])
+        if not graph.add_edge(anchor, u):
+            nbrs = graph.neighbors(anchor).astype(np.int64)
+            nd = metric.distances(vectors[anchor], vectors[nbrs])
+            drop = int(np.argmax(nd))
+            new = np.delete(nbrs, drop)
+            graph.set_neighbors(anchor, np.append(new, u))
+        # Loop: attaching u may make a whole unreachable component reachable.
+        if n <= 1:
+            return

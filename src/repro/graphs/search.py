@@ -1,0 +1,106 @@
+"""In-memory greedy (beam) search over an adjacency graph.
+
+This is the "vertex search strategy" of Appendix B: a best-first traversal
+with a bounded candidate pool (the ``ef`` / L parameter).  It is used during
+index construction (Vamana/NSG/HNSW all search their partial graph) and at
+query time on the in-memory navigation graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..vectors.metrics import Metric
+from .adjacency import AdjacencyGraph
+
+
+@dataclass
+class SearchTrace:
+    """Statistics of one greedy search."""
+
+    hops: int = 0
+    distance_computations: int = 0
+    visited: list[int] = field(default_factory=list)
+
+
+def greedy_search(
+    graph: AdjacencyGraph,
+    vectors: np.ndarray,
+    metric: Metric,
+    query: np.ndarray,
+    entry_points: list[int] | np.ndarray,
+    ef: int,
+    k: int | None = None,
+    *,
+    collect_visited: bool = False,
+) -> tuple[np.ndarray, np.ndarray, SearchTrace]:
+    """Best-first search; returns top-``k`` ``(ids, dists, trace)``.
+
+    Args:
+        graph: Adjacency structure to traverse.
+        vectors: Vertex vectors, indexed by vertex id.
+        metric: Distance; smaller is better.
+        query: Query vector.
+        entry_points: Vertices to seed the pool with.
+        ef: Candidate pool size (the paper's search list / Γ parameter).
+        k: Results to return; defaults to ``ef``.
+        collect_visited: Record the full visited set in the trace (used by
+            Vamana's RobustPrune, which prunes over the visited set).
+    """
+    if ef <= 0:
+        raise ValueError("ef must be positive")
+    k = ef if k is None else min(k, ef)
+    trace = SearchTrace()
+
+    entries = list(dict.fromkeys(int(e) for e in entry_points))
+    if not entries:
+        raise ValueError("entry_points must be non-empty")
+    dists = metric.distances(query, vectors[entries])
+    trace.distance_computations += len(entries)
+
+    # pool: max-heap of (-dist, id) capped at ef; candidates: min-heap.
+    pool: list[tuple[float, int]] = []
+    candidates: list[tuple[float, int]] = []
+    visited = np.zeros(graph.num_vertices, dtype=bool)
+    visited[entries] = True
+    if collect_visited:
+        trace.visited.extend(entries)
+    for vid, d in zip(entries, dists):
+        d = float(d)
+        heapq.heappush(pool, (-d, vid))
+        heapq.heappush(candidates, (d, vid))
+    while len(pool) > ef:
+        heapq.heappop(pool)
+
+    while candidates:
+        d_u, u = heapq.heappop(candidates)
+        # Termination: the closest unexpanded candidate is worse than the
+        # worst pooled result and the pool is full.
+        if len(pool) >= ef and d_u > -pool[0][0]:
+            break
+        trace.hops += 1
+        raw = graph.neighbors(u).astype(np.int64)
+        nbrs = raw[~visited[raw]]
+        if nbrs.size == 0:
+            continue
+        visited[nbrs] = True
+        if collect_visited:
+            trace.visited.extend(nbrs.tolist())
+        nd = metric.distances(query, vectors[nbrs])
+        trace.distance_computations += int(nbrs.size)
+        threshold = -pool[0][0] if pool else np.inf
+        for vid, d in zip(nbrs.tolist(), nd.tolist()):
+            if len(pool) < ef or d < threshold:
+                heapq.heappush(pool, (-d, vid))
+                heapq.heappush(candidates, (d, vid))
+                if len(pool) > ef:
+                    heapq.heappop(pool)
+                threshold = -pool[0][0]
+
+    ranked = sorted(((-nd, vid) for nd, vid in pool))
+    ids = np.asarray([vid for _, vid in ranked[:k]], dtype=np.int64)
+    out_d = np.asarray([d for d, _ in ranked[:k]], dtype=np.float64)
+    return ids, out_d, trace

@@ -1,0 +1,174 @@
+"""Vamana graph construction (Subramanya et al., NeurIPS 2019 — DiskANN).
+
+Vamana is the paper's default disk-based graph algorithm (§6.1,
+"Starling-Vamana").  Construction:
+
+1. start from a random R-regular directed graph;
+2. for every point (in random order) run a greedy search from the medoid and
+   re-select its out-neighbours with RobustPrune over the visited set;
+3. insert reverse edges, re-pruning any vertex that overflows R;
+4. run two passes, the first with α = 1.0 and the second with the final α,
+   which adds the long "navigation" links that make the graph searchable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..vectors.metrics import Metric, get_metric
+from .adjacency import AdjacencyGraph, random_regular_graph
+from .search import greedy_search
+
+
+@dataclass(frozen=True)
+class VamanaParams:
+    """Construction hyper-parameters (Λ, L, α of the paper's Tab. 16)."""
+
+    max_degree: int = 32  # R / Λ
+    build_ef: int = 64  # L — candidate list size during construction
+    alpha: float = 1.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_degree <= 0:
+            raise ValueError("max_degree must be positive")
+        if self.build_ef < self.max_degree:
+            raise ValueError("build_ef (L) must be at least max_degree (Λ)")
+        if self.alpha < 1.0:
+            raise ValueError("alpha must be >= 1.0")
+
+
+def medoid(vectors: np.ndarray, metric: Metric, *, sample: int = 2048,
+           seed: int = 0) -> int:
+    """Vertex closest to the dataset centroid (Vamana's fixed entry point)."""
+    x = vectors.astype(np.float32, copy=False)
+    n = x.shape[0]
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(n, size=min(sample, n), replace=False)
+    centre = x[idx].mean(axis=0)
+    d = metric.distances(centre, x)
+    return int(np.argmin(d))
+
+
+def robust_prune(
+    point: int,
+    candidates: np.ndarray,
+    candidate_dists: np.ndarray,
+    vectors: np.ndarray,
+    metric: Metric,
+    max_degree: int,
+    alpha: float,
+) -> np.ndarray:
+    """RobustPrune: α-RNG edge selection (DiskANN Algorithm 2).
+
+    Keeps the closest candidate, then discards every other candidate ``c``
+    for which an already-kept neighbour ``p*`` satisfies
+    ``α · d(p*, c) <= d(point, c)`` — i.e. the kept neighbour already covers
+    the direction of ``c``.  Larger α keeps more long edges.
+    """
+    order = np.argsort(candidate_dists, kind="stable")
+    cand = candidates[order]
+    cand_d = candidate_dists[order]
+    keep_mask = cand != point
+    cand, cand_d = cand[keep_mask], cand_d[keep_mask]
+
+    selected: list[int] = []
+    alive = np.ones(cand.shape[0], dtype=bool)
+    for i in range(cand.shape[0]):
+        if not alive[i]:
+            continue
+        p_star = int(cand[i])
+        selected.append(p_star)
+        if len(selected) >= max_degree:
+            break
+        rest = np.flatnonzero(alive[i + 1 :]) + i + 1
+        if rest.size == 0:
+            continue
+        d_star = metric.distances(
+            vectors[p_star], vectors[cand[rest].astype(np.int64)]
+        )
+        # Occlusion rule: p* covers c when α·d(p*, c) <= d(point, c).
+        # Negated inner-product distances are negative, where scaling by
+        # α > 1 inverts the rule's meaning and collapses the graph; use the
+        # unscaled RNG comparison there (sign-safe).
+        if metric.name == "ip":
+            occluded = d_star <= cand_d[rest]
+        else:
+            occluded = alpha * d_star <= cand_d[rest]
+        alive[rest[occluded]] = False
+    return np.asarray(selected, dtype=np.int64)
+
+
+def build_vamana(
+    vectors: np.ndarray,
+    metric: Metric | str = "l2",
+    params: VamanaParams | None = None,
+) -> tuple[AdjacencyGraph, int]:
+    """Build a Vamana graph; returns ``(graph, medoid_entry_point)``."""
+    metric = get_metric(metric)
+    params = params or VamanaParams()
+    n = vectors.shape[0]
+    if n < 2:
+        raise ValueError("need at least two vectors")
+    # Promote once: integral dtypes (BIGANN/SSNPP) would otherwise be cast to
+    # float on every distance call along the build's hot path.
+    vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+    rng = np.random.default_rng(params.seed)
+
+    graph = random_regular_graph(
+        n, min(params.max_degree, n - 1), seed=params.seed
+    )
+    # Slack capacity: let adjacency lists overflow to ~1.5R during build and
+    # prune back to R only when the slack fills.  This is the standard
+    # amortization of RobustPrune on reverse-edge inserts (one prune per ~R/2
+    # inserts instead of one per insert) and does not change the final graph
+    # quality: every list is re-pruned to R before the build returns.
+    slack = params.max_degree + max(params.max_degree // 2, 1)
+    graph.max_degree = slack
+    entry = medoid(vectors, metric, seed=params.seed)
+
+    def prune_into(
+        vertex: int, candidate_ids: np.ndarray, alpha: float
+    ) -> None:
+        candidate_ids = np.unique(
+            np.concatenate(
+                [candidate_ids, graph.neighbors(vertex).astype(np.int64)]
+            )
+        )
+        candidate_ids = candidate_ids[candidate_ids != vertex]
+        if candidate_ids.size == 0:
+            return
+        dists = metric.distances(vectors[vertex], vectors[candidate_ids])
+        graph.set_neighbors(
+            vertex,
+            robust_prune(
+                vertex, candidate_ids, dists, vectors, metric,
+                params.max_degree, alpha,
+            ),
+        )
+
+    for alpha in (1.0, params.alpha):
+        for point in rng.permutation(n):
+            point = int(point)
+            _, _, trace = greedy_search(
+                graph, vectors, metric, vectors[point], [entry],
+                params.build_ef, collect_visited=True,
+            )
+            prune_into(point, np.asarray(trace.visited, dtype=np.int64), alpha)
+            for nbr in graph.neighbors(point):
+                nbr = int(nbr)
+                if not graph.add_edge(nbr, point):
+                    # Slack full: prune the neighbour's list back to R, then
+                    # the new reverse edge fits.
+                    if point not in graph.neighbors(nbr):
+                        prune_into(
+                            nbr, np.asarray([point], dtype=np.int64), alpha
+                        )
+    # Final tightening: every vertex must respect Λ = R.
+    for vertex in range(n):
+        if graph.out_degree(vertex) > params.max_degree:
+            prune_into(vertex, np.empty(0, dtype=np.int64), params.alpha)
+    graph.max_degree = params.max_degree
+    return graph, entry

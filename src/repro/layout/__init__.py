@@ -1,0 +1,44 @@
+"""Block-level graph layout: the baseline, the shufflers, and GP baselines."""
+
+from .bnf import ShuffleReport, bnf_layout
+from .bnp import bnp_layout
+from .bns import bns_layout
+from .layout import (
+    Layout,
+    assignment_from_layout,
+    block_overlap_ratio,
+    blocks_containing,
+    id_contiguous_layout,
+    layout_from_assignment,
+    neighbor_sets,
+    overlap_ratio,
+    validate_layout,
+    vertex_overlap_ratio,
+)
+from .partitioning import (
+    gp1_hierarchical_clustering_layout,
+    gp2_greedy_growing_layout,
+    gp3_restreaming_layout,
+    kmeans_layout,
+)
+
+__all__ = [
+    "Layout",
+    "ShuffleReport",
+    "assignment_from_layout",
+    "blocks_containing",
+    "block_overlap_ratio",
+    "bnf_layout",
+    "bnp_layout",
+    "bns_layout",
+    "gp1_hierarchical_clustering_layout",
+    "gp2_greedy_growing_layout",
+    "gp3_restreaming_layout",
+    "id_contiguous_layout",
+    "kmeans_layout",
+    "layout_from_assignment",
+    "neighbor_sets",
+    "overlap_ratio",
+    "validate_layout",
+    "vertex_overlap_ratio",
+]

@@ -1,0 +1,131 @@
+"""Algorithm II — Block Neighbor Frequency (BNF), Algorithm 1 of the paper.
+
+Starting from a BNP layout, each iteration clears all blocks and re-assigns
+every vertex to the (not yet full) block that held the most of its neighbours
+in the previous iteration.  Runs until the OR(G) gain drops below τ or β
+iterations elapse.  O(β · o · |V|); the paper's recommended default shuffler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.adjacency import AdjacencyGraph
+from .bnp import bnp_layout
+from .layout import Layout, assignment_from_layout, overlap_ratio
+
+
+@dataclass
+class ShuffleReport:
+    """Outcome of an iterative shuffler run.
+
+    ``layout`` is the *best* layout observed (BNF does not guarantee
+    monotone OR(G) improvement, so the driver keeps the best iterate);
+    ``or_history`` records the full trajectory including the initial layout.
+    """
+
+    layout: Layout
+    iterations: int
+    or_history: list[float] = field(default_factory=list)
+    final_or: float = 0.0
+
+
+def bnf_layout(
+    graph: AdjacencyGraph,
+    vertices_per_block: int,
+    *,
+    max_iterations: int = 8,
+    gain_threshold: float = 0.01,
+    initial_layout: Layout | None = None,
+    order: np.ndarray | None = None,
+    patience: int = 2,
+) -> ShuffleReport:
+    """Run BNF; returns the final layout plus the OR(G) trajectory.
+
+    Args:
+        graph: The disk-based graph index.
+        vertices_per_block: ε.
+        max_iterations: β — iteration cap (paper default 8, App. C).
+        gain_threshold: τ — stop when an iteration improves OR(G) by less
+            (paper default 0.01).
+        initial_layout: Starting layout; BNP by default, per the paper.
+        order: Vertex processing order per iteration (ID order by default);
+            GP3 overrides this with a gain-priority order.
+        patience: Consecutive sub-τ iterations tolerated before stopping.
+            BNF's OR(G) is not monotone (the paper notes it "does not ensure
+            convergence"), so a single flat or negative iteration is often
+            followed by recovery; patience=1 reproduces the paper's literal
+            rule.
+    """
+    if patience < 1:
+        raise ValueError("patience must be >= 1")
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be >= 1")
+    n = graph.num_vertices
+    eps = vertices_per_block
+    num_blocks = -(-n // eps)
+
+    layout = initial_layout if initial_layout is not None else bnp_layout(graph, eps)
+    current_or = overlap_ratio(graph, layout)
+    history = [current_or]
+    best_layout, best_or = layout, current_or
+    neighbor_arrays = [a.astype(np.int64) for a in graph.neighbor_lists()]
+    vertex_order = np.arange(n) if order is None else np.asarray(order)
+
+    iterations_run = 0
+    stalled = 0
+    for _ in range(max_iterations):
+        iterations_run += 1
+        prev_assignment = assignment_from_layout(layout, n)
+        fill = np.zeros(num_blocks, dtype=np.int64)
+        new_layout: Layout = [[] for _ in range(num_blocks)]
+        next_fresh = 0  # scan pointer over candidate fallback blocks
+
+        for u in vertex_order:
+            u = int(u)
+            nbrs = neighbor_arrays[u]
+            placed = False
+            if nbrs.size:
+                blocks = prev_assignment[nbrs]
+                counts = np.bincount(blocks, minlength=num_blocks)
+                # Candidate blocks in descending neighbour count (H, line 7).
+                cand = np.flatnonzero(counts)
+                for b in cand[np.argsort(-counts[cand], kind="stable")]:
+                    if fill[b] < eps:
+                        new_layout[b].append(u)
+                        fill[b] += 1
+                        placed = True
+                        break
+            if not placed:
+                # All neighbour blocks full: take an empty block, falling
+                # back to the least-filled open block when none is empty.
+                while next_fresh < num_blocks and fill[next_fresh] > 0:
+                    next_fresh += 1
+                if next_fresh < num_blocks:
+                    b = next_fresh
+                else:
+                    open_blocks = np.flatnonzero(fill < eps)
+                    b = int(open_blocks[np.argmin(fill[open_blocks])])
+                new_layout[b].append(u)
+                fill[b] += 1
+
+        new_or = overlap_ratio(graph, new_layout)
+        layout = new_layout
+        history.append(new_or)
+        if new_or > best_or:
+            best_layout, best_or = new_layout, new_or
+        gain = new_or - current_or
+        current_or = new_or
+        if gain < gain_threshold:
+            stalled += 1
+            if stalled >= patience:
+                break
+        else:
+            stalled = 0
+
+    return ShuffleReport(
+        layout=best_layout, iterations=iterations_run, or_history=history,
+        final_or=best_or,
+    )

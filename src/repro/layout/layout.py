@@ -1,0 +1,150 @@
+"""Block-level graph layout and the overlap ratio OR(G) (§4.1).
+
+A layout assigns the |V| vertices of a disk-based graph index to ρ blocks of
+at most ε vertices each (Def. 1).  The overlap ratio measures its locality:
+
+    OR(u) = |B(u) ∩ N(u)| / (|B(u)| − 1)      (Eq. 5, 0 when |B(u)| ≤ 1)
+    OR(B) = mean of OR(v) over v ∈ B
+    OR(G) = mean of OR(u) over u ∈ V
+
+Block shuffling (Def. 2) looks for a layout maximizing OR(G); the problem is
+NP-hard (Theorem 4.1), hence the heuristics in the sibling modules.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..graphs.adjacency import AdjacencyGraph
+
+Layout = list[list[int]]
+
+
+def id_contiguous_layout(num_vertices: int, vertices_per_block: int) -> Layout:
+    """The baseline (DiskANN) layout: block b holds IDs b·ε .. b·ε+ε−1."""
+    if vertices_per_block <= 0:
+        raise ValueError("vertices_per_block must be positive")
+    return [
+        list(range(start, min(start + vertices_per_block, num_vertices)))
+        for start in range(0, num_vertices, vertices_per_block)
+    ]
+
+
+def layout_from_assignment(
+    assignment: np.ndarray, num_blocks: int | None = None
+) -> Layout:
+    """Turn a per-vertex block-id array into a layout (empty blocks kept)."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if num_blocks is None:
+        num_blocks = int(assignment.max()) + 1 if assignment.size else 0
+    layout: Layout = [[] for _ in range(num_blocks)]
+    for vertex, block in enumerate(assignment):
+        layout[int(block)].append(vertex)
+    return layout
+
+
+def assignment_from_layout(layout: Sequence[Sequence[int]], num_vertices: int) -> np.ndarray:
+    """Per-vertex block-id array for a layout covering ``num_vertices``."""
+    assignment = np.full(num_vertices, -1, dtype=np.int64)
+    for block_id, members in enumerate(layout):
+        for v in members:
+            assignment[v] = block_id
+    if (assignment < 0).any():
+        missing = int((assignment < 0).sum())
+        raise ValueError(f"layout leaves {missing} vertices unassigned")
+    return assignment
+
+
+def validate_layout(
+    layout: Sequence[Sequence[int]],
+    num_vertices: int,
+    vertices_per_block: int,
+) -> None:
+    """Raise if the layout is not a partition of V with ≤ ε per block."""
+    seen = np.zeros(num_vertices, dtype=bool)
+    count = 0
+    for block_id, members in enumerate(layout):
+        if len(members) > vertices_per_block:
+            raise ValueError(
+                f"block {block_id} holds {len(members)} > ε="
+                f"{vertices_per_block} vertices"
+            )
+        for v in members:
+            if not 0 <= v < num_vertices:
+                raise ValueError(f"block {block_id} references unknown vertex {v}")
+            if seen[v]:
+                raise ValueError(f"vertex {v} appears in more than one block")
+            seen[v] = True
+            count += 1
+    if count != num_vertices:
+        raise ValueError(
+            f"layout covers {count} of {num_vertices} vertices; must cover all"
+        )
+
+
+def neighbor_sets(graph: AdjacencyGraph) -> list[set[int]]:
+    """Per-vertex neighbour sets, the working form for OR computations."""
+    return [set(a.tolist()) for a in graph.neighbor_lists()]
+
+
+def vertex_overlap_ratio(
+    vertex: int, block_members: Sequence[int], nbr_set: set[int]
+) -> float:
+    """OR(u) per Eq. 5."""
+    size = len(block_members)
+    if size <= 1:
+        return 0.0
+    inside = sum(1 for v in block_members if v != vertex and v in nbr_set)
+    return inside / (size - 1)
+
+
+def block_overlap_ratio(
+    block_members: Sequence[int], nbr_sets: list[set[int]]
+) -> float:
+    """OR(B): average OR(v) over the block's members (0 for empty blocks)."""
+    if not block_members:
+        return 0.0
+    total = sum(
+        vertex_overlap_ratio(v, block_members, nbr_sets[v]) for v in block_members
+    )
+    return total / len(block_members)
+
+
+def overlap_ratio(
+    graph: AdjacencyGraph, layout: Sequence[Sequence[int]]
+) -> float:
+    """OR(G): average OR(u) over all vertices of the graph."""
+    nbr_sets = neighbor_sets(graph)
+    total = 0.0
+    count = 0
+    for members in layout:
+        size = len(members)
+        if size == 0:
+            continue
+        count += size
+        if size == 1:
+            continue
+        member_set = set(members)
+        for v in members:
+            inside = len(member_set & nbr_sets[v])
+            if v in member_set and v in nbr_sets[v]:
+                inside -= 1  # defensive; graphs have no self-loops
+            total += inside / (size - 1)
+    if count != graph.num_vertices:
+        raise ValueError(
+            f"layout covers {count} vertices but graph has {graph.num_vertices}"
+        )
+    return total / graph.num_vertices
+
+
+def blocks_containing(
+    layout_assignment: np.ndarray, vertex_ids: np.ndarray
+) -> int:
+    """Number of distinct blocks holding the given vertices.
+
+    Fig. 9(a) reports this for each query's top-1000 nearest neighbours: good
+    locality packs them into fewer blocks.
+    """
+    return int(np.unique(layout_assignment[np.asarray(vertex_ids, dtype=np.int64)]).size)

@@ -1,0 +1,18 @@
+"""Evaluation metrics: accuracy (Recall, AP) and performance summaries."""
+
+from .accuracy import (
+    average_precision,
+    mean_average_precision,
+    mean_recall_at_k,
+    recall_at_k,
+)
+from .perf import PerfSummary, summarize
+
+__all__ = [
+    "PerfSummary",
+    "average_precision",
+    "mean_average_precision",
+    "mean_recall_at_k",
+    "recall_at_k",
+    "summarize",
+]

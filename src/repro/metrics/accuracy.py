@@ -1,0 +1,74 @@
+"""Accuracy metrics: Recall (Eq. 2) and Average Precision (Eq. 3)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def recall_at_k(result_ids: np.ndarray, truth_ids: np.ndarray, k: int) -> float:
+    """Recall = |R_knn ∩ R'_knn| / k for one query (Eq. 2).
+
+    ``truth_ids`` must contain at least k ids; ``result_ids`` may be shorter
+    (missing results simply count as misses).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    truth = set(np.asarray(truth_ids)[:k].tolist())
+    if len(truth) < k:
+        raise ValueError(f"ground truth has only {len(truth)} ids; need {k}")
+    found = set(np.asarray(result_ids)[:k].tolist())
+    return len(found & truth) / k
+
+
+def mean_recall_at_k(
+    all_result_ids: Sequence[np.ndarray],
+    all_truth_ids: np.ndarray,
+    k: int,
+) -> float:
+    """Average recall over a query batch."""
+    if len(all_result_ids) != len(all_truth_ids):
+        raise ValueError("results and ground truth must align")
+    total = 0.0
+    for res, truth in zip(all_result_ids, all_truth_ids):
+        total += recall_at_k(res, truth, k)
+    return total / max(len(all_result_ids), 1)
+
+
+def average_precision(
+    result_ids: np.ndarray, truth_ids: np.ndarray
+) -> float:
+    """AP = |R'_range| / |R_range| for one RS query (Eq. 3).
+
+    The paper's AP assumes every returned result genuinely lies within the
+    radius (the engines guarantee it by filtering on exact distance), so AP
+    reduces to the fraction of true results retrieved.  Queries with an empty
+    ground truth are defined as AP = 1 when the result is also empty.
+    """
+    truth = set(np.asarray(truth_ids).tolist())
+    found = set(np.asarray(result_ids).tolist())
+    if not truth:
+        return 1.0 if not found else 0.0
+    extra = found - truth
+    if extra:
+        raise ValueError(
+            f"range result contains {len(extra)} ids outside the ground "
+            "truth; the engine must filter by exact distance"
+        )
+    return len(found & truth) / len(truth)
+
+
+def mean_average_precision(
+    all_result_ids: Sequence[np.ndarray],
+    all_truth_ids: Sequence[np.ndarray],
+) -> float:
+    """Mean AP over a query batch (queries with empty truth skipped, as in
+    the big-ann-benchmarks protocol)."""
+    total, count = 0.0, 0
+    for res, truth in zip(all_result_ids, all_truth_ids):
+        if len(truth) == 0:
+            continue
+        total += average_precision(res, truth)
+        count += 1
+    return total / max(count, 1)

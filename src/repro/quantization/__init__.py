@@ -1,0 +1,16 @@
+"""Quantization substrate: k-means and Product Quantization (PQ short codes)."""
+
+from .kmeans import KMeansResult, balanced_kmeans, kmeans
+from .opq import OptimizedProductQuantizer
+from .pq import PQCodebook, ProductQuantizer
+from .scalar import ScalarQuantizer
+
+__all__ = [
+    "KMeansResult",
+    "OptimizedProductQuantizer",
+    "PQCodebook",
+    "ProductQuantizer",
+    "ScalarQuantizer",
+    "balanced_kmeans",
+    "kmeans",
+]

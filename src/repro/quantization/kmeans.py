@@ -1,0 +1,137 @@
+"""Lloyd's k-means with k-means++ seeding, implemented on numpy.
+
+Used by the Product Quantizer (one codebook per subspace) and by SPANN's
+hierarchical balanced clustering.  Kept deliberately small and deterministic:
+given a seed, results are reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..vectors.metrics import pairwise_l2_squared
+
+
+@dataclass
+class KMeansResult:
+    """Trained centroids plus the final assignment and inertia."""
+
+    centroids: np.ndarray  # (k, dim) float32
+    assignment: np.ndarray  # (n,) int32
+    inertia: float
+    iterations: int
+
+
+def _kmeanspp_seeds(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ initialisation: spread seeds proportionally to distance."""
+    n = data.shape[0]
+    seeds = np.empty(k, dtype=np.int64)
+    seeds[0] = rng.integers(n)
+    closest = pairwise_l2_squared(data[seeds[0]][None, :], data)[0]
+    for i in range(1, k):
+        total = float(closest.sum())
+        if total <= 0.0:
+            # All remaining points coincide with an existing seed.
+            seeds[i:] = rng.integers(n, size=k - i)
+            break
+        probs = closest / total
+        seeds[i] = rng.choice(n, p=probs)
+        d_new = pairwise_l2_squared(data[seeds[i]][None, :], data)[0]
+        np.minimum(closest, d_new, out=closest)
+    return seeds
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    *,
+    max_iters: int = 25,
+    tol: float = 1e-4,
+    seed: int = 0,
+) -> KMeansResult:
+    """Train k-means on ``data`` (any numeric dtype; promoted to float32).
+
+    Empty clusters are re-seeded from the points currently farthest from
+    their centroid, so the result always has exactly ``k`` non-empty clusters
+    when ``n >= k``.
+    """
+    data = np.asarray(data)
+    n = data.shape[0]
+    if not 0 < k <= n:
+        raise ValueError(f"k={k} out of range (1..{n})")
+    x = data.astype(np.float32, copy=False)
+    rng = np.random.default_rng(seed)
+    centroids = x[_kmeanspp_seeds(x, k, rng)].copy()
+
+    assignment = np.zeros(n, dtype=np.int32)
+    prev_inertia = np.inf
+    iteration = 0
+    for iteration in range(1, max_iters + 1):
+        dists = pairwise_l2_squared(x, centroids)
+        assignment = dists.argmin(axis=1).astype(np.int32)
+        min_dists = dists[np.arange(n), assignment]
+        inertia = float(min_dists.sum())
+
+        counts = np.bincount(assignment, minlength=k)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assignment, x)
+        nonempty = counts > 0
+        centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+
+        empty = np.flatnonzero(~nonempty)
+        if empty.size:
+            # Steal the points that fit their cluster worst.
+            worst = np.argsort(min_dists)[::-1][: empty.size]
+            centroids[empty] = x[worst]
+
+        if prev_inertia - inertia <= tol * max(prev_inertia, 1.0):
+            break
+        prev_inertia = inertia
+
+    dists = pairwise_l2_squared(x, centroids)
+    assignment = dists.argmin(axis=1).astype(np.int32)
+    inertia = float(dists[np.arange(n), assignment].sum())
+    return KMeansResult(centroids, assignment, inertia, iteration)
+
+
+def balanced_kmeans(
+    data: np.ndarray,
+    k: int,
+    max_cluster_size: int,
+    *,
+    seed: int = 0,
+    max_iters: int = 25,
+) -> KMeansResult:
+    """k-means whose clusters are capped at ``max_cluster_size`` points.
+
+    Greedy capacity-constrained assignment: points are processed in order of
+    how much they prefer their best cluster and spill to the nearest cluster
+    with room.  Used by SPANN's hierarchical balanced clustering and by the
+    k-means layout baseline (§7, Comparison analysis with SPANN).
+    """
+    data = np.asarray(data)
+    n = data.shape[0]
+    if max_cluster_size * k < n:
+        raise ValueError(
+            f"cannot pack {n} points into {k} clusters of at most "
+            f"{max_cluster_size}"
+        )
+    base = kmeans(data, k, seed=seed, max_iters=max_iters)
+    x = data.astype(np.float32, copy=False)
+    dists = pairwise_l2_squared(x, base.centroids)
+    order = np.argsort(dists.min(axis=1))
+    capacity = np.full(k, max_cluster_size, dtype=np.int64)
+    assignment = np.full(n, -1, dtype=np.int32)
+    pref = np.argsort(dists, axis=1)
+    for idx in order:
+        for c in pref[idx]:
+            if capacity[c] > 0:
+                assignment[idx] = c
+                capacity[c] -= 1
+                break
+    inertia = float(dists[np.arange(n), assignment].sum())
+    return KMeansResult(base.centroids, assignment, inertia, base.iterations)

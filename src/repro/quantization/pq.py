@@ -1,0 +1,198 @@
+"""Product Quantization (Jégou et al., TPAMI 2011) — the paper's "PQ short codes".
+
+Both DiskANN and Starling keep PQ-compressed vectors in main memory and use
+asymmetric distance computation (ADC) to pick the next disk read without
+touching the disk (§5.1, "PQ-based approximate distance").  The memory
+footprint of the codes is the B budget in Tab. 16/21.
+
+For inner-product datasets the same machinery applies with per-subspace
+inner-product lookup tables (negated, so smaller is still better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..vectors.metrics import Metric, get_metric, pairwise_l2_squared
+from .kmeans import kmeans
+
+
+@dataclass
+class PQCodebook:
+    """Trained per-subspace centroids.
+
+    Attributes:
+        centroids: shape ``(num_subspaces, num_centroids, sub_dim)`` float32.
+        dim: original dimensionality (= num_subspaces * sub_dim after padding).
+        pad: zero-padding columns appended so dim divides evenly.
+    """
+
+    centroids: np.ndarray
+    dim: int
+    pad: int
+
+    @property
+    def num_subspaces(self) -> int:
+        return self.centroids.shape[0]
+
+    @property
+    def num_centroids(self) -> int:
+        return self.centroids.shape[1]
+
+    @property
+    def sub_dim(self) -> int:
+        return self.centroids.shape[2]
+
+
+class ProductQuantizer:
+    """Encode vectors to short codes and answer approximate distances.
+
+    Args:
+        num_subspaces: M — number of independent subquantizers.
+        num_centroids: ks — codebook size per subspace (≤ 256 keeps codes at
+            one byte per subspace).
+        metric: ``"l2"`` or ``"ip"``.
+    """
+
+    def __init__(
+        self,
+        num_subspaces: int = 8,
+        num_centroids: int = 256,
+        metric: str | Metric = "l2",
+    ) -> None:
+        if num_subspaces <= 0:
+            raise ValueError("num_subspaces must be positive")
+        if not 1 < num_centroids <= 256:
+            raise ValueError("num_centroids must be in 2..256")
+        self.num_subspaces = num_subspaces
+        self.num_centroids = num_centroids
+        self.metric = get_metric(metric)
+        self.codebook: PQCodebook | None = None
+        self.codes: np.ndarray | None = None
+
+    # -- training / encoding -------------------------------------------------
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        """Pad and reshape to ``(n, M, sub_dim)`` float32."""
+        assert self.codebook is not None
+        x = np.atleast_2d(x).astype(np.float32, copy=False)
+        if self.codebook.pad:
+            x = np.pad(x, ((0, 0), (0, self.codebook.pad)))
+        return x.reshape(x.shape[0], self.num_subspaces, self.codebook.sub_dim)
+
+    def train(
+        self,
+        vectors: np.ndarray,
+        *,
+        seed: int = 0,
+        max_iters: int = 15,
+        train_size: int = 20_000,
+    ) -> "ProductQuantizer":
+        """Fit per-subspace codebooks on (a sample of) ``vectors``."""
+        vectors = np.atleast_2d(vectors)
+        n, dim = vectors.shape
+        if n < 2:
+            raise ValueError("need at least 2 training vectors")
+        # Small segments cannot populate a full codebook; clamp ks so tiny
+        # datasets still train (codes stay 1 byte/subspace either way).
+        self.num_centroids = min(self.num_centroids, n)
+        pad = (-dim) % self.num_subspaces
+        sub_dim = (dim + pad) // self.num_subspaces
+        self.codebook = PQCodebook(
+            centroids=np.zeros(
+                (self.num_subspaces, self.num_centroids, sub_dim), dtype=np.float32
+            ),
+            dim=dim,
+            pad=pad,
+        )
+        rng = np.random.default_rng(seed)
+        if n > train_size:
+            sample = vectors[rng.choice(n, size=train_size, replace=False)]
+        else:
+            sample = vectors
+        parts = self._split(sample)
+        for m in range(self.num_subspaces):
+            result = kmeans(
+                parts[:, m, :], self.num_centroids, seed=seed + m,
+                max_iters=max_iters,
+            )
+            self.codebook.centroids[m] = result.centroids
+        return self
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Quantize vectors to uint8 codes of shape ``(n, M)``."""
+        if self.codebook is None:
+            raise RuntimeError("train() must be called before encode()")
+        parts = self._split(np.atleast_2d(vectors))
+        codes = np.empty((parts.shape[0], self.num_subspaces), dtype=np.uint8)
+        for m in range(self.num_subspaces):
+            d = pairwise_l2_squared(parts[:, m, :], self.codebook.centroids[m])
+            codes[:, m] = d.argmin(axis=1)
+        return codes
+
+    def fit_dataset(self, vectors: np.ndarray, *, seed: int = 0) -> "ProductQuantizer":
+        """Train on the dataset and store its codes for later lookups."""
+        self.train(vectors, seed=seed)
+        self.codes = self.encode(vectors)
+        return self
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate vectors from codes (for testing)."""
+        if self.codebook is None:
+            raise RuntimeError("train() must be called before decode()")
+        codes = np.atleast_2d(codes)
+        out = np.empty(
+            (codes.shape[0], self.num_subspaces, self.codebook.sub_dim),
+            dtype=np.float32,
+        )
+        for m in range(self.num_subspaces):
+            out[:, m, :] = self.codebook.centroids[m][codes[:, m]]
+        flat = out.reshape(codes.shape[0], -1)
+        return flat[:, : self.codebook.dim]
+
+    # -- asymmetric distance computation -------------------------------------
+
+    def lookup_table(self, query: np.ndarray) -> np.ndarray:
+        """ADC lookup table for one query, shape ``(M, ks)``.
+
+        For L2 the entry is the squared distance from the query's subvector to
+        each centroid; for IP it is the negated partial inner product.  Summing
+        one entry per subspace gives the approximate distance.
+        """
+        if self.codebook is None:
+            raise RuntimeError("train() must be called before lookup_table()")
+        parts = self._split(query[None, :])[0]  # (M, sub_dim)
+        table = np.empty(
+            (self.num_subspaces, self.num_centroids), dtype=np.float32
+        )
+        for m in range(self.num_subspaces):
+            if self.metric.name == "l2":
+                table[m] = pairwise_l2_squared(
+                    parts[m][None, :], self.codebook.centroids[m]
+                )[0]
+            else:
+                table[m] = -(self.codebook.centroids[m] @ parts[m])
+        return table
+
+    def distances_from_table(
+        self, table: np.ndarray, ids: np.ndarray
+    ) -> np.ndarray:
+        """Approximate distances for stored vectors ``ids`` given a table."""
+        if self.codes is None:
+            raise RuntimeError("fit_dataset() must be called first")
+        codes = self.codes[np.asarray(ids, dtype=np.int64)]
+        cols = np.arange(self.num_subspaces)
+        return table[cols, codes].sum(axis=1)
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def code_bytes(self) -> int:
+        """Memory footprint of the stored codes (C_PQ, Fig. 8(b))."""
+        return 0 if self.codes is None else self.codes.nbytes
+
+    @property
+    def codebook_bytes(self) -> int:
+        return 0 if self.codebook is None else self.codebook.centroids.nbytes

@@ -1,0 +1,22 @@
+"""Storage substrate: block codec, simulated device, disk-resident graph."""
+
+from .codec import ID_DTYPE, VertexFormat
+from .device import BlockDevice, DiskSpec, IOCounters, device_for_blocks
+from .disk_graph import DiskBlock, DiskGraph, build_disk_graph
+from .persist import load_diskann, load_starling, save_diskann, save_starling
+
+__all__ = [
+    "BlockDevice",
+    "DiskBlock",
+    "DiskGraph",
+    "DiskSpec",
+    "ID_DTYPE",
+    "IOCounters",
+    "VertexFormat",
+    "build_disk_graph",
+    "device_for_blocks",
+    "load_diskann",
+    "load_starling",
+    "save_diskann",
+    "save_starling",
+]

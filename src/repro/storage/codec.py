@@ -1,0 +1,145 @@
+"""Vertex record serialization into fixed-size disk blocks.
+
+Matches the paper's on-disk format (§4.1, Example 2): each vertex record is
+
+    vector data (D * itemsize bytes)
+  + neighbour count λ (uint32)
+  + neighbour IDs, padded to the maximum degree Λ (Λ * uint32)
+
+so a record occupies γ KB.  A block of η KB holds ε = ⌊η/γ⌋ records; records
+never straddle a block boundary and the block tail is zero padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+ID_DTYPE = np.dtype(np.uint32)
+ID_BYTES = ID_DTYPE.itemsize
+
+
+@dataclass(frozen=True)
+class VertexFormat:
+    """Byte layout of one vertex record on disk.
+
+    Attributes:
+        dim: Vector dimensionality D.
+        dtype: Storage dtype of vector components.
+        max_degree: Λ — ID slots allocated per vertex (padding under-full
+            adjacency lists, footnote 4 of the paper).
+        block_bytes: η in bytes; the smallest disk I/O unit (default 4 KB).
+    """
+
+    dim: int
+    dtype: np.dtype
+    max_degree: int
+    block_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        if self.dim <= 0:
+            raise ValueError("dim must be positive")
+        if self.max_degree <= 0:
+            raise ValueError("max_degree must be positive")
+        if self.block_bytes <= 0:
+            raise ValueError("block_bytes must be positive")
+        if self.record_bytes > self.block_bytes:
+            raise ValueError(
+                f"one vertex record ({self.record_bytes} B) does not fit a "
+                f"block ({self.block_bytes} B); lower max_degree or raise "
+                "block_bytes"
+            )
+
+    @property
+    def vector_bytes(self) -> int:
+        return self.dim * self.dtype.itemsize
+
+    @property
+    def record_bytes(self) -> int:
+        """γ in bytes: vector + degree word + Λ padded neighbour IDs."""
+        return self.vector_bytes + ID_BYTES + self.max_degree * ID_BYTES
+
+    @property
+    def vertices_per_block(self) -> int:
+        """ε = ⌊η/γ⌋ — maximum vertex records per block."""
+        return self.block_bytes // self.record_bytes
+
+    def num_blocks(self, num_vertices: int) -> int:
+        """ρ = ⌈|V|/ε⌉ — blocks needed for the whole graph."""
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        eps = self.vertices_per_block
+        return -(-num_vertices // eps)
+
+    def encode_vertex(self, vector: np.ndarray, neighbors: np.ndarray) -> bytes:
+        """Serialize one vertex record (vector, λ, padded neighbour IDs)."""
+        vector = np.asarray(vector, dtype=self.dtype)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"vector shape {vector.shape} != ({self.dim},)")
+        neighbors = np.asarray(neighbors, dtype=ID_DTYPE)
+        if neighbors.ndim != 1 or neighbors.size > self.max_degree:
+            raise ValueError(
+                f"neighbour list of length {neighbors.size} exceeds Λ="
+                f"{self.max_degree}"
+            )
+        padded = np.zeros(self.max_degree, dtype=ID_DTYPE)
+        padded[: neighbors.size] = neighbors
+        count = np.asarray([neighbors.size], dtype=ID_DTYPE)
+        return vector.tobytes() + count.tobytes() + padded.tobytes()
+
+    def decode_vertex(self, record: bytes | memoryview) -> tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`encode_vertex`; returns ``(vector, neighbors)``."""
+        record = memoryview(record)
+        if len(record) != self.record_bytes:
+            raise ValueError(
+                f"record of {len(record)} B; expected {self.record_bytes} B"
+            )
+        vb = self.vector_bytes
+        vector = np.frombuffer(record[:vb], dtype=self.dtype).copy()
+        count = int(np.frombuffer(record[vb : vb + ID_BYTES], dtype=ID_DTYPE)[0])
+        if count > self.max_degree:
+            raise ValueError(f"corrupt record: degree {count} > Λ={self.max_degree}")
+        ids = np.frombuffer(
+            record[vb + ID_BYTES : vb + ID_BYTES + count * ID_BYTES], dtype=ID_DTYPE
+        ).copy()
+        return vector, ids
+
+    def encode_block(
+        self,
+        vectors: np.ndarray,
+        neighbor_lists: list[np.ndarray],
+    ) -> bytes:
+        """Pack up to ε vertex records into one zero-padded η-KB block."""
+        if len(neighbor_lists) != len(vectors):
+            raise ValueError("vectors and neighbor_lists length mismatch")
+        if len(vectors) > self.vertices_per_block:
+            raise ValueError(
+                f"{len(vectors)} records exceed block capacity "
+                f"ε={self.vertices_per_block}"
+            )
+        parts = [
+            self.encode_vertex(vec, nbrs)
+            for vec, nbrs in zip(vectors, neighbor_lists)
+        ]
+        payload = b"".join(parts)
+        return payload + b"\x00" * (self.block_bytes - len(payload))
+
+    def decode_block(
+        self, block: bytes | memoryview, count: int
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Unpack the first ``count`` records of a block."""
+        block = memoryview(block)
+        if len(block) != self.block_bytes:
+            raise ValueError(f"block of {len(block)} B; expected {self.block_bytes} B")
+        if not 0 <= count <= self.vertices_per_block:
+            raise ValueError(f"count {count} out of range 0..{self.vertices_per_block}")
+        vectors = np.empty((count, self.dim), dtype=self.dtype)
+        neighbor_lists: list[np.ndarray] = []
+        rb = self.record_bytes
+        for i in range(count):
+            vec, nbrs = self.decode_vertex(block[i * rb : (i + 1) * rb])
+            vectors[i] = vec
+            neighbor_lists.append(nbrs)
+        return vectors, neighbor_lists

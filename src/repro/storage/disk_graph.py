@@ -1,0 +1,181 @@
+"""Disk-resident graph index: blocks on a device + vertex→block mapping.
+
+A :class:`DiskGraph` is the physical form of a graph index (Appendix B of the
+paper): every vertex record (vector + adjacency list) lives in exactly one
+η-KB block on a :class:`~repro.storage.device.BlockDevice`, and an in-memory
+``vertex→block`` array locates it.  The baseline (DiskANN) layout is
+ID-contiguous so the mapping is implicit; Starling's shuffled layouts need the
+explicit mapping, whose memory footprint is charged in the paper's Fig. 8(b).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .codec import VertexFormat
+from .device import BlockDevice, DiskSpec
+
+
+@dataclass
+class DiskBlock:
+    """One decoded block: the vertices it stores and their adjacency lists."""
+
+    block_id: int
+    vertex_ids: np.ndarray  # shape (c,), uint32
+    vectors: np.ndarray  # shape (c, dim)
+    neighbor_lists: list[np.ndarray]
+
+    def __len__(self) -> int:
+        return len(self.vertex_ids)
+
+    def index_of(self, vertex_id: int) -> int:
+        """Position of ``vertex_id`` inside this block."""
+        hits = np.flatnonzero(self.vertex_ids == vertex_id)
+        if hits.size == 0:
+            raise KeyError(f"vertex {vertex_id} not in block {self.block_id}")
+        return int(hits[0])
+
+
+class DiskGraph:
+    """Graph index stored block-wise on a simulated device.
+
+    Construction happens through :func:`build_disk_graph`; at query time the
+    engines use :meth:`read_blocks_of` (batched, one round-trip) and account
+    for every block read through the device's counters.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        fmt: VertexFormat,
+        vertex_to_block: np.ndarray,
+        block_ids: list[np.ndarray],
+    ) -> None:
+        self.device = device
+        self.fmt = fmt
+        self.vertex_to_block = vertex_to_block
+        self._block_ids = block_ids
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.vertex_to_block.shape[0])
+
+    @property
+    def num_blocks(self) -> int:
+        return self.device.num_blocks
+
+    @property
+    def mapping_bytes(self) -> int:
+        """Memory cost of the vertex→block mapping (C_mapping, §6.4)."""
+        return self.vertex_to_block.nbytes
+
+    @property
+    def disk_bytes(self) -> int:
+        return self.device.disk_bytes
+
+    def block_of(self, vertex_id: int) -> int:
+        return int(self.vertex_to_block[vertex_id])
+
+    def vertices_in_block(self, block_id: int) -> np.ndarray:
+        return self._block_ids[block_id]
+
+    # -- counted reads ---------------------------------------------------------
+
+    def _decode(self, block_id: int, payload: bytes) -> DiskBlock:
+        ids = self._block_ids[block_id]
+        vectors, neighbor_lists = self.fmt.decode_block(payload, len(ids))
+        return DiskBlock(block_id, ids, vectors, neighbor_lists)
+
+    def read_block(self, block_id: int) -> DiskBlock:
+        """Read and decode one block (one device round-trip)."""
+        return self._decode(block_id, self.device.read_block(block_id))
+
+    def read_blocks(self, block_ids: Sequence[int]) -> list[DiskBlock]:
+        """Read a batch of blocks in one round-trip."""
+        payloads = self.device.read_blocks(block_ids)
+        return [self._decode(bid, p) for bid, p in zip(block_ids, payloads)]
+
+    def read_block_of(self, vertex_id: int) -> DiskBlock:
+        return self.read_block(self.block_of(vertex_id))
+
+    def read_blocks_of(self, vertex_ids: Sequence[int]) -> list[DiskBlock]:
+        """Blocks containing the given vertices, deduplicated, one round-trip."""
+        seen: dict[int, None] = {}
+        for vid in vertex_ids:
+            seen.setdefault(self.block_of(vid), None)
+        return self.read_blocks(list(seen))
+
+    # -- uncounted access (build/analysis only) -----------------------------
+
+    def peek_vertex(self, vertex_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch one vertex without I/O accounting (offline analysis only)."""
+        block_id = self.block_of(vertex_id)
+        payload = self.device._fetch(block_id)
+        block = self._decode(block_id, payload)
+        pos = block.index_of(vertex_id)
+        return block.vectors[pos], block.neighbor_lists[pos]
+
+
+def build_disk_graph(
+    vectors: np.ndarray,
+    neighbor_lists: Sequence[np.ndarray],
+    layout: Sequence[Sequence[int]],
+    fmt: VertexFormat,
+    *,
+    path: str | os.PathLike | None = None,
+    spec: DiskSpec | None = None,
+) -> DiskGraph:
+    """Serialize a graph index to a block device following ``layout``.
+
+    Args:
+        vectors: All base vectors, shape ``(n, dim)``.
+        neighbor_lists: Adjacency list per vertex (each at most Λ IDs).
+        layout: Block-level graph layout — ``layout[b]`` lists the vertex IDs
+            stored in block ``b``.  Must partition ``range(n)`` with at most
+            ε vertices per block (Def. 1 of the paper).
+        fmt: On-disk record format.
+        path: Optional backing file; in-memory store if omitted.
+        spec: Disk latency model.
+    """
+    n = vectors.shape[0]
+    if len(neighbor_lists) != n:
+        raise ValueError("neighbor_lists length must match number of vectors")
+    eps = fmt.vertices_per_block
+    seen = np.zeros(n, dtype=bool)
+    total = 0
+    for block in layout:
+        if len(block) > eps:
+            raise ValueError(
+                f"layout block holds {len(block)} vertices, exceeding ε={eps}"
+            )
+        for vid in block:
+            if not 0 <= vid < n:
+                raise ValueError(f"layout references unknown vertex {vid}")
+            if seen[vid]:
+                raise ValueError(f"layout stores vertex {vid} twice")
+            seen[vid] = True
+            total += 1
+    if total != n:
+        raise ValueError(
+            f"layout covers {total} of {n} vertices; it must be a partition"
+        )
+
+    device = BlockDevice(fmt.block_bytes, len(layout), path=path, spec=spec)
+    vertex_to_block = np.empty(n, dtype=np.uint32)
+    block_ids: list[np.ndarray] = []
+    for b, block in enumerate(layout):
+        ids = np.asarray(list(block), dtype=np.uint32)
+        block_ids.append(ids)
+        vertex_to_block[ids] = b
+        payload = fmt.encode_block(
+            vectors[ids], [np.asarray(neighbor_lists[v]) for v in ids]
+        )
+        device.write_block(b, payload)
+    device.reset_counters()  # build writes don't count against queries
+    return DiskGraph(device, fmt, vertex_to_block, block_ids)

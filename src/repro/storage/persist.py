@@ -1,0 +1,312 @@
+"""Save and load built segment indexes.
+
+A built Starling index is expensive (graph construction dominates, Fig. 8),
+so production deployments build once and serve many times.  This module
+persists everything a :class:`~repro.core.segment.StarlingIndex` or
+:class:`~repro.core.segment.DiskANNIndex` needs into one directory:
+
+    meta.json      configuration, formats, metric, bookkeeping
+    disk.bin       the block device payload (the disk-resident graph)
+    layout.npz     vertex→block mapping and per-block vertex ids
+    pq.npz         PQ codebook + short codes
+    nav.npz        navigation graph (Starling) — sample, edges, entry point
+    cache.npz      hot-vertex cache (DiskANN), if present
+
+Loading never re-runs construction; the restored index answers queries with
+identical results and identical I/O counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..engine.cache import HotVertexCache
+from ..graphs.adjacency import AdjacencyGraph
+from ..graphs.navigation import FixedEntryPoint, NavigationGraph
+from ..quantization.pq import PQCodebook, ProductQuantizer
+from ..vectors.metrics import get_metric
+from .codec import VertexFormat
+from .device import BlockDevice, DiskSpec
+from .disk_graph import DiskGraph
+
+_FORMAT_VERSION = 1
+
+
+def _pack_ragged(arrays: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ragged int arrays into (flat, offsets)."""
+    offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
+    np.cumsum([a.size for a in arrays], out=offsets[1:])
+    flat = (
+        np.concatenate([np.asarray(a, dtype=np.uint32) for a in arrays])
+        if arrays and offsets[-1] > 0
+        else np.empty(0, dtype=np.uint32)
+    )
+    return flat, offsets
+
+
+def _unpack_ragged(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
+    return [
+        flat[offsets[i]: offsets[i + 1]].copy()
+        for i in range(offsets.size - 1)
+    ]
+
+
+def _save_common(index, directory: Path) -> dict:
+    """Write the pieces shared by both index flavours; returns meta dict."""
+    dg: DiskGraph = index.disk_graph
+    # Disk payload: copy every block verbatim.
+    with open(directory / "disk.bin", "wb") as f:
+        for block_id in range(dg.num_blocks):
+            f.write(dg.device._fetch(block_id))
+    flat, offsets = _pack_ragged(
+        [dg.vertices_in_block(b) for b in range(dg.num_blocks)]
+    )
+    np.savez(
+        directory / "layout.npz",
+        vertex_to_block=dg.vertex_to_block,
+        block_ids_flat=flat,
+        block_ids_offsets=offsets,
+    )
+    pq: ProductQuantizer = index.pq
+    if not isinstance(pq, ProductQuantizer):
+        raise NotImplementedError(
+            "persistence currently supports the default PQ router only; "
+            f"got {type(pq).__name__}"
+        )
+    np.savez(
+        directory / "pq.npz",
+        centroids=pq.codebook.centroids,
+        codes=pq.codes,
+        dim=np.asarray([pq.codebook.dim]),
+        pad=np.asarray([pq.codebook.pad]),
+    )
+    fmt = dg.fmt
+    return {
+        "format_version": _FORMAT_VERSION,
+        "metric": index.metric.name,
+        "vertex_format": {
+            "dim": fmt.dim,
+            "dtype": str(fmt.dtype),
+            "max_degree": fmt.max_degree,
+            "block_bytes": fmt.block_bytes,
+        },
+        "num_blocks": dg.num_blocks,
+        "pq": {
+            "num_subspaces": pq.num_subspaces,
+            "num_centroids": pq.num_centroids,
+        },
+        "timings": asdict(index.timings),
+        "memory": asdict(index.memory),
+        "disk_spec": asdict(index.disk_spec),
+        "compute_spec": asdict(index.compute_spec),
+    }
+
+
+def _load_common(directory: Path, meta: dict):
+    """Restore the disk graph and PQ shared by both index flavours."""
+    vf = meta["vertex_format"]
+    fmt = VertexFormat(
+        dim=vf["dim"], dtype=np.dtype(vf["dtype"]),
+        max_degree=vf["max_degree"], block_bytes=vf["block_bytes"],
+    )
+    spec = DiskSpec(**meta["disk_spec"])
+    device = BlockDevice(fmt.block_bytes, meta["num_blocks"], spec=spec)
+    payload = (directory / "disk.bin").read_bytes()
+    expected = fmt.block_bytes * meta["num_blocks"]
+    if len(payload) != expected:
+        raise ValueError(
+            f"disk.bin holds {len(payload)} bytes; expected {expected}"
+        )
+    for block_id in range(meta["num_blocks"]):
+        off = block_id * fmt.block_bytes
+        device.write_block(block_id, payload[off: off + fmt.block_bytes])
+    device.reset_counters()
+
+    layout = np.load(directory / "layout.npz")
+    block_ids = _unpack_ragged(
+        layout["block_ids_flat"], layout["block_ids_offsets"]
+    )
+    disk_graph = DiskGraph(
+        device, fmt, layout["vertex_to_block"].astype(np.uint32), block_ids
+    )
+
+    metric = get_metric(meta["metric"])
+    pq_npz = np.load(directory / "pq.npz")
+    pq = ProductQuantizer(
+        meta["pq"]["num_subspaces"], meta["pq"]["num_centroids"], metric
+    )
+    pq.codebook = PQCodebook(
+        centroids=pq_npz["centroids"],
+        dim=int(pq_npz["dim"][0]),
+        pad=int(pq_npz["pad"][0]),
+    )
+    pq.codes = pq_npz["codes"]
+    return disk_graph, pq, metric
+
+
+def save_starling(index, directory: str | os.PathLike) -> None:
+    """Persist a StarlingIndex to a directory (created if missing).
+
+    HNSW-upper-layer navigation (Starling-HNSW) is not yet serializable;
+    save such indexes after converting to a sampled navigation graph, or
+    rebuild them.
+    """
+    from ..core.segment import StarlingIndex
+
+    if not isinstance(index, StarlingIndex):
+        raise TypeError(f"expected StarlingIndex, got {type(index).__name__}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = _save_common(index, directory)
+    meta["kind"] = "starling"
+    meta["config"] = asdict(index.config)
+    meta["layout_or"] = index.layout_or
+
+    provider = index.entry_provider
+    if isinstance(provider, NavigationGraph):
+        flat, offsets = _pack_ragged(provider.graph.neighbor_lists())
+        np.savez(
+            directory / "nav.npz",
+            sample_ids=provider.sample_ids,
+            sample_vectors=provider.sample_vectors,
+            edges_flat=flat,
+            edges_offsets=offsets,
+            entry=np.asarray([provider.entry]),
+            max_degree=np.asarray([provider.graph.max_degree]),
+            search_ef=np.asarray([provider.search_ef]),
+        )
+        meta["entry_provider"] = "navigation_graph"
+    elif isinstance(provider, FixedEntryPoint):
+        meta["entry_provider"] = "fixed"
+        meta["fixed_entry"] = provider.vertex_id
+    else:
+        raise NotImplementedError(
+            f"cannot persist entry provider {type(provider).__name__}; "
+            "only NavigationGraph and FixedEntryPoint are supported"
+        )
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+
+
+def load_starling(directory: str | os.PathLike):
+    """Load a StarlingIndex saved by :func:`save_starling`."""
+    from ..core.config import StarlingConfig, GraphConfig, NavigationConfig, PQConfig
+    from ..core.segment import BuildTimings, MemoryFootprint, StarlingIndex
+    from ..engine.cost import ComputeSpec
+
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    if meta.get("kind") != "starling":
+        raise ValueError(f"{directory} does not hold a Starling index")
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index format version {meta.get('format_version')}"
+        )
+    disk_graph, pq, metric = _load_common(directory, meta)
+
+    cfg_dict = dict(meta["config"])
+    cfg = StarlingConfig(
+        graph=GraphConfig(**cfg_dict.pop("graph")),
+        navigation=NavigationConfig(**cfg_dict.pop("navigation")),
+        pq=PQConfig(**cfg_dict.pop("pq")),
+        **cfg_dict,
+    )
+    if cfg.block_cache_blocks > 0:
+        from ..engine.block_cache import CachedDiskGraph
+
+        disk_graph = CachedDiskGraph(disk_graph, cfg.block_cache_blocks)
+
+    if meta["entry_provider"] == "navigation_graph":
+        nav_npz = np.load(directory / "nav.npz")
+        edges = _unpack_ragged(nav_npz["edges_flat"], nav_npz["edges_offsets"])
+        graph = AdjacencyGraph(
+            len(edges), int(nav_npz["max_degree"][0])
+        )
+        for u, nbrs in enumerate(edges):
+            graph.set_neighbors(u, nbrs)
+        provider = NavigationGraph(
+            nav_npz["sample_ids"].astype(np.int64),
+            nav_npz["sample_vectors"],
+            graph,
+            int(nav_npz["entry"][0]),
+            metric,
+            search_ef=int(nav_npz["search_ef"][0]),
+        )
+    else:
+        provider = FixedEntryPoint(int(meta["fixed_entry"]))
+
+    return StarlingIndex(
+        disk_graph, pq, metric, provider, cfg,
+        BuildTimings(**meta["timings"]),
+        MemoryFootprint(**meta["memory"]),
+        layout_or=float(meta["layout_or"]),
+        disk_spec=DiskSpec(**meta["disk_spec"]),
+        compute_spec=ComputeSpec(**meta["compute_spec"]),
+    )
+
+
+def save_diskann(index, directory: str | os.PathLike) -> None:
+    """Persist a DiskANNIndex to a directory (created if missing)."""
+    from ..core.segment import DiskANNIndex
+
+    if not isinstance(index, DiskANNIndex):
+        raise TypeError(f"expected DiskANNIndex, got {type(index).__name__}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = _save_common(index, directory)
+    meta["kind"] = "diskann"
+    meta["config"] = asdict(index.config)
+    if not isinstance(index.entry_provider, FixedEntryPoint):
+        raise NotImplementedError(
+            "DiskANN persistence expects a fixed entry point"
+        )
+    meta["fixed_entry"] = index.entry_provider.vertex_id
+    if index.cache is not None:
+        ids = np.asarray(sorted(index.cache._entries), dtype=np.int64)
+        vectors = np.stack([index.cache._entries[int(v)][0] for v in ids])
+        lists = [index.cache._entries[int(v)][1] for v in ids]
+        flat, offsets = _pack_ragged(lists)
+        np.savez(
+            directory / "cache.npz",
+            ids=ids, vectors=vectors, edges_flat=flat, edges_offsets=offsets,
+        )
+        meta["has_cache"] = True
+    else:
+        meta["has_cache"] = False
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+
+
+def load_diskann(directory: str | os.PathLike):
+    """Load a DiskANNIndex saved by :func:`save_diskann`."""
+    from ..core.config import DiskANNConfig, GraphConfig, PQConfig
+    from ..core.segment import BuildTimings, DiskANNIndex, MemoryFootprint
+    from ..engine.cost import ComputeSpec
+
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    if meta.get("kind") != "diskann":
+        raise ValueError(f"{directory} does not hold a DiskANN index")
+    disk_graph, pq, metric = _load_common(directory, meta)
+
+    cfg_dict = dict(meta["config"])
+    cfg = DiskANNConfig(
+        graph=GraphConfig(**cfg_dict.pop("graph")),
+        pq=PQConfig(**cfg_dict.pop("pq")),
+        **cfg_dict,
+    )
+    cache = None
+    if meta["has_cache"]:
+        npz = np.load(directory / "cache.npz")
+        lists = _unpack_ragged(npz["edges_flat"], npz["edges_offsets"])
+        cache = HotVertexCache(npz["ids"], npz["vectors"], lists)
+    return DiskANNIndex(
+        disk_graph, pq, metric, FixedEntryPoint(int(meta["fixed_entry"])),
+        cfg, BuildTimings(**meta["timings"]),
+        MemoryFootprint(**meta["memory"]), cache=cache,
+        disk_spec=DiskSpec(**meta["disk_spec"]),
+        compute_spec=ComputeSpec(**meta["compute_spec"]),
+    )

@@ -1,0 +1,59 @@
+"""Vector substrate: metrics, datasets, synthetic generators, ground truth."""
+
+from .dataset import VectorDataset
+from .ground_truth import (
+    dataset_knn,
+    dataset_range,
+    knn,
+    radius_for_average_results,
+    range_search,
+)
+from .io import (
+    read_bin,
+    read_ground_truth,
+    read_vecs,
+    write_bin,
+    write_ground_truth,
+    write_vecs,
+)
+from .metrics import SUPPORTED_METRICS, Metric, get_metric
+from .synthetic import (
+    DATASET_FAMILIES,
+    MixtureSpec,
+    bigann_like,
+    by_name,
+    deep_like,
+    hard_like,
+    make_clustered,
+    make_hierarchical,
+    ssnpp_like,
+    text2image_like,
+)
+
+__all__ = [
+    "DATASET_FAMILIES",
+    "Metric",
+    "MixtureSpec",
+    "SUPPORTED_METRICS",
+    "VectorDataset",
+    "bigann_like",
+    "by_name",
+    "dataset_knn",
+    "dataset_range",
+    "deep_like",
+    "get_metric",
+    "hard_like",
+    "knn",
+    "make_clustered",
+    "make_hierarchical",
+    "radius_for_average_results",
+    "range_search",
+    "read_bin",
+    "read_ground_truth",
+    "read_vecs",
+    "write_bin",
+    "write_ground_truth",
+    "write_vecs",
+    "ssnpp_like",
+    "text2image_like",
+]

@@ -1,0 +1,102 @@
+"""Dataset container for a data segment.
+
+A :class:`VectorDataset` bundles the base vectors stored in one segment with
+its query workload and the metric used to compare them, mirroring Tab. 1 of
+the paper (data type, dimensions, distance function, base vectors per
+segment, query count, query type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .metrics import Metric, get_metric
+
+
+@dataclass
+class VectorDataset:
+    """Base vectors plus query workload for one data segment.
+
+    Attributes:
+        name: Human-readable dataset name (e.g. ``"bigann-like"``).
+        vectors: Base vectors, shape ``(n, dim)``; dtype may be integral
+            (uint8 for BIGANN/SSNPP) or floating (DEEP/Text2image).
+        queries: Query vectors, shape ``(nq, dim)``, same dtype family.
+        metric: Distance metric used by both ANNS and RS queries.
+        default_radius: Default range-search radius (squared L2 / negated IP
+            scale), used by RS workloads when no radius is given.
+    """
+
+    name: str
+    vectors: np.ndarray
+    queries: np.ndarray
+    metric: Metric
+    default_radius: float | None = None
+    _metric_name: str = field(init=False, repr=False, default="")
+
+    def __post_init__(self) -> None:
+        self.metric = get_metric(self.metric)
+        self.vectors = np.ascontiguousarray(self.vectors)
+        self.queries = np.ascontiguousarray(self.queries)
+        if self.vectors.ndim != 2:
+            raise ValueError("vectors must be a 2-D array")
+        if self.queries.ndim != 2:
+            raise ValueError("queries must be a 2-D array")
+        if self.vectors.shape[1] != self.queries.shape[1]:
+            raise ValueError(
+                "vectors and queries disagree on dimensionality: "
+                f"{self.vectors.shape[1]} vs {self.queries.shape[1]}"
+            )
+        self._metric_name = self.metric.name
+
+    @property
+    def size(self) -> int:
+        """Number of base vectors in the segment."""
+        return self.vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality D."""
+        return self.vectors.shape[1]
+
+    @property
+    def num_queries(self) -> int:
+        return self.queries.shape[0]
+
+    @property
+    def vector_nbytes(self) -> int:
+        """Bytes per raw vector (D * itemsize), used for space budgeting."""
+        return self.dim * self.vectors.dtype.itemsize
+
+    def subset(self, n: int, *, name: str | None = None) -> "VectorDataset":
+        """First-``n``-vector slice of this dataset (queries unchanged)."""
+        if not 0 < n <= self.size:
+            raise ValueError(f"subset size {n} out of range (1..{self.size})")
+        return VectorDataset(
+            name=name or f"{self.name}[:{n}]",
+            vectors=self.vectors[:n],
+            queries=self.queries,
+            metric=self.metric,
+            default_radius=self.default_radius,
+        )
+
+    def with_queries(
+        self, queries: np.ndarray, *, name: str | None = None
+    ) -> "VectorDataset":
+        """Same base data with a different query workload."""
+        return VectorDataset(
+            name=name or self.name,
+            vectors=self.vectors,
+            queries=queries,
+            metric=self.metric,
+            default_radius=self.default_radius,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"VectorDataset(name={self.name!r}, n={self.size}, dim={self.dim}, "
+            f"dtype={self.vectors.dtype}, metric={self.metric.name!r}, "
+            f"queries={self.num_queries})"
+        )

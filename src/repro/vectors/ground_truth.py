@@ -1,0 +1,123 @@
+"""Brute-force ground truth for KNNS and range search.
+
+The paper computes ground truth by brute-force search on each segment's
+vectors (§6.1).  These routines are exact and chunked so they stay within a
+small memory envelope even for 10^5-scale segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import VectorDataset
+from .metrics import Metric, get_metric
+
+
+def knn(
+    vectors: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    metric: str | Metric = "l2",
+    *,
+    chunk_size: int = 1024,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact k-nearest neighbours.
+
+    Returns ``(ids, dists)`` each of shape ``(num_queries, k)``, with rows
+    sorted by ascending distance.  Ties are broken by vector id so the result
+    is deterministic.
+    """
+    m = get_metric(metric)
+    n = vectors.shape[0]
+    if not 0 < k <= n:
+        raise ValueError(f"k={k} out of range (1..{n})")
+    queries = np.atleast_2d(queries)
+    ids = np.empty((queries.shape[0], k), dtype=np.int64)
+    dists = np.empty((queries.shape[0], k), dtype=np.float64)
+    for start in range(0, queries.shape[0], chunk_size):
+        chunk = queries[start : start + chunk_size]
+        d = m.pairwise(chunk, vectors)
+        # argpartition then stable sort of the top-k slice: O(n + k log k).
+        part = np.argpartition(d, k - 1, axis=1)[:, :k]
+        part_d = np.take_along_axis(d, part, axis=1)
+        order = np.lexsort((part, part_d), axis=1)
+        ids[start : start + chunk.shape[0]] = np.take_along_axis(part, order, axis=1)
+        dists[start : start + chunk.shape[0]] = np.take_along_axis(
+            part_d, order, axis=1
+        )
+    return ids, dists
+
+
+def range_search(
+    vectors: np.ndarray,
+    queries: np.ndarray,
+    radius: float,
+    metric: str | Metric = "l2",
+    *,
+    chunk_size: int = 1024,
+) -> list[np.ndarray]:
+    """Exact range search: all ids with distance <= ``radius`` per query.
+
+    Returns one sorted id array per query (result lengths vary per query, as
+    §5.3 emphasizes).
+    """
+    m = get_metric(metric)
+    queries = np.atleast_2d(queries)
+    results: list[np.ndarray] = []
+    for start in range(0, queries.shape[0], chunk_size):
+        chunk = queries[start : start + chunk_size]
+        d = m.pairwise(chunk, vectors)
+        for row in d:
+            results.append(np.flatnonzero(row <= radius))
+    return results
+
+
+def dataset_knn(
+    dataset: VectorDataset, k: int, *, chunk_size: int = 1024
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact KNN ground truth for a dataset's query workload."""
+    return knn(
+        dataset.vectors, dataset.queries, k, dataset.metric, chunk_size=chunk_size
+    )
+
+
+def dataset_range(
+    dataset: VectorDataset, radius: float | None = None, *, chunk_size: int = 1024
+) -> list[np.ndarray]:
+    """Exact RS ground truth; uses the dataset's default radius if not given."""
+    if radius is None:
+        radius = dataset.default_radius
+    if radius is None:
+        raise ValueError(
+            f"dataset {dataset.name!r} has no default radius; pass one explicitly"
+        )
+    return range_search(
+        dataset.vectors, dataset.queries, radius, dataset.metric,
+        chunk_size=chunk_size,
+    )
+
+
+def radius_for_average_results(
+    dataset: VectorDataset,
+    target_avg_results: float,
+    *,
+    sample_queries: int = 32,
+    seed: int = 0,
+) -> float:
+    """Calibrate an RS radius so queries return ~``target_avg_results`` hits.
+
+    The paper fixes a search radius per dataset following the NeurIPS'21
+    big-ann-benchmarks protocol; for synthetic data we calibrate instead.
+    """
+    if target_avg_results <= 0:
+        raise ValueError("target_avg_results must be positive")
+    rng = np.random.default_rng(seed)
+    nq = dataset.num_queries
+    pick = rng.choice(nq, size=min(sample_queries, nq), replace=False)
+    sample = dataset.queries[pick]
+    d = dataset.metric.pairwise(sample, dataset.vectors)
+    # The radius whose expected per-query hit count equals the target is the
+    # target-th smallest distance, averaged over sampled queries.
+    kth = int(np.clip(round(target_avg_results), 1, dataset.size - 1))
+    kth_dists = np.partition(d, kth, axis=1)[:, kth]
+    return float(np.mean(kth_dists))

@@ -1,0 +1,164 @@
+"""Readers/writers for the standard ANN benchmark vector formats.
+
+The datasets the paper evaluates on (BIGANN, DEEP, SSNPP, Text2image) ship
+in the ``fvecs`` / ``bvecs`` / ``ivecs`` family (one little-endian int32
+dimension header per vector, then the components) and in the NeurIPS'21
+big-ann-benchmarks ``.u8bin`` / ``.fbin`` flavour (a single
+``(num_vectors, dim)`` int32 header, then a dense row-major payload).  With
+these routines a user who *does* have the real files can run every
+experiment in this repository on them instead of the synthetic mixtures.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+_VECS_DTYPES = {
+    ".fvecs": np.dtype("<f4"),
+    ".bvecs": np.dtype("u1"),
+    ".ivecs": np.dtype("<i4"),
+}
+
+_BIN_DTYPES = {
+    ".fbin": np.dtype("<f4"),
+    ".u8bin": np.dtype("u1"),
+    ".i8bin": np.dtype("i1"),
+}
+
+
+def _vecs_dtype(path: str | os.PathLike) -> np.dtype:
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    try:
+        return _VECS_DTYPES[ext]
+    except KeyError:
+        raise ValueError(
+            f"unknown vecs extension {ext!r}; expected one of "
+            f"{sorted(_VECS_DTYPES)}"
+        ) from None
+
+
+def read_vecs(
+    path: str | os.PathLike,
+    *,
+    max_vectors: int | None = None,
+) -> np.ndarray:
+    """Read an ``.fvecs`` / ``.bvecs`` / ``.ivecs`` file.
+
+    Every vector is stored as ``int32 dim`` followed by ``dim`` components;
+    all vectors in a file must share the same dimension.
+    """
+    dtype = _vecs_dtype(path)
+    raw = np.fromfile(path, dtype=np.uint8)
+    if raw.size == 0:
+        return np.empty((0, 0), dtype=dtype)
+    dim = int(np.frombuffer(raw[:4].tobytes(), dtype="<i4")[0])
+    if dim <= 0:
+        raise ValueError(f"corrupt vecs file {path!r}: dim header {dim}")
+    record = 4 + dim * dtype.itemsize
+    if raw.size % record != 0:
+        raise ValueError(
+            f"corrupt vecs file {path!r}: size {raw.size} is not a multiple "
+            f"of the {record}-byte record"
+        )
+    n = raw.size // record
+    if max_vectors is not None:
+        n = min(n, max_vectors)
+    rows = raw[: n * record].reshape(n, record)
+    dims = rows[:, :4].copy().view("<i4").reshape(n)
+    if not (dims == dim).all():
+        raise ValueError(f"corrupt vecs file {path!r}: inconsistent dims")
+    return rows[:, 4:].copy().view(dtype).reshape(n, dim)
+
+
+def write_vecs(path: str | os.PathLike, vectors: np.ndarray) -> None:
+    """Write vectors in the vecs format matching the file extension."""
+    dtype = _vecs_dtype(path)
+    vectors = np.ascontiguousarray(np.atleast_2d(vectors), dtype=dtype)
+    n, dim = vectors.shape
+    record = np.empty((n, 4 + dim * dtype.itemsize), dtype=np.uint8)
+    record[:, :4] = np.full((n, 1), dim, dtype="<i4").view(np.uint8)
+    record[:, 4:] = vectors.view(np.uint8).reshape(n, dim * dtype.itemsize)
+    record.tofile(path)
+
+
+def _bin_dtype(path: str | os.PathLike) -> np.dtype:
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    try:
+        return _BIN_DTYPES[ext]
+    except KeyError:
+        raise ValueError(
+            f"unknown bin extension {ext!r}; expected one of "
+            f"{sorted(_BIN_DTYPES)}"
+        ) from None
+
+
+def read_bin(
+    path: str | os.PathLike,
+    *,
+    max_vectors: int | None = None,
+) -> np.ndarray:
+    """Read a big-ann-benchmarks ``.fbin`` / ``.u8bin`` / ``.i8bin`` file."""
+    dtype = _bin_dtype(path)
+    with open(path, "rb") as f:
+        header = f.read(8)
+        if len(header) != 8:
+            raise ValueError(f"corrupt bin file {path!r}: truncated header")
+        n, dim = struct.unpack("<ii", header)
+        if n < 0 or dim <= 0:
+            raise ValueError(
+                f"corrupt bin file {path!r}: header ({n}, {dim})"
+            )
+        if max_vectors is not None:
+            n = min(n, max_vectors)
+        data = np.fromfile(f, dtype=dtype, count=n * dim)
+    if data.size != n * dim:
+        raise ValueError(f"corrupt bin file {path!r}: truncated payload")
+    return data.reshape(n, dim)
+
+
+def write_bin(path: str | os.PathLike, vectors: np.ndarray) -> None:
+    """Write vectors in the big-ann-benchmarks bin format."""
+    dtype = _bin_dtype(path)
+    vectors = np.ascontiguousarray(np.atleast_2d(vectors), dtype=dtype)
+    n, dim = vectors.shape
+    with open(path, "wb") as f:
+        f.write(struct.pack("<ii", n, dim))
+        vectors.tofile(f)
+
+
+def read_ground_truth(path: str | os.PathLike) -> tuple[np.ndarray, np.ndarray]:
+    """Read a big-ann-benchmarks KNN ground-truth file.
+
+    Layout: ``int32 nq, int32 k``, then ``nq*k`` uint32 neighbour ids, then
+    ``nq*k`` float32 distances.  Returns ``(ids, dists)``.
+    """
+    with open(path, "rb") as f:
+        header = f.read(8)
+        if len(header) != 8:
+            raise ValueError(f"corrupt gt file {path!r}: truncated header")
+        nq, k = struct.unpack("<ii", header)
+        if nq <= 0 or k <= 0:
+            raise ValueError(f"corrupt gt file {path!r}: header ({nq}, {k})")
+        ids = np.fromfile(f, dtype="<u4", count=nq * k)
+        dists = np.fromfile(f, dtype="<f4", count=nq * k)
+    if ids.size != nq * k or dists.size != nq * k:
+        raise ValueError(f"corrupt gt file {path!r}: truncated payload")
+    return ids.reshape(nq, k).astype(np.int64), dists.reshape(nq, k)
+
+
+def write_ground_truth(
+    path: str | os.PathLike, ids: np.ndarray, dists: np.ndarray
+) -> None:
+    """Write KNN ground truth in the big-ann-benchmarks format."""
+    ids = np.atleast_2d(ids)
+    dists = np.atleast_2d(dists)
+    if ids.shape != dists.shape:
+        raise ValueError("ids and dists must share a shape")
+    nq, k = ids.shape
+    with open(path, "wb") as f:
+        f.write(struct.pack("<ii", nq, k))
+        ids.astype("<u4").tofile(f)
+        dists.astype("<f4").tofile(f)

@@ -1,0 +1,131 @@
+"""Distance kernels for high-dimensional vector similarity search.
+
+The paper evaluates two similarity metrics (§6.1): Euclidean distance (L2)
+for BIGANN / DEEP / SSNPP and inner product (IP) for Text2image.  Everything
+in this package treats a *distance* as "smaller is better", so the inner
+product is exposed as its negation.
+
+All kernels accept integer dtypes (BIGANN and SSNPP store uint8 vectors) and
+promote to float32 internally, mirroring how DiskANN and Starling compute
+full-precision distances regardless of the storage dtype.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+MetricName = Literal["l2", "ip"]
+
+#: Metrics supported by every index in this package.
+SUPPORTED_METRICS: tuple[str, ...] = ("l2", "ip")
+
+
+def _as_float(x: np.ndarray) -> np.ndarray:
+    if x.dtype in (np.float32, np.float64):
+        return x
+    return x.astype(np.float32)
+
+
+def l2_squared(a: np.ndarray, b: np.ndarray) -> np.floating:
+    """Squared Euclidean distance between two vectors.
+
+    Squared L2 preserves the ordering of L2, so all index code works on
+    squared distances and avoids the square root, exactly as production
+    ANN libraries do.
+    """
+    diff = _as_float(a) - _as_float(b)
+    return np.dot(diff, diff)
+
+
+def negative_ip(a: np.ndarray, b: np.ndarray) -> np.floating:
+    """Negated inner product: smaller means more similar."""
+    return -np.dot(_as_float(a), _as_float(b))
+
+
+def pairwise_l2_squared(queries: np.ndarray, base: np.ndarray) -> np.ndarray:
+    """Squared L2 between every query row and every base row.
+
+    Uses the ||q||^2 - 2 q.x + ||x||^2 expansion so the heavy lifting is a
+    single matrix multiply.  Returns shape ``(len(queries), len(base))``.
+    """
+    q = _as_float(np.atleast_2d(queries))
+    x = _as_float(np.atleast_2d(base))
+    q_norms = np.einsum("ij,ij->i", q, q)[:, None]
+    x_norms = np.einsum("ij,ij->i", x, x)[None, :]
+    dists = q_norms + x_norms - 2.0 * (q @ x.T)
+    # Rounding in the expansion can leave tiny negative values.
+    np.maximum(dists, 0.0, out=dists)
+    return dists
+
+
+def pairwise_negative_ip(queries: np.ndarray, base: np.ndarray) -> np.ndarray:
+    """Negated inner product between every query row and every base row."""
+    q = _as_float(np.atleast_2d(queries))
+    x = _as_float(np.atleast_2d(base))
+    return -(q @ x.T)
+
+
+class Metric:
+    """A named distance function with scalar, batch, and pairwise forms.
+
+    Instances are stateless and shared; obtain them via :func:`get_metric`.
+    """
+
+    def __init__(self, name: str) -> None:
+        if name not in SUPPORTED_METRICS:
+            raise ValueError(
+                f"unsupported metric {name!r}; expected one of {SUPPORTED_METRICS}"
+            )
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Metric({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Metric) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Metric", self.name))
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Distance between two single vectors."""
+        if self.name == "l2":
+            return float(l2_squared(a, b))
+        return float(negative_ip(a, b))
+
+    def distances(self, query: np.ndarray, base: np.ndarray) -> np.ndarray:
+        """Distances from one query to every row of ``base`` (1-D result).
+
+        This is the hot path of every graph traversal, so it avoids the
+        generic pairwise machinery (atleast_2d, double einsum) in favour of
+        a single fused reduction.
+        """
+        q = _as_float(query)
+        x = _as_float(base)
+        if self.name == "l2":
+            diff = x - q
+            return np.einsum("ij,ij->i", diff, diff)
+        return -(x @ q)
+
+    def pairwise(self, queries: np.ndarray, base: np.ndarray) -> np.ndarray:
+        """Full distance matrix of shape ``(len(queries), len(base))``."""
+        if self.name == "l2":
+            return pairwise_l2_squared(queries, base)
+        return pairwise_negative_ip(queries, base)
+
+
+_METRICS = {name: Metric(name) for name in SUPPORTED_METRICS}
+
+
+def get_metric(name: str | Metric) -> Metric:
+    """Resolve a metric by name (``"l2"`` or ``"ip"``) or pass one through."""
+    if isinstance(name, Metric):
+        return name
+    try:
+        return _METRICS[name]
+    except KeyError:
+        raise ValueError(
+            f"unsupported metric {name!r}; expected one of {SUPPORTED_METRICS}"
+        ) from None

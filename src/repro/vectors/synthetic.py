@@ -1,0 +1,253 @@
+"""Synthetic dataset generators mirroring the paper's four benchmarks.
+
+The paper evaluates on BIGANN (uint8, 128-d, L2), DEEP (float, 96-d, L2),
+SSNPP (uint8, 256-d, L2) and Text2image (float, 200-d, IP) — Tab. 1.  We
+cannot ship those datasets, so each generator draws from a clustered Gaussian
+mixture with the same dtype / dimensionality / metric.  Cluster structure is
+what makes graph-index locality non-trivial (neighbours scatter across
+clusters, §4.1 Remarks), so the mixtures keep the layout problem honest.
+
+Queries are drawn from the same mixture but are *not-in-database* by
+construction (fresh samples), matching the paper's default workload (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import VectorDataset
+from .metrics import get_metric
+
+
+@dataclass(frozen=True)
+class MixtureSpec:
+    """Shape of a clustered Gaussian mixture used to synthesize a dataset."""
+
+    dim: int
+    num_clusters: int
+    cluster_std: float
+    box: float  # cluster centres are drawn uniformly from [0, box)^dim
+
+
+def _draw_centres(rng: np.random.Generator, spec: MixtureSpec) -> np.ndarray:
+    return rng.uniform(0.0, spec.box, size=(spec.num_clusters, spec.dim))
+
+
+def _sample_mixture(
+    rng: np.random.Generator,
+    spec: MixtureSpec,
+    n: int,
+    centres: np.ndarray,
+    *,
+    std_scale: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n`` points around shared ``centres``.
+
+    Base data and queries must share the same centres — otherwise queries
+    land between everyone's clusters and every neighbourhood is empty.
+    """
+    assignment = rng.integers(0, spec.num_clusters, size=n)
+    noise = rng.normal(
+        0.0, spec.cluster_std * std_scale, size=(n, spec.dim)
+    )
+    return centres[assignment] + noise, assignment
+
+
+def _finalize(
+    name: str,
+    points: np.ndarray,
+    queries: np.ndarray,
+    dtype: np.dtype,
+    metric: str,
+    default_radius: float | None,
+) -> VectorDataset:
+    if np.issubdtype(dtype, np.integer):
+        info = np.iinfo(dtype)
+        points = np.clip(np.rint(points), info.min, info.max).astype(dtype)
+        queries = np.clip(np.rint(queries), info.min, info.max).astype(dtype)
+    else:
+        points = points.astype(dtype)
+        queries = queries.astype(dtype)
+    return VectorDataset(
+        name=name,
+        vectors=points,
+        queries=queries,
+        metric=get_metric(metric),
+        default_radius=default_radius,
+    )
+
+
+def make_clustered(
+    name: str,
+    n: int,
+    num_queries: int,
+    spec: MixtureSpec,
+    *,
+    dtype: str | np.dtype,
+    metric: str,
+    seed: int,
+    default_radius: float | None = None,
+) -> VectorDataset:
+    """Generic clustered-mixture dataset with explicit spec."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if num_queries <= 0:
+        raise ValueError("num_queries must be positive")
+    rng = np.random.default_rng(seed)
+    centres = _draw_centres(rng, spec)
+    points, _ = _sample_mixture(rng, spec, n, centres)
+    queries, _ = _sample_mixture(rng, spec, num_queries, centres)
+    return _finalize(name, points, queries, np.dtype(dtype), metric, default_radius)
+
+
+def bigann_like(
+    n: int = 20_000, num_queries: int = 100, *, seed: int = 7
+) -> VectorDataset:
+    """BIGANN analogue: uint8, 128 dimensions, L2 (paper: 33M per segment)."""
+    spec = MixtureSpec(dim=128, num_clusters=64, cluster_std=22.0, box=200.0)
+    radius = _calibrated_radius(spec)
+    return make_clustered(
+        "bigann-like", n, num_queries, spec,
+        dtype="uint8", metric="l2", seed=seed, default_radius=radius,
+    )
+
+
+def deep_like(
+    n: int = 20_000, num_queries: int = 100, *, seed: int = 11
+) -> VectorDataset:
+    """DEEP analogue: float32, 96 dimensions, L2 (paper: 11M per segment)."""
+    spec = MixtureSpec(dim=96, num_clusters=48, cluster_std=0.2, box=1.0)
+    radius = _calibrated_radius(spec)
+    return make_clustered(
+        "deep-like", n, num_queries, spec,
+        dtype="float32", metric="l2", seed=seed, default_radius=radius,
+    )
+
+
+def ssnpp_like(
+    n: int = 20_000, num_queries: int = 100, *, seed: int = 13
+) -> VectorDataset:
+    """SSNPP analogue: uint8, 256 dimensions, L2, RS workload (paper: 16M)."""
+    spec = MixtureSpec(dim=256, num_clusters=32, cluster_std=24.0, box=160.0)
+    radius = _calibrated_radius(spec)
+    return make_clustered(
+        "ssnpp-like", n, num_queries, spec,
+        dtype="uint8", metric="l2", seed=seed, default_radius=radius,
+    )
+
+
+def text2image_like(
+    n: int = 20_000, num_queries: int = 100, *, seed: int = 17
+) -> VectorDataset:
+    """Text2image analogue: float32, 200 dimensions, inner product (paper: 5M).
+
+    Cross-modal IP search is out-of-distribution by nature; we mimic that by
+    drawing queries from a slightly shifted mixture.
+    """
+    spec = MixtureSpec(dim=200, num_clusters=40, cluster_std=0.15, box=1.0)
+    rng = np.random.default_rng(seed)
+    centres = _draw_centres(rng, spec)
+    points, _ = _sample_mixture(rng, spec, n, centres)
+    queries, _ = _sample_mixture(rng, spec, num_queries, centres, std_scale=1.5)
+    return _finalize(
+        "text2image-like", points, queries, np.dtype("float32"), "ip", None
+    )
+
+
+def _calibrated_radius(spec: MixtureSpec) -> float:
+    """Squared-L2 radius that captures roughly one cluster's neighbourhood.
+
+    Points in the same cluster sit ~``sqrt(2 * dim) * std`` apart, so a radius
+    a bit above that squared distance returns intra-cluster neighbours without
+    flooding the result set — the regime the paper's RS experiments target.
+    """
+    return 2.2 * spec.dim * spec.cluster_std**2
+
+
+def make_hierarchical(
+    name: str,
+    n: int,
+    num_queries: int,
+    *,
+    dim: int = 128,
+    num_super: int = 8,
+    subs_per_super: int = 12,
+    super_std_ratio: float = 0.35,
+    sub_std_ratio: float = 0.22,
+    noise_fraction: float = 0.15,
+    dtype: str | np.dtype = "float32",
+    metric: str = "l2",
+    seed: int = 29,
+) -> VectorDataset:
+    """A *hard* dataset: hierarchical, heavily-overlapping cluster structure.
+
+    Real embedding spaces are not flat Gaussian mixtures: clusters nest
+    inside broader topical regions, neighbourhoods overlap, and a fraction
+    of points sit in no clean cluster at all.  This generator produces that
+    regime — super-clusters containing sub-clusters whose spreads are large
+    relative to their separations, plus uniform background noise — which is
+    where clustering-based indexes (SPANN, k-means layouts) lose the edge
+    they enjoy on clean mixtures and graph methods shine.  Used by the
+    extension bench that probes deviation #1 of EXPERIMENTS.md.
+    """
+    if n <= 0 or num_queries <= 0:
+        raise ValueError("n and num_queries must be positive")
+    rng = np.random.default_rng(seed)
+    box = 1.0
+    super_centres = rng.uniform(0.0, box, size=(num_super, dim))
+    # Pairwise distance scale of uniform centres: sqrt(dim/6)·box.
+    scale = np.sqrt(dim / 6.0) * box
+    sub_centres = (
+        super_centres[:, None, :]
+        + rng.normal(0.0, super_std_ratio * scale / np.sqrt(dim),
+                     size=(num_super, subs_per_super, dim))
+    ).reshape(num_super * subs_per_super, dim)
+    sub_std = sub_std_ratio * scale / np.sqrt(dim)
+
+    def sample(count: int) -> np.ndarray:
+        noise_count = int(round(count * noise_fraction))
+        clustered = count - noise_count
+        assignment = rng.integers(0, sub_centres.shape[0], size=clustered)
+        points = sub_centres[assignment] + rng.normal(
+            0.0, sub_std, size=(clustered, dim)
+        )
+        background = rng.uniform(0.0, box, size=(noise_count, dim))
+        out = np.concatenate([points, background])
+        rng.shuffle(out, axis=0)
+        return out
+
+    return _finalize(
+        name, sample(n), sample(num_queries), np.dtype(dtype), metric, None
+    )
+
+
+def hard_like(n: int = 20_000, num_queries: int = 100, *,
+              seed: int = 29) -> VectorDataset:
+    """Default hard dataset: 96 sub-clusters in 8 overlapping regions."""
+    return make_hierarchical("hard-like", n, num_queries, seed=seed)
+
+
+#: Name -> constructor for the four paper datasets, used by the bench harness.
+DATASET_FAMILIES = {
+    "bigann": bigann_like,
+    "deep": deep_like,
+    "ssnpp": ssnpp_like,
+    "text2image": text2image_like,
+    "hard": hard_like,
+}
+
+
+def by_name(family: str, n: int, num_queries: int = 100, *, seed: int | None = None):
+    """Build a dataset family by name with explicit sizing."""
+    try:
+        ctor = DATASET_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset family {family!r}; expected one of "
+            f"{sorted(DATASET_FAMILIES)}"
+        ) from None
+    if seed is None:
+        return ctor(n, num_queries)
+    return ctor(n, num_queries, seed=seed)

@@ -1,0 +1,103 @@
+"""Tests for accuracy metrics and performance summaries."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    PerfSummary,
+    average_precision,
+    mean_average_precision,
+    mean_recall_at_k,
+    recall_at_k,
+)
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall_at_k(np.asarray([1, 2, 3]), np.asarray([1, 2, 3]), 3) == 1.0
+
+    def test_partial(self):
+        assert recall_at_k(
+            np.asarray([1, 9, 8]), np.asarray([1, 2, 3]), 3
+        ) == pytest.approx(1 / 3)
+
+    def test_order_irrelevant(self):
+        assert recall_at_k(np.asarray([3, 1, 2]), np.asarray([1, 2, 3]), 3) == 1.0
+
+    def test_truncates_results_to_k(self):
+        assert recall_at_k(
+            np.asarray([9, 1, 2]), np.asarray([1, 2, 3]), 2
+        ) == pytest.approx(0.5)
+
+    def test_short_result_counts_misses(self):
+        assert recall_at_k(np.asarray([1]), np.asarray([1, 2, 3]), 3) == (
+            pytest.approx(1 / 3)
+        )
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.asarray([1]), np.asarray([1]), 0)
+
+    def test_rejects_short_truth(self):
+        with pytest.raises(ValueError, match="ground truth"):
+            recall_at_k(np.asarray([1, 2]), np.asarray([1]), 2)
+
+    def test_mean_recall(self):
+        results = [np.asarray([1, 2]), np.asarray([5, 6])]
+        truth = np.asarray([[1, 2], [5, 9]])
+        assert mean_recall_at_k(results, truth, 2) == pytest.approx(0.75)
+
+    def test_mean_recall_alignment_check(self):
+        with pytest.raises(ValueError):
+            mean_recall_at_k([np.asarray([1])], np.asarray([[1], [2]]), 1)
+
+
+class TestAveragePrecision:
+    def test_full_recall(self):
+        assert average_precision(np.asarray([1, 2]), np.asarray([1, 2])) == 1.0
+
+    def test_partial(self):
+        assert average_precision(
+            np.asarray([1]), np.asarray([1, 2, 3, 4])
+        ) == pytest.approx(0.25)
+
+    def test_empty_truth_empty_result(self):
+        assert average_precision(np.asarray([]), np.asarray([])) == 1.0
+
+    def test_rejects_false_positives(self):
+        with pytest.raises(ValueError, match="outside"):
+            average_precision(np.asarray([1, 99]), np.asarray([1, 2]))
+
+    def test_mean_ap_skips_empty_truth(self):
+        results = [np.asarray([1]), np.asarray([])]
+        truth = [np.asarray([1, 2]), np.asarray([])]
+        assert mean_average_precision(results, truth) == pytest.approx(0.5)
+
+
+class TestPerfSummary:
+    def _summary(self, latency_us=1000.0, io=900.0, comp=90.0, other=10.0):
+        return PerfSummary(
+            label="x", num_queries=10, mean_latency_us=latency_us,
+            mean_ios=50, mean_round_trips=12, mean_hops=40,
+            mean_vertex_utilization=0.3, mean_io_time_us=io,
+            mean_compute_time_us=comp, mean_other_time_us=other,
+            accuracy=0.95, threads=8,
+        )
+
+    def test_qps_model(self):
+        s = self._summary(latency_us=1000.0)
+        assert s.qps == pytest.approx(8 / 1e-3)
+
+    def test_qps_scales_with_threads(self):
+        a = self._summary()
+        b = self._summary()
+        b.threads = 16
+        assert b.qps == pytest.approx(2 * a.qps)
+
+    def test_io_fraction(self):
+        s = self._summary(io=900.0, comp=90.0, other=10.0)
+        assert s.io_fraction == pytest.approx(0.9)
+
+    def test_zero_latency_guard(self):
+        s = self._summary(latency_us=0.0)
+        assert s.qps == 0.0

@@ -1,0 +1,123 @@
+"""Unit tests for the AdjacencyGraph container."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import AdjacencyGraph, from_neighbor_lists, random_regular_graph
+
+
+class TestInvariants:
+    def test_set_neighbors_roundtrip(self):
+        g = AdjacencyGraph(5, 3)
+        g.set_neighbors(0, [1, 2])
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_rejects_self_loop(self):
+        g = AdjacencyGraph(5, 3)
+        with pytest.raises(ValueError, match="self-loop"):
+            g.set_neighbors(2, [2])
+
+    def test_dedupes_neighbors(self):
+        g = AdjacencyGraph(5, 3)
+        g.set_neighbors(0, [1, 1, 2])
+        assert g.out_degree(0) == 2
+
+    def test_rejects_out_of_range(self):
+        g = AdjacencyGraph(5, 3)
+        with pytest.raises(ValueError, match="out of range"):
+            g.set_neighbors(0, [5])
+        with pytest.raises(ValueError):
+            g.set_neighbors(0, [-1])
+
+    def test_rejects_degree_overflow(self):
+        g = AdjacencyGraph(10, 2)
+        with pytest.raises(ValueError, match="exceeds"):
+            g.set_neighbors(0, [1, 2, 3])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AdjacencyGraph(0, 3)
+        with pytest.raises(ValueError):
+            AdjacencyGraph(5, 0)
+
+
+class TestAddEdge:
+    def test_add_edge(self):
+        g = AdjacencyGraph(4, 2)
+        assert g.add_edge(0, 1)
+        assert 1 in g.neighbors(0)
+
+    def test_add_edge_rejects_duplicate(self):
+        g = AdjacencyGraph(4, 2)
+        g.add_edge(0, 1)
+        assert not g.add_edge(0, 1)
+        assert g.out_degree(0) == 1
+
+    def test_add_edge_rejects_self(self):
+        g = AdjacencyGraph(4, 2)
+        assert not g.add_edge(1, 1)
+
+    def test_add_edge_respects_capacity(self):
+        g = AdjacencyGraph(4, 2)
+        g.set_neighbors(0, [1, 2])
+        assert not g.add_edge(0, 3)
+
+
+class TestDerived:
+    def test_degrees_and_edges(self):
+        g = AdjacencyGraph(4, 3)
+        g.set_neighbors(0, [1, 2])
+        g.set_neighbors(1, [0])
+        assert g.degrees().tolist() == [2, 1, 0, 0]
+        assert g.num_edges == 3
+        assert g.average_degree == pytest.approx(0.75)
+
+    def test_reverse(self):
+        g = AdjacencyGraph(3, 2)
+        g.set_neighbors(0, [1, 2])
+        rev = g.reverse()
+        assert rev.neighbors(1).tolist() == [0]
+        assert rev.neighbors(2).tolist() == [0]
+        assert rev.neighbors(0).size == 0
+
+    def test_copy_independent(self):
+        g = AdjacencyGraph(3, 2)
+        g.set_neighbors(0, [1])
+        c = g.copy()
+        c.set_neighbors(0, [2])
+        assert g.neighbors(0).tolist() == [1]
+
+    def test_reachability(self):
+        g = AdjacencyGraph(4, 2)
+        g.set_neighbors(0, [1])
+        g.set_neighbors(1, [2])
+        mask = g.reachable_from(0)
+        assert mask.tolist() == [True, True, True, False]
+        assert not g.is_connected_from(0)
+        g.set_neighbors(2, [3])
+        assert g.is_connected_from(0)
+
+
+class TestFactories:
+    def test_random_regular_degree(self):
+        g = random_regular_graph(20, 5, seed=0)
+        assert (g.degrees() == 5).all()
+
+    def test_random_regular_no_self_loops(self):
+        g = random_regular_graph(20, 5, seed=1)
+        for u in range(20):
+            assert u not in g.neighbors(u)
+
+    def test_random_regular_caps_small_n(self):
+        g = random_regular_graph(3, 10, seed=0)
+        assert (g.degrees() == 2).all()
+
+    def test_from_neighbor_lists(self):
+        g = from_neighbor_lists([[1, 2], [0], []])
+        assert g.num_vertices == 3
+        assert g.max_degree == 2
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_from_neighbor_lists_explicit_cap(self):
+        g = from_neighbor_lists([[1], [0]], max_degree=8)
+        assert g.max_degree == 8

@@ -1,0 +1,87 @@
+"""Smoke tests for the bench harness (runner + tables + workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    PERF_HEADERS,
+    format_table,
+    ground_truth_for,
+    perf_rows,
+    run_anns,
+    run_range,
+    speedup,
+    sweep_anns,
+)
+from repro.bench.workloads import (
+    bench_num_queries,
+    bench_segment_size,
+    dataset,
+)
+
+
+class TestRunner:
+    def test_run_anns(self, starling_index, small_dataset, small_truth):
+        truth, _ = small_truth
+        summary = run_anns(
+            "starling", starling_index, small_dataset.queries, truth,
+            k=10, candidate_size=48,
+        )
+        assert 0.0 <= summary.accuracy <= 1.0
+        assert summary.mean_ios > 0
+        assert summary.qps > 0
+        assert summary.num_queries == small_dataset.num_queries
+
+    def test_run_range(self, starling_index, small_dataset):
+        _, truth_lists = ground_truth_for(small_dataset, k=10)
+        summary = run_range(
+            "starling-rs", starling_index, small_dataset.queries,
+            truth_lists, small_dataset.default_radius,
+        )
+        assert 0.0 <= summary.accuracy <= 1.0
+
+    def test_sweep_monotone_accuracy(self, starling_index, small_dataset,
+                                     small_truth):
+        """Fig. 24: a larger candidate set Γ gives higher accuracy and
+        more I/Os."""
+        truth, _ = small_truth
+        curve = sweep_anns(
+            "s", starling_index, small_dataset.queries, truth, [16, 128],
+        )
+        assert curve[1].accuracy >= curve[0].accuracy
+        assert curve[1].mean_ios >= curve[0].mean_ios
+
+    def test_ground_truth_for(self, small_dataset):
+        ids, lists = ground_truth_for(small_dataset, k=5)
+        assert ids.shape == (small_dataset.num_queries, 5)
+        assert len(lists) == small_dataset.num_queries
+
+
+class TestTables:
+    def test_format_table_aligned(self):
+        out = format_table("T", ["a", "bb"], [[1, 2.5], ["xyz", 10000.0]])
+        lines = out.splitlines()
+        assert lines[0] == "== T =="
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_perf_rows_shape(self, starling_index, small_dataset, small_truth):
+        truth, _ = small_truth
+        s = run_anns("s", starling_index, small_dataset.queries[:2], truth[:2])
+        rows = perf_rows([s])
+        assert len(rows[0]) == len(PERF_HEADERS)
+
+    def test_speedup(self):
+        assert speedup(20.0, 10.0) == "2.0x"
+        assert speedup(1.0, 0.0) == "n/a"
+
+
+class TestWorkloads:
+    def test_env_defaults(self):
+        assert bench_segment_size() >= 1000
+        assert bench_num_queries() >= 10
+
+    def test_dataset_memoized(self):
+        a = dataset("deep", 200, 5)
+        b = dataset("deep", 200, 5)
+        assert a is b

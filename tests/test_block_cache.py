@@ -1,0 +1,128 @@
+"""Tests for the LRU block cache (CachedDiskGraph)."""
+
+import numpy as np
+import pytest
+
+from repro.core import StarlingConfig, build_starling
+from repro.engine import CachedDiskGraph
+from repro.storage import VertexFormat, build_disk_graph
+
+
+@pytest.fixture
+def small_disk_graph(rng):
+    n = 24
+    vectors = rng.integers(0, 256, size=(n, 4)).astype(np.uint8)
+    neighbors = [np.asarray([(i + 1) % n], dtype=np.uint32) for i in range(n)]
+    fmt = VertexFormat(dim=4, dtype=np.uint8, max_degree=4, block_bytes=72)
+    layout = [list(range(i, i + 3)) for i in range(0, n, 3)]
+    return build_disk_graph(vectors, neighbors, layout, fmt)
+
+
+class TestLRUSemantics:
+    def test_hit_serves_without_device_io(self, small_disk_graph):
+        cached = CachedDiskGraph(small_disk_graph, capacity_blocks=4)
+        cached.read_block(0)
+        before = cached.device.counters.blocks_read
+        block = cached.read_block(0)
+        assert cached.device.counters.blocks_read == before
+        assert block.block_id == 0
+        assert cached.hits == 1 and cached.misses == 1
+
+    def test_eviction_order_lru(self, small_disk_graph):
+        cached = CachedDiskGraph(small_disk_graph, capacity_blocks=2)
+        cached.read_block(0)
+        cached.read_block(1)
+        cached.read_block(0)  # 0 is now most recent
+        cached.read_block(2)  # evicts 1
+        before = cached.device.counters.blocks_read
+        cached.read_block(0)  # hit
+        assert cached.device.counters.blocks_read == before
+        cached.read_block(1)  # miss (was evicted)
+        assert cached.device.counters.blocks_read == before + 1
+
+    def test_batched_read_mixes_hits_and_misses(self, small_disk_graph):
+        cached = CachedDiskGraph(small_disk_graph, capacity_blocks=8)
+        cached.read_block(0)
+        before = cached.device.counters.snapshot()
+        blocks = cached.read_blocks([0, 1, 2])
+        delta = cached.device.counters.since(before)
+        assert delta.blocks_read == 2  # only 1 and 2 fetched
+        assert delta.round_trips == 1
+        assert [b.block_id for b in blocks] == [0, 1, 2]
+
+    def test_capacity_zero_disables(self, small_disk_graph):
+        cached = CachedDiskGraph(small_disk_graph, capacity_blocks=0)
+        cached.read_block(0)
+        cached.read_block(0)
+        assert cached.hits == 0
+        assert cached.device.counters.blocks_read == 2
+
+    def test_clear(self, small_disk_graph):
+        cached = CachedDiskGraph(small_disk_graph, capacity_blocks=4)
+        cached.read_block(0)
+        cached.clear()
+        assert cached.cached_blocks == 0
+        before = cached.device.counters.blocks_read
+        cached.read_block(0)
+        assert cached.device.counters.blocks_read == before + 1
+
+    def test_memory_bytes(self, small_disk_graph):
+        cached = CachedDiskGraph(small_disk_graph, capacity_blocks=5)
+        assert cached.memory_bytes == 5 * 72
+
+    def test_hit_rate(self, small_disk_graph):
+        cached = CachedDiskGraph(small_disk_graph, capacity_blocks=4)
+        cached.read_block(0)
+        cached.read_block(0)
+        cached.read_block(1)
+        assert cached.hit_rate == pytest.approx(1 / 3)
+
+    def test_rejects_negative_capacity(self, small_disk_graph):
+        with pytest.raises(ValueError):
+            CachedDiskGraph(small_disk_graph, capacity_blocks=-1)
+
+    def test_delegated_surface(self, small_disk_graph):
+        cached = CachedDiskGraph(small_disk_graph, capacity_blocks=2)
+        assert cached.num_vertices == small_disk_graph.num_vertices
+        assert cached.num_blocks == small_disk_graph.num_blocks
+        assert cached.block_of(5) == small_disk_graph.block_of(5)
+        assert cached.disk_bytes == small_disk_graph.disk_bytes
+
+
+class TestEngineIntegration:
+    def test_repeated_queries_get_cheaper(self, small_dataset, graph_config):
+        """Repeated identical queries hit the cache and cost fewer I/Os."""
+        idx = build_starling(
+            small_dataset,
+            StarlingConfig(graph=graph_config, block_cache_blocks=256),
+        )
+        q = small_dataset.queries[0]
+        first = idx.search(q, 10, 64)
+        second = idx.search(q, 10, 64)
+        assert second.stats.num_ios < first.stats.num_ios
+        assert second.stats.block_cache_hits > 0
+        # Results are unaffected by caching.
+        assert np.array_equal(first.ids, second.ids)
+
+    def test_cache_counted_in_memory_budget(self, small_dataset,
+                                            graph_config):
+        plain = build_starling(small_dataset,
+                               StarlingConfig(graph=graph_config))
+        cached = build_starling(
+            small_dataset,
+            StarlingConfig(graph=graph_config, block_cache_blocks=64),
+        )
+        assert cached.memory.block_cache_bytes == 64 * 4096
+        assert cached.memory_bytes > plain.memory_bytes
+
+    def test_io_stats_still_match_device(self, small_dataset, graph_config):
+        idx = build_starling(
+            small_dataset,
+            StarlingConfig(graph=graph_config, block_cache_blocks=128),
+        )
+        device = idx.disk_graph.device
+        device.reset_counters()
+        total = 0
+        for q in small_dataset.queries[:4]:
+            total += idx.search(q, 10, 64).stats.blocks_read
+        assert total == device.counters.blocks_read

@@ -1,0 +1,227 @@
+"""Tests for Vamana, NSG, HNSW and kNN-graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    HNSWParams,
+    NSGParams,
+    VamanaParams,
+    build_hnsw,
+    build_nsg,
+    build_vamana,
+    exact_knn_graph,
+    greedy_search,
+    knn_graph,
+    medoid,
+    nn_descent_knn_graph,
+    robust_prune,
+)
+from repro.vectors import deep_like, get_metric, knn
+
+
+@pytest.fixture(scope="module")
+def data():
+    ds = deep_like(400, 10, seed=21)
+    truth, _ = knn(ds.vectors, ds.queries, 10, ds.metric)
+    return ds, truth
+
+
+def _recall(graph, entry, ds, truth, ef=48):
+    vectors = ds.vectors.astype(np.float32)
+    hits = 0
+    for i, q in enumerate(ds.queries):
+        ids, _, _ = greedy_search(
+            graph, vectors, ds.metric, q.astype(np.float32), [entry], ef, 10
+        )
+        hits += len(set(ids.tolist()) & set(truth[i].tolist()))
+    return hits / (10 * len(ds.queries))
+
+
+class TestMedoid:
+    def test_medoid_is_central(self, rng):
+        points = rng.normal(size=(50, 3)).astype(np.float32)
+        points[7] = points.mean(axis=0)  # plant the centroid
+        assert medoid(points, get_metric("l2"), sample=50) == 7
+
+    def test_medoid_in_range(self, data):
+        ds, _ = data
+        m = medoid(ds.vectors, ds.metric)
+        assert 0 <= m < ds.size
+
+
+class TestRobustPrune:
+    def test_keeps_closest(self, rng):
+        vectors = rng.normal(size=(20, 4)).astype(np.float32)
+        m = get_metric("l2")
+        cand = np.arange(1, 20)
+        dists = m.distances(vectors[0], vectors[cand])
+        kept = robust_prune(0, cand, dists, vectors, m, 5, alpha=1.2)
+        assert kept.size <= 5
+        assert kept[0] == cand[np.argmin(dists)]
+
+    def test_excludes_self(self, rng):
+        vectors = rng.normal(size=(10, 4)).astype(np.float32)
+        m = get_metric("l2")
+        cand = np.arange(10)
+        dists = m.distances(vectors[0], vectors[cand])
+        kept = robust_prune(0, cand, dists, vectors, m, 9, alpha=1.0)
+        assert 0 not in kept
+
+    def test_larger_alpha_keeps_more(self, rng):
+        vectors = rng.normal(size=(60, 6)).astype(np.float32)
+        m = get_metric("l2")
+        cand = np.arange(1, 60)
+        dists = m.distances(vectors[0], vectors[cand])
+        tight = robust_prune(0, cand, dists, vectors, m, 59, alpha=1.0)
+        loose = robust_prune(0, cand, dists, vectors, m, 59, alpha=2.0)
+        assert loose.size >= tight.size
+
+
+class TestVamana:
+    def test_degree_bound(self, data):
+        ds, _ = data
+        g, _ = build_vamana(ds.vectors, ds.metric,
+                            VamanaParams(max_degree=12, build_ef=24))
+        assert (g.degrees() <= 12).all()
+
+    def test_search_recall(self, data):
+        ds, truth = data
+        g, entry = build_vamana(ds.vectors, ds.metric,
+                                VamanaParams(max_degree=16, build_ef=32))
+        assert _recall(g, entry, ds, truth) > 0.8
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            build_vamana(np.zeros((1, 4), dtype=np.float32))
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            VamanaParams(max_degree=0)
+        with pytest.raises(ValueError):
+            VamanaParams(max_degree=16, build_ef=8)
+        with pytest.raises(ValueError):
+            VamanaParams(alpha=0.5)
+
+    def test_deterministic(self, data):
+        ds, _ = data
+        g1, e1 = build_vamana(ds.vectors, ds.metric,
+                              VamanaParams(max_degree=8, build_ef=16, seed=3))
+        g2, e2 = build_vamana(ds.vectors, ds.metric,
+                              VamanaParams(max_degree=8, build_ef=16, seed=3))
+        assert e1 == e2
+        for u in range(ds.size):
+            assert np.array_equal(g1.neighbors(u), g2.neighbors(u))
+
+
+class TestNSG:
+    def test_degree_bound_and_recall(self, data):
+        ds, truth = data
+        g, nav = build_nsg(ds.vectors, ds.metric,
+                           NSGParams(max_degree=16, build_ef=32, knn_k=16))
+        assert (g.degrees() <= 16).all()
+        assert _recall(g, nav, ds, truth) > 0.75
+
+    def test_connected_from_nav(self, data):
+        ds, _ = data
+        g, nav = build_nsg(ds.vectors, ds.metric,
+                           NSGParams(max_degree=12, build_ef=24, knn_k=12))
+        assert g.is_connected_from(nav)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            NSGParams(max_degree=0)
+        with pytest.raises(ValueError):
+            NSGParams(knn_k=0)
+
+
+class TestHNSW:
+    def test_layers_and_recall(self, data):
+        ds, truth = data
+        index = build_hnsw(ds.vectors, ds.metric,
+                           HNSWParams(m=8, ef_construction=32))
+        assert index.max_level >= 1
+        hits = 0
+        for i, q in enumerate(ds.queries):
+            ids, _ = index.search(q.astype(np.float32), 10, 48)
+            hits += len(set(ids.tolist()) & set(truth[i].tolist()))
+        assert hits / (10 * len(ds.queries)) > 0.8
+
+    def test_base_layer_degree_bound(self, data):
+        ds, _ = data
+        index = build_hnsw(ds.vectors, ds.metric,
+                           HNSWParams(m=6, ef_construction=24))
+        assert (index.base_layer.degrees() <= 12).all()  # m0 = 2m
+
+    def test_upper_layers_are_subset(self, data):
+        ds, _ = data
+        index = build_hnsw(ds.vectors, ds.metric,
+                           HNSWParams(m=8, ef_construction=32))
+        upper = index.upper_layer_vertices()
+        assert 0 < upper.size < ds.size
+        # Vertices without level >= 1 must have no edges above layer 0.
+        for layer in index.layers[1:]:
+            for u in range(ds.size):
+                if index.levels[u] < 1:
+                    assert layer.out_degree(u) == 0
+
+    def test_descend_entry_point_improves(self, data):
+        ds, _ = data
+        index = build_hnsw(ds.vectors, ds.metric,
+                           HNSWParams(m=8, ef_construction=32))
+        q = ds.queries[0].astype(np.float32)
+        ep = index.descend_entry_point(q)
+        d_ep = ds.metric.distance(q, ds.vectors[ep].astype(np.float32))
+        d_top = ds.metric.distance(
+            q, ds.vectors[index.entry_point].astype(np.float32)
+        )
+        assert d_ep <= d_top
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            HNSWParams(m=1)
+        with pytest.raises(ValueError):
+            HNSWParams(m=8, ef_construction=4)
+
+
+class TestKNNGraphs:
+    def test_exact_knn_graph_correct(self, rng):
+        vectors = rng.normal(size=(40, 5)).astype(np.float32)
+        g = exact_knn_graph(vectors, 6)
+        truth, _ = knn(vectors, vectors, 7)  # includes self at position 0
+        for u in range(40):
+            expected = [v for v in truth[u].tolist() if v != u][:6]
+            assert set(g.neighbors(u).tolist()) == set(expected)
+
+    def test_exact_knn_first_neighbor_closest(self, rng):
+        vectors = rng.normal(size=(30, 4)).astype(np.float32)
+        g = exact_knn_graph(vectors, 5)
+        m = get_metric("l2")
+        for u in range(30):
+            nbrs = g.neighbors(u).astype(np.int64)
+            d = m.distances(vectors[u], vectors[nbrs])
+            assert (np.diff(d) >= -1e-6).all()
+
+    def test_nn_descent_high_recall(self, rng):
+        vectors = rng.normal(size=(300, 8)).astype(np.float32)
+        exact = exact_knn_graph(vectors, 8)
+        approx = nn_descent_knn_graph(vectors, 8, iterations=8, seed=0)
+        overlap = 0
+        for u in range(300):
+            overlap += len(
+                set(exact.neighbors(u).tolist())
+                & set(approx.neighbors(u).tolist())
+            )
+        assert overlap / (300 * 8) > 0.85
+
+    def test_knn_graph_dispatch(self, rng):
+        vectors = rng.normal(size=(50, 4)).astype(np.float32)
+        g = knn_graph(vectors, 4, exact_threshold=100)
+        assert g.max_degree == 4
+
+    def test_k_validation(self, rng):
+        vectors = rng.normal(size=(10, 3)).astype(np.float32)
+        with pytest.raises(ValueError):
+            exact_knn_graph(vectors, 0)
+        with pytest.raises(ValueError):
+            exact_knn_graph(vectors, 10)

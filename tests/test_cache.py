@@ -1,0 +1,80 @@
+"""Tests for the hot-vertex cache."""
+
+import numpy as np
+import pytest
+
+from repro.engine import HotVertexCache, build_hot_vertex_cache
+from repro.graphs import VamanaParams, build_vamana
+from repro.vectors import deep_like
+
+
+@pytest.fixture(scope="module")
+def built():
+    ds = deep_like(300, 5, seed=51)
+    graph, entry = build_vamana(
+        ds.vectors, ds.metric, VamanaParams(max_degree=10, build_ef=20)
+    )
+    return ds, graph, entry
+
+
+class TestHotVertexCache:
+    def test_direct_construction(self, rng):
+        ids = np.asarray([3, 7])
+        vectors = rng.normal(size=(2, 4)).astype(np.float32)
+        lists = [np.asarray([1], dtype=np.uint32), np.asarray([2, 3],
+                                                              dtype=np.uint32)]
+        cache = HotVertexCache(ids, vectors, lists)
+        assert len(cache) == 2
+        assert 3 in cache and 7 in cache and 5 not in cache
+        vec, nbrs = cache.get(7)
+        assert np.array_equal(vec, vectors[1])
+        assert np.array_equal(nbrs, lists[1])
+        assert cache.get(5) is None
+
+    def test_memory_bytes(self, rng):
+        ids = np.asarray([0])
+        vectors = rng.normal(size=(1, 8)).astype(np.float32)
+        lists = [np.asarray([1, 2], dtype=np.uint32)]
+        cache = HotVertexCache(ids, vectors, lists)
+        assert cache.memory_bytes == 32 + 8 + 8
+
+
+class TestBuildHotVertexCache:
+    def test_size_matches_ratio(self, built):
+        ds, graph, entry = built
+        cache = build_hot_vertex_cache(
+            graph, ds.vectors, ds.metric, entry, cache_ratio=0.1
+        )
+        assert len(cache) == 30
+
+    def test_entry_point_always_cached(self, built):
+        ds, graph, entry = built
+        cache = build_hot_vertex_cache(
+            graph, ds.vectors, ds.metric, entry, cache_ratio=0.02
+        )
+        assert entry in cache
+
+    def test_cached_vertices_are_frequently_visited(self, built):
+        """Hot vertices should cluster around the entry point's basin."""
+        ds, graph, entry = built
+        cache = build_hot_vertex_cache(
+            graph, ds.vectors, ds.metric, entry, cache_ratio=0.05,
+            num_sample_queries=32,
+        )
+        vec, nbrs = cache.get(entry)
+        assert np.array_equal(vec, ds.vectors[entry])
+        assert np.array_equal(nbrs, graph.neighbors(entry))
+
+    def test_rejects_bad_ratio(self, built):
+        ds, graph, entry = built
+        with pytest.raises(ValueError):
+            build_hot_vertex_cache(graph, ds.vectors, ds.metric, entry,
+                                   cache_ratio=0.0)
+
+    def test_memory_grows_with_ratio(self, built):
+        ds, graph, entry = built
+        small = build_hot_vertex_cache(graph, ds.vectors, ds.metric, entry,
+                                       cache_ratio=0.02)
+        large = build_hot_vertex_cache(graph, ds.vectors, ds.metric, entry,
+                                       cache_ratio=0.2)
+        assert large.memory_bytes > small.memory_bytes

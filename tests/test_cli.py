@@ -1,0 +1,128 @@
+"""Tests for the repro-starling CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.vectors import bigann_like, write_bin, write_vecs
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(
+            ["build", "--synthetic", "bigann:100", "--out", "/tmp/x"]
+        )
+        assert args.framework == "starling"
+        assert args.shuffle == "bnf"
+
+
+class TestBuildAndSearch:
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("cli") / "idx"
+        rc = main([
+            "build", "--synthetic", "deep:400", "--num-queries", "8",
+            "--out", str(out), "--max-degree", "12", "--build-ef", "24",
+        ])
+        assert rc == 0
+        return out
+
+    def test_build_writes_index(self, built):
+        meta = json.loads((built / "meta.json").read_text())
+        assert meta["kind"] == "starling"
+        assert (built / "disk.bin").exists()
+
+    def test_info(self, built, capsys):
+        assert main(["info", "--index", str(built)]) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "starling"' in out
+
+    def test_gt_and_search_with_recall(self, built, tmp_path, capsys):
+        gt = tmp_path / "gt.bin"
+        assert main([
+            "gt", "--synthetic", "deep:400", "--num-queries", "8",
+            "--k", "10", "--out", str(gt),
+        ]) == 0
+        assert main([
+            "search", "--index", str(built), "--synthetic", "deep:400",
+            "--num-queries", "8", "--k", "10", "--gamma", "48",
+            "--gt", str(gt),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recall@10=" in out
+        recall = float(out.rsplit("recall@10=", 1)[1].strip())
+        assert recall > 0.6
+
+    def test_search_show_ids(self, built, capsys):
+        assert main([
+            "search", "--index", str(built), "--synthetic", "deep:400",
+            "--num-queries", "4", "--show", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "q0:" in out and "q1:" in out
+
+    def test_diskann_framework(self, tmp_path, capsys):
+        out = tmp_path / "didx"
+        assert main([
+            "build", "--synthetic", "deep:300", "--num-queries", "4",
+            "--out", str(out), "--framework", "diskann",
+            "--max-degree", "12", "--build-ef", "24",
+        ]) == 0
+        assert main([
+            "search", "--index", str(out), "--synthetic", "deep:300",
+            "--num-queries", "4",
+        ]) == 0
+
+
+class TestBenchCommand:
+    def test_bench_writes_markdown_report(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        rc = main([
+            "bench", "--synthetic", "deep:400", "--num-queries", "6",
+            "--out", str(out), "--max-degree", "12", "--build-ef", "24",
+        ])
+        assert rc == 0
+        content = out.read_text()
+        assert content.startswith("# Starling reproduction")
+        assert "## ANNS frontier" in content
+        assert "starling" in content and "diskann" in content
+        assert "## Space cost" in content
+
+
+class TestFileInputs:
+    def test_build_from_fvecs(self, tmp_path):
+        ds = bigann_like(300, 5)
+        data = tmp_path / "base.fvecs"
+        write_vecs(data, ds.vectors.astype(np.float32))
+        out = tmp_path / "idx"
+        assert main([
+            "build", "--data", str(data), "--out", str(out),
+            "--max-degree", "12", "--build-ef", "24", "--num-queries", "4",
+        ]) == 0
+        assert (out / "meta.json").exists()
+
+    def test_build_from_u8bin(self, tmp_path):
+        ds = bigann_like(300, 5)
+        data = tmp_path / "base.u8bin"
+        write_bin(data, ds.vectors)
+        out = tmp_path / "idx"
+        assert main([
+            "build", "--data", str(data), "--out", str(out),
+            "--max-degree", "12", "--build-ef", "24", "--num-queries", "4",
+        ]) == 0
+
+    def test_unsupported_extension(self, tmp_path):
+        bad = tmp_path / "x.npy"
+        bad.write_bytes(b"")
+        with pytest.raises(SystemExit, match="unsupported"):
+            main(["build", "--data", str(bad), "--out", str(tmp_path / "i")])
+
+    def test_missing_data_and_synthetic(self, tmp_path):
+        with pytest.raises(SystemExit, match="required"):
+            main(["build", "--out", str(tmp_path / "i")])

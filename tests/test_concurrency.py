@@ -1,0 +1,144 @@
+"""Tests for the discrete-event throughput simulator."""
+
+import pytest
+
+from repro.engine import (
+    ComputeSpec,
+    QueryStats,
+    ThroughputSimulator,
+    schedule_from_stats,
+)
+from repro.storage import DiskSpec
+
+DISK = DiskSpec(round_trip_us=100.0, extra_block_us=0.0)
+COMP = ComputeSpec(exact_ns_per_dim=1000.0, pq_ns_per_subspace=0.0,
+                   other_us_per_hop=0.0)
+DIM = 100  # one exact distance = 100 µs under COMP
+
+
+def _stats(round_trips: int, exact: int = 0, pipelined: bool = False):
+    s = QueryStats(exact_distances=exact, pipelined=pipelined)
+    s.round_trip_blocks.extend([1] * round_trips)
+    return s
+
+
+class TestScheduleFromStats:
+    def test_pure_compute(self):
+        q = schedule_from_stats(_stats(0, exact=3), DISK, COMP, DIM, 8)
+        assert q.phases == [pytest.approx(300.0)]
+
+    def test_alternating_phases(self):
+        q = schedule_from_stats(_stats(2, exact=3), DISK, COMP, DIM, 8)
+        # 3 compute slices of 100 µs around 2 round-trips of 100 µs.
+        assert len(q.phases) == 5
+        assert q.total_io_us == pytest.approx(200.0)
+        assert q.total_compute_us == pytest.approx(300.0)
+
+    def test_pipelined_overlap_reduces_critical_path(self):
+        serial = schedule_from_stats(_stats(2, exact=6), DISK, COMP, DIM, 8)
+        piped = schedule_from_stats(
+            _stats(2, exact=6, pipelined=True), DISK, COMP, DIM, 8
+        )
+        assert sum(piped.phases) < sum(serial.phases)
+
+    def test_matches_latency_model_uncontended(self):
+        """Single thread + deep queue reproduces QueryStats.latency_us."""
+        stats = _stats(4, exact=8)
+        sim = ThroughputSimulator(DISK, COMP, threads=1, queue_depth=64)
+        report = sim.run([stats], DIM, 8)
+        assert report.mean_latency_us == pytest.approx(
+            stats.latency_us(DISK, COMP, DIM, 8), rel=1e-6
+        )
+
+
+class TestSimulator:
+    def test_empty_batch(self):
+        sim = ThroughputSimulator(DISK, COMP, threads=4)
+        report = sim.run([], DIM, 8)
+        assert report.qps == 0.0
+        assert report.makespan_us == 0.0
+
+    def test_single_query_latency(self):
+        sim = ThroughputSimulator(DISK, COMP, threads=4, queue_depth=8)
+        report = sim.run([_stats(3, exact=0)], DIM, 8)
+        assert report.makespan_us == pytest.approx(300.0)
+        assert report.latencies_us == [pytest.approx(300.0)]
+
+    def test_uncontended_parallelism_is_free(self):
+        """With queue_depth >= threads, N identical IO-only queries finish
+        together."""
+        sim = ThroughputSimulator(DISK, COMP, threads=4, queue_depth=4)
+        report = sim.run([_stats(2) for _ in range(4)], DIM, 8)
+        assert report.makespan_us == pytest.approx(200.0)
+        assert report.qps == pytest.approx(4 / 200e-6)
+
+    def test_queue_depth_one_serializes_io(self):
+        sim = ThroughputSimulator(DISK, COMP, threads=4, queue_depth=1)
+        report = sim.run([_stats(1) for _ in range(4)], DIM, 8)
+        # Four 100 µs round-trips through a single-slot disk: 400 µs.
+        assert report.makespan_us == pytest.approx(400.0)
+
+    def test_contention_increases_latency(self):
+        deep = ThroughputSimulator(DISK, COMP, threads=8, queue_depth=8)
+        shallow = ThroughputSimulator(DISK, COMP, threads=8, queue_depth=2)
+        batch = [_stats(4) for _ in range(8)]
+        assert (
+            shallow.run(batch, DIM, 8).mean_latency_us
+            > deep.run(batch, DIM, 8).mean_latency_us
+        )
+
+    def test_more_threads_bounded_by_disk(self):
+        """Past the disk's capacity, extra threads stop helping."""
+        batch = [_stats(4) for _ in range(32)]
+        q4 = ThroughputSimulator(DISK, COMP, threads=4, queue_depth=4).run(
+            batch, DIM, 8
+        )
+        q32 = ThroughputSimulator(DISK, COMP, threads=32, queue_depth=4).run(
+            batch, DIM, 8
+        )
+        assert q32.qps <= q4.qps * 1.3  # no miracle beyond queue depth
+
+    def test_fifo_query_dealing(self):
+        """More queries than threads: later queries start when workers free."""
+        sim = ThroughputSimulator(DISK, COMP, threads=1, queue_depth=8)
+        report = sim.run([_stats(1), _stats(1)], DIM, 8)
+        assert report.makespan_us == pytest.approx(200.0)
+        assert len(report.latencies_us) == 2
+
+    def test_disk_utilization_bounds(self):
+        sim = ThroughputSimulator(DISK, COMP, threads=4, queue_depth=2)
+        report = sim.run([_stats(3) for _ in range(6)], DIM, 8)
+        assert 0.0 < report.disk_utilization <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputSimulator(DISK, COMP, threads=0)
+        with pytest.raises(ValueError):
+            ThroughputSimulator(DISK, COMP, queue_depth=0)
+
+
+class TestEndToEnd:
+    def test_real_query_stats(self, starling_index, small_dataset):
+        """Feed recorded engine stats through the simulator."""
+        batch = [
+            starling_index.search(q, 10, 48).stats
+            for q in small_dataset.queries
+        ]
+        sim = ThroughputSimulator(
+            starling_index.disk_spec, starling_index.compute_spec,
+            threads=8, queue_depth=8,
+        )
+        report = sim.run(batch, starling_index.dim,
+                         starling_index.pq.num_subspaces)
+        assert report.qps > 0
+        # The DES QPS never exceeds the naive threads/mean_latency model
+        # by more than rounding (the naive model ignores contention).
+        naive_lat = sum(
+            s.latency_us(starling_index.disk_spec,
+                         starling_index.compute_spec,
+                         starling_index.dim,
+                         starling_index.pq.num_subspaces)
+            for s in batch
+        ) / len(batch)
+        naive_qps = 8 / (naive_lat * 1e-6)
+        assert report.qps <= naive_qps * 1.05

@@ -1,0 +1,98 @@
+"""Tests for configuration dataclasses and segment budgets."""
+
+import pytest
+
+from repro.core import (
+    DiskANNConfig,
+    GraphConfig,
+    NavigationConfig,
+    PQConfig,
+    SegmentBudget,
+    StarlingConfig,
+)
+
+
+class TestSegmentBudget:
+    def test_paper_segment(self):
+        b = SegmentBudget.paper_segment()
+        assert b.memory_bytes == 2 * 1024**3
+        assert b.disk_bytes == 10 * 1024**3
+
+    def test_for_data_bytes_ratios(self):
+        b = SegmentBudget.for_data_bytes(1000)
+        assert b.memory_bytes == 500
+        assert b.disk_bytes == 2500
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SegmentBudget(0, 100)
+        with pytest.raises(ValueError):
+            SegmentBudget(100, -1)
+
+
+class TestGraphConfig:
+    def test_defaults(self):
+        cfg = GraphConfig()
+        assert cfg.algorithm == "vamana"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown graph algorithm"):
+            GraphConfig(algorithm="kd-tree")
+
+
+class TestNavigationConfig:
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            NavigationConfig(sample_ratio=0.0)
+        with pytest.raises(ValueError):
+            NavigationConfig(sample_ratio=2.0)
+
+
+class TestStarlingConfig:
+    def test_defaults_follow_paper(self):
+        cfg = StarlingConfig()
+        assert cfg.shuffle == "bnf"
+        assert cfg.shuffle_iterations == 8  # β (App. C)
+        assert cfg.shuffle_gain_threshold == 0.01  # τ
+        assert cfg.pruning_ratio == 0.3  # σ (App. K)
+        assert cfg.block_bytes == 4096  # η
+        assert cfg.pipeline
+
+    def test_rejects_unknown_shuffler(self):
+        with pytest.raises(ValueError, match="unknown shuffler"):
+            StarlingConfig(shuffle="metis")
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            StarlingConfig(pruning_ratio=-0.1)
+
+    def test_with_updates(self):
+        cfg = StarlingConfig().with_(pruning_ratio=0.5, shuffle="bnp")
+        assert cfg.pruning_ratio == 0.5
+        assert cfg.shuffle == "bnp"
+        # original untouched (frozen)
+        assert StarlingConfig().pruning_ratio == 0.3
+
+    def test_all_shufflers_accepted(self):
+        for s in ("bnf", "bnp", "bns", "gp1", "gp2", "gp3", "kmeans", "none"):
+            assert StarlingConfig(shuffle=s).shuffle == s
+
+
+class TestDiskANNConfig:
+    def test_defaults(self):
+        cfg = DiskANNConfig()
+        assert 0 < cfg.cache_ratio < 1
+
+    def test_rejects_bad_cache_ratio(self):
+        with pytest.raises(ValueError):
+            DiskANNConfig(cache_ratio=1.5)
+
+    def test_with_updates(self):
+        assert DiskANNConfig().with_(beam_width=2).beam_width == 2
+
+
+class TestPQConfig:
+    def test_defaults(self):
+        cfg = PQConfig()
+        assert cfg.num_subspaces == 8
+        assert cfg.num_centroids == 256

@@ -1,0 +1,126 @@
+"""Tests for multi-segment coordination (Tab. 3, Fig. 19(b) machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphConfig,
+    SegmentCoordinator,
+    StarlingConfig,
+    build_starling,
+    split_dataset,
+)
+from repro.metrics import mean_recall_at_k
+from repro.vectors import deep_like, knn
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    ds = deep_like(600, 10, seed=81)
+    parts, offsets = split_dataset(ds, 3)
+    cfg = StarlingConfig(graph=GraphConfig(max_degree=12, build_ef=24))
+    segments = [build_starling(p, cfg) for p in parts]
+    coordinator = SegmentCoordinator(segments, offsets)
+    truth, _ = knn(ds.vectors, ds.queries, 10, ds.metric)
+    return ds, coordinator, truth
+
+
+class TestSplitDataset:
+    def test_partition_covers_all(self):
+        ds = deep_like(100, 5, seed=1)
+        parts, offsets = split_dataset(ds, 4)
+        assert sum(p.size for p in parts) == 100
+        assert offsets[0] == 0
+        rebuilt = np.concatenate([p.vectors for p in parts])
+        assert np.array_equal(rebuilt, ds.vectors)
+
+    def test_offsets_monotone(self):
+        ds = deep_like(97, 5, seed=1)
+        parts, offsets = split_dataset(ds, 3)
+        assert offsets == sorted(offsets)
+        for p, o in zip(parts[:-1], offsets[1:]):
+            assert p.size == o - offsets[offsets.index(o) - 1]
+
+    def test_rejects_bad_counts(self):
+        ds = deep_like(10, 2, seed=1)
+        with pytest.raises(ValueError):
+            split_dataset(ds, 0)
+        with pytest.raises(ValueError):
+            split_dataset(ds, 11)
+
+    def test_queries_shared(self):
+        ds = deep_like(50, 5, seed=1)
+        parts, _ = split_dataset(ds, 2)
+        assert np.array_equal(parts[0].queries, ds.queries)
+
+
+class TestCoordinatorSearch:
+    def test_merged_recall(self, sharded):
+        ds, coordinator, truth = sharded
+        results = [coordinator.search(q, 10, 48) for q in ds.queries]
+        recall = mean_recall_at_k([r.ids for r in results], truth, 10)
+        assert recall > 0.75
+
+    def test_global_ids(self, sharded):
+        ds, coordinator, _ = sharded
+        r = coordinator.search(ds.queries[0], 10, 48)
+        assert r.ids.max() < ds.size
+        assert len(set(r.ids.tolist())) == len(r.ids)
+
+    def test_merged_sorted(self, sharded):
+        ds, coordinator, _ = sharded
+        r = coordinator.search(ds.queries[1], 10, 48)
+        assert (np.diff(r.dists) >= -1e-9).all()
+
+    def test_stats_aggregate_all_segments(self, sharded):
+        ds, coordinator, _ = sharded
+        r = coordinator.search(ds.queries[0], 10, 48)
+        per_seg = [
+            seg.search(ds.queries[0], 10, 48).stats.num_ios
+            for seg in coordinator.segments
+        ]
+        assert r.stats.num_ios == pytest.approx(sum(per_seg), abs=sum(per_seg))
+
+    def test_latency_models(self, sharded):
+        ds, coordinator, _ = sharded
+        r = coordinator.search(ds.queries[0], 10, 48)
+        assert len(r.per_segment_latency_us) == 3
+        assert r.serial_latency_us >= r.parallel_latency_us
+        assert r.parallel_latency_us == max(r.per_segment_latency_us)
+
+    def test_more_segments_cost_more_serially(self, sharded):
+        """Tab. 3's trend: QPS decreases as segments per query grow."""
+        ds, coordinator, _ = sharded
+        one = SegmentCoordinator(coordinator.segments[:1],
+                                 coordinator.id_offsets[:1])
+        r3 = coordinator.search(ds.queries[0], 10, 48)
+        r1 = one.search(ds.queries[0], 10, 48)
+        assert r3.serial_latency_us > r1.serial_latency_us
+
+
+class TestCoordinatorRangeSearch:
+    def test_union_of_segments(self, sharded):
+        ds, coordinator, _ = sharded
+        radius = ds.default_radius
+        from repro.vectors import range_search as brute
+
+        truth = brute(ds.vectors, ds.queries, radius, ds.metric)
+        r = coordinator.range_search(ds.queries[0], radius)
+        assert set(r.ids.tolist()) <= set(truth[0].tolist())
+        assert (r.dists <= radius).all()
+
+    def test_results_sorted(self, sharded):
+        ds, coordinator, _ = sharded
+        r = coordinator.range_search(ds.queries[2], ds.default_radius)
+        assert (np.diff(r.dists) >= -1e-9).all()
+
+
+class TestCoordinatorValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SegmentCoordinator([])
+
+    def test_rejects_misaligned_offsets(self, sharded):
+        _, coordinator, _ = sharded
+        with pytest.raises(ValueError):
+            SegmentCoordinator(coordinator.segments, [0])

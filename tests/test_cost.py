@@ -1,0 +1,107 @@
+"""Unit tests for the query cost model (QueryStats, ComputeSpec)."""
+
+import pytest
+
+from repro.engine import ComputeSpec, QueryStats
+from repro.storage import DiskSpec
+
+
+@pytest.fixture
+def disk():
+    return DiskSpec(round_trip_us=100.0, extra_block_us=10.0,
+                    sequential_block_us=5.0)
+
+
+@pytest.fixture
+def comp():
+    return ComputeSpec(exact_ns_per_dim=10.0, pq_ns_per_subspace=50.0,
+                       other_us_per_hop=2.0)
+
+
+class TestCounters:
+    def test_blocks_and_round_trips(self):
+        s = QueryStats()
+        s.round_trip_blocks.extend([4, 2])
+        s.sequential_blocks.append(3)
+        assert s.blocks_read == 9
+        assert s.num_ios == 9
+        assert s.round_trips == 3
+
+    def test_vertex_utilization(self):
+        s = QueryStats(vertices_loaded=32, vertices_used=8)
+        assert s.vertex_utilization == 0.25
+
+    def test_vertex_utilization_empty(self):
+        assert QueryStats().vertex_utilization == 0.0
+
+
+class TestTimeModel:
+    def test_io_time(self, disk):
+        s = QueryStats()
+        s.round_trip_blocks.extend([1, 4])
+        # 100 + (100 + 3*10)
+        assert s.io_time_us(disk) == pytest.approx(230.0)
+
+    def test_sequential_io_time(self, disk):
+        s = QueryStats()
+        s.sequential_blocks.append(5)
+        assert s.io_time_us(disk) == pytest.approx(100 + 4 * 5)
+
+    def test_compute_time(self, comp):
+        s = QueryStats(exact_distances=10, pq_distances=100)
+        # 10 * (10ns*64dim)/1000 + 100 * (50ns*8)/1000
+        assert s.compute_time_us(comp, 64, 8) == pytest.approx(
+            10 * 0.64 + 100 * 0.4
+        )
+
+    def test_other_time(self, comp):
+        s = QueryStats(hops=7)
+        assert s.other_time_us(comp) == pytest.approx(14.0)
+
+    def test_latency_serial(self, disk, comp):
+        s = QueryStats(exact_distances=10, hops=1)
+        s.round_trip_blocks.append(1)
+        expected = 100.0 + 10 * 0.64 + 2.0
+        assert s.latency_us(disk, comp, 64, 8) == pytest.approx(expected)
+
+    def test_latency_pipelined_overlaps(self, disk, comp):
+        s = QueryStats(exact_distances=1000, hops=1, pipelined=True)
+        s.round_trip_blocks.append(1)
+        io = 100.0
+        compute = 1000 * 0.64
+        assert s.latency_us(disk, comp, 64, 8) == pytest.approx(
+            max(io, compute) + 2.0
+        )
+
+    def test_pipeline_override(self, disk, comp):
+        s = QueryStats(exact_distances=1000, hops=0, pipelined=True)
+        s.round_trip_blocks.append(1)
+        serial = s.latency_us(disk, comp, 64, 8, pipeline=False)
+        piped = s.latency_us(disk, comp, 64, 8, pipeline=True)
+        assert serial == pytest.approx(100.0 + 640.0)
+        assert piped == pytest.approx(640.0)
+
+    def test_pipeline_never_slower(self, disk, comp):
+        s = QueryStats(exact_distances=50, pq_distances=20, hops=3)
+        s.round_trip_blocks.extend([2, 2])
+        assert s.latency_us(disk, comp, 128, 8, pipeline=True) <= s.latency_us(
+            disk, comp, 128, 8, pipeline=False
+        )
+
+
+class TestMerge:
+    def test_merge_accumulates(self):
+        a = QueryStats(exact_distances=1, pq_distances=2, hops=3,
+                       vertices_loaded=4, vertices_used=2, cache_hits=1)
+        a.round_trip_blocks.append(2)
+        b = QueryStats(exact_distances=10, pq_distances=20, hops=30,
+                       vertices_loaded=40, vertices_used=20, restarts=1)
+        b.sequential_blocks.append(5)
+        a.merge(b)
+        assert a.exact_distances == 11
+        assert a.pq_distances == 22
+        assert a.hops == 33
+        assert a.vertices_loaded == 44
+        assert a.blocks_read == 7
+        assert a.restarts == 1
+        assert a.cache_hits == 1

@@ -1,0 +1,140 @@
+"""Unit tests for VectorDataset and the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.vectors import (
+    VectorDataset,
+    bigann_like,
+    by_name,
+    deep_like,
+    get_metric,
+    knn,
+    ssnpp_like,
+    text2image_like,
+)
+from repro.vectors.synthetic import DATASET_FAMILIES, MixtureSpec, make_clustered
+
+
+class TestVectorDataset:
+    def _make(self, **kw):
+        defaults = dict(
+            name="t",
+            vectors=np.zeros((10, 4), dtype=np.float32),
+            queries=np.zeros((3, 4), dtype=np.float32),
+            metric=get_metric("l2"),
+        )
+        defaults.update(kw)
+        return VectorDataset(**defaults)
+
+    def test_basic_properties(self):
+        ds = self._make()
+        assert ds.size == 10
+        assert ds.dim == 4
+        assert ds.num_queries == 3
+        assert ds.vector_nbytes == 16
+
+    def test_metric_accepts_string(self):
+        ds = self._make(metric="ip")
+        assert ds.metric.name == "ip"
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            self._make(queries=np.zeros((3, 5), dtype=np.float32))
+
+    def test_rejects_1d_vectors(self):
+        with pytest.raises(ValueError, match="2-D"):
+            self._make(vectors=np.zeros(10, dtype=np.float32))
+
+    def test_subset(self):
+        ds = self._make()
+        sub = ds.subset(4)
+        assert sub.size == 4
+        assert sub.num_queries == 3
+        assert "[:4]" in sub.name
+
+    def test_subset_out_of_range(self):
+        ds = self._make()
+        with pytest.raises(ValueError):
+            ds.subset(0)
+        with pytest.raises(ValueError):
+            ds.subset(11)
+
+    def test_with_queries(self):
+        ds = self._make()
+        ds2 = ds.with_queries(np.ones((5, 4), dtype=np.float32))
+        assert ds2.num_queries == 5
+        assert ds2.vectors is ds.vectors
+
+    def test_uint8_vector_nbytes(self):
+        ds = self._make(
+            vectors=np.zeros((10, 4), dtype=np.uint8),
+            queries=np.zeros((2, 4), dtype=np.uint8),
+        )
+        assert ds.vector_nbytes == 4
+
+
+class TestSyntheticGenerators:
+    @pytest.mark.parametrize(
+        "ctor,dim,dtype,metric",
+        [
+            (bigann_like, 128, np.uint8, "l2"),
+            (deep_like, 96, np.float32, "l2"),
+            (ssnpp_like, 256, np.uint8, "l2"),
+            (text2image_like, 200, np.float32, "ip"),
+        ],
+    )
+    def test_family_shapes(self, ctor, dim, dtype, metric):
+        ds = ctor(200, 10)
+        assert ds.dim == dim
+        assert ds.vectors.dtype == dtype
+        assert ds.metric.name == metric
+        assert ds.size == 200
+        assert ds.num_queries == 10
+
+    def test_reproducible_with_seed(self):
+        a = bigann_like(100, 5, seed=42)
+        b = bigann_like(100, 5, seed=42)
+        assert np.array_equal(a.vectors, b.vectors)
+        assert np.array_equal(a.queries, b.queries)
+
+    def test_different_seed_differs(self):
+        a = bigann_like(100, 5, seed=1)
+        b = bigann_like(100, 5, seed=2)
+        assert not np.array_equal(a.vectors, b.vectors)
+
+    def test_queries_share_cluster_structure(self):
+        """Regression: queries must live near the base-data clusters."""
+        ds = bigann_like(2000, 20, seed=9)
+        _, dists = knn(ds.vectors, ds.queries, 1, ds.metric)
+        # A query's nearest neighbour must be intra-cluster scale, far below
+        # the inter-cluster distance scale (~1e5 squared for this family).
+        assert float(np.median(dists)) < ds.default_radius * 3
+
+    def test_default_radius_yields_results(self):
+        ds = deep_like(2000, 20, seed=4)
+        from repro.vectors import dataset_range
+
+        sizes = [len(g) for g in dataset_range(ds)]
+        assert np.mean(sizes) > 1.0
+
+    def test_by_name_dispatch(self):
+        for family in DATASET_FAMILIES:
+            ds = by_name(family, 50, 4)
+            assert ds.size == 50
+
+    def test_by_name_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataset family"):
+            by_name("laion", 100)
+
+    def test_make_clustered_validation(self):
+        spec = MixtureSpec(dim=4, num_clusters=2, cluster_std=1.0, box=10.0)
+        with pytest.raises(ValueError):
+            make_clustered("x", 0, 5, spec, dtype="float32", metric="l2", seed=0)
+        with pytest.raises(ValueError):
+            make_clustered("x", 5, 0, spec, dtype="float32", metric="l2", seed=0)
+
+    def test_uint8_values_in_range(self):
+        ds = bigann_like(500, 5)
+        assert ds.vectors.min() >= 0
+        assert ds.vectors.max() <= 255

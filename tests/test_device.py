@@ -1,0 +1,132 @@
+"""Unit tests for the simulated block device and its cost model."""
+
+import numpy as np
+import pytest
+
+from repro.storage import BlockDevice, DiskSpec, device_for_blocks
+
+
+@pytest.fixture
+def device():
+    return BlockDevice(block_bytes=64, num_blocks=8)
+
+
+class TestDiskSpec:
+    def test_single_block_cost(self):
+        spec = DiskSpec(round_trip_us=100.0, extra_block_us=10.0)
+        assert spec.random_read_us(1) == 100.0
+
+    def test_batched_cost_marginal(self):
+        spec = DiskSpec(round_trip_us=100.0, extra_block_us=10.0)
+        assert spec.random_read_us(4) == 130.0
+
+    def test_zero_blocks_free(self):
+        spec = DiskSpec()
+        assert spec.random_read_us(0) == 0.0
+        assert spec.sequential_read_us(0) == 0.0
+
+    def test_sequential_cheaper_than_random_batch(self):
+        spec = DiskSpec()
+        assert spec.sequential_read_us(10) < spec.random_read_us(10)
+
+    def test_batch_cheaper_than_separate_round_trips(self):
+        """The paper's central assumption (§7)."""
+        spec = DiskSpec()
+        assert spec.random_read_us(4) < 4 * spec.random_read_us(1)
+
+
+class TestBlockDeviceMemory:
+    def test_write_read_roundtrip(self, device):
+        payload = bytes(range(64))
+        device.write_block(3, payload)
+        assert device.read_block(3) == payload
+
+    def test_unwritten_blocks_zero(self, device):
+        assert device.read_block(0) == b"\x00" * 64
+
+    def test_write_rejects_wrong_size(self, device):
+        with pytest.raises(ValueError):
+            device.write_block(0, b"short")
+
+    def test_rejects_out_of_range(self, device):
+        with pytest.raises(IndexError):
+            device.read_block(8)
+        with pytest.raises(IndexError):
+            device.write_block(-1, b"\x00" * 64)
+
+    def test_disk_bytes(self, device):
+        assert device.disk_bytes == 8 * 64
+
+
+class TestIOAccounting:
+    def test_single_read_counts(self, device):
+        device.read_block(0)
+        assert device.counters.blocks_read == 1
+        assert device.counters.round_trips == 1
+
+    def test_batched_read_one_round_trip(self, device):
+        device.read_blocks([0, 1, 5])
+        assert device.counters.blocks_read == 3
+        assert device.counters.round_trips == 1
+
+    def test_empty_batch_free(self, device):
+        assert device.read_blocks([]) == []
+        assert device.counters.round_trips == 0
+
+    def test_sequential_read(self, device):
+        out = device.read_sequential(2, 3)
+        assert len(out) == 3
+        assert device.counters.blocks_read == 3
+        assert device.counters.round_trips == 1
+
+    def test_sequential_bounds_checked(self, device):
+        with pytest.raises(IndexError):
+            device.read_sequential(6, 3)
+
+    def test_writes_counted_separately(self, device):
+        device.write_block(0, b"\x00" * 64)
+        assert device.counters.blocks_written == 1
+        assert device.counters.blocks_read == 0
+
+    def test_reset(self, device):
+        device.read_block(0)
+        device.reset_counters()
+        assert device.counters.blocks_read == 0
+
+    def test_snapshot_since(self, device):
+        device.read_block(0)
+        snap = device.counters.snapshot()
+        device.read_blocks([1, 2])
+        delta = device.counters.since(snap)
+        assert delta.blocks_read == 2
+        assert delta.round_trips == 1
+
+
+class TestFileBackedDevice:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "segment.bin"
+        with BlockDevice(128, 4, path=path) as device:
+            payload = bytes(np.random.default_rng(0).integers(0, 256, 128,
+                                                              dtype=np.uint8))
+            device.write_block(2, payload)
+            assert device.read_block(2) == payload
+        assert path.stat().st_size == 4 * 128
+
+    def test_file_truncated_to_size(self, tmp_path):
+        path = tmp_path / "d.bin"
+        with BlockDevice(64, 10, path=path):
+            pass
+        assert path.stat().st_size == 640
+
+
+class TestDeviceForBlocks:
+    def test_prepopulates(self):
+        blocks = [bytes([i]) * 32 for i in range(5)]
+        device = device_for_blocks(blocks, 32)
+        assert device.num_blocks == 5
+        assert device.read_block(4) == blocks[4]
+
+    def test_build_writes_do_not_count(self):
+        device = device_for_blocks([b"\x00" * 16], 16)
+        # device_for_blocks leaves write counters; reads start clean
+        assert device.counters.blocks_read == 0

@@ -1,0 +1,126 @@
+"""Unit tests for DiskGraph construction and counted reads."""
+
+import numpy as np
+import pytest
+
+from repro.storage import VertexFormat, build_disk_graph
+
+
+@pytest.fixture
+def tiny_graph(rng):
+    """12 vertices, 4-d uint8 vectors, ε=3 blocks of explicit layout."""
+    n = 12
+    vectors = rng.integers(0, 256, size=(n, 4)).astype(np.uint8)
+    neighbors = [
+        np.asarray([(i + 1) % n, (i + 2) % n], dtype=np.uint32) for i in range(n)
+    ]
+    fmt = VertexFormat(dim=4, dtype=np.uint8, max_degree=4, block_bytes=72)
+    assert fmt.vertices_per_block == 3
+    layout = [[0, 5, 7], [1, 2, 3], [4, 6, 8], [9, 10, 11]]
+    dg = build_disk_graph(vectors, neighbors, layout, fmt)
+    return dg, vectors, neighbors, layout
+
+
+class TestBuildValidation:
+    def _base(self, rng, n=6):
+        vectors = rng.integers(0, 256, size=(n, 4)).astype(np.uint8)
+        neighbors = [np.asarray([(i + 1) % n], dtype=np.uint32) for i in range(n)]
+        fmt = VertexFormat(dim=4, dtype=np.uint8, max_degree=4, block_bytes=72)
+        return vectors, neighbors, fmt
+
+    def test_rejects_incomplete_layout(self, rng):
+        vectors, neighbors, fmt = self._base(rng)
+        with pytest.raises(ValueError, match="partition"):
+            build_disk_graph(vectors, neighbors, [[0, 1, 2]], fmt)
+
+    def test_rejects_duplicate_vertex(self, rng):
+        vectors, neighbors, fmt = self._base(rng)
+        with pytest.raises(ValueError, match="twice"):
+            build_disk_graph(
+                vectors, neighbors, [[0, 1, 2], [3, 4, 0]], fmt
+            )
+
+    def test_rejects_unknown_vertex(self, rng):
+        vectors, neighbors, fmt = self._base(rng)
+        with pytest.raises(ValueError, match="unknown vertex"):
+            build_disk_graph(
+                vectors, neighbors, [[0, 1, 2], [3, 4, 99]], fmt
+            )
+
+    def test_rejects_overfull_block(self, rng):
+        vectors, neighbors, fmt = self._base(rng)
+        with pytest.raises(ValueError, match="exceeding"):
+            build_disk_graph(
+                vectors, neighbors, [[0, 1, 2, 3], [4, 5]], fmt
+            )
+
+    def test_rejects_neighbor_list_mismatch(self, rng):
+        vectors, neighbors, fmt = self._base(rng)
+        with pytest.raises(ValueError, match="length"):
+            build_disk_graph(vectors, neighbors[:-1], [[0, 1, 2], [3, 4, 5]], fmt)
+
+
+class TestDiskGraphReads:
+    def test_mapping(self, tiny_graph):
+        dg, _, _, layout = tiny_graph
+        for block_id, members in enumerate(layout):
+            for v in members:
+                assert dg.block_of(v) == block_id
+
+    def test_read_block_contents(self, tiny_graph):
+        dg, vectors, neighbors, layout = tiny_graph
+        block = dg.read_block(1)
+        assert block.vertex_ids.tolist() == layout[1]
+        for pos, vid in enumerate(layout[1]):
+            assert np.array_equal(block.vectors[pos], vectors[vid])
+            assert np.array_equal(block.neighbor_lists[pos], neighbors[vid])
+
+    def test_index_of(self, tiny_graph):
+        dg, _, _, _ = tiny_graph
+        block = dg.read_block(0)
+        assert block.index_of(5) == 1
+        with pytest.raises(KeyError):
+            block.index_of(1)
+
+    def test_read_blocks_of_dedupes(self, tiny_graph):
+        dg, _, _, _ = tiny_graph
+        dg.device.reset_counters()
+        blocks = dg.read_blocks_of([0, 5, 7, 1])  # first three share a block
+        assert len(blocks) == 2
+        assert dg.device.counters.round_trips == 1
+        assert dg.device.counters.blocks_read == 2
+
+    def test_build_reads_not_counted(self, tiny_graph):
+        dg, _, _, _ = tiny_graph
+        assert dg.device.counters.blocks_read == 0
+        assert dg.device.counters.blocks_written == 0
+
+    def test_peek_vertex_uncounted(self, tiny_graph):
+        dg, vectors, neighbors, _ = tiny_graph
+        vec, nbrs = dg.peek_vertex(6)
+        assert np.array_equal(vec, vectors[6])
+        assert np.array_equal(nbrs, neighbors[6])
+        assert dg.device.counters.blocks_read == 0
+
+    def test_mapping_bytes_positive(self, tiny_graph):
+        dg, _, _, _ = tiny_graph
+        assert dg.mapping_bytes == 12 * 4  # uint32 per vertex
+
+    def test_num_properties(self, tiny_graph):
+        dg, _, _, _ = tiny_graph
+        assert dg.num_vertices == 12
+        assert dg.num_blocks == 4
+        assert dg.disk_bytes == 4 * 72
+
+    def test_file_backed(self, tiny_graph, rng, tmp_path):
+        n = 6
+        vectors = rng.integers(0, 256, size=(n, 4)).astype(np.uint8)
+        neighbors = [np.asarray([(i + 1) % n], dtype=np.uint32) for i in range(n)]
+        fmt = VertexFormat(dim=4, dtype=np.uint8, max_degree=4, block_bytes=72)
+        dg = build_disk_graph(
+            vectors, neighbors, [[0, 1, 2], [3, 4, 5]], fmt,
+            path=tmp_path / "g.bin",
+        )
+        block = dg.read_block_of(4)
+        assert 4 in block.vertex_ids
+        dg.device.close()

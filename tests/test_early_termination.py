@@ -1,0 +1,100 @@
+"""Tests for adaptive early termination (related work [38])."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BlockSearchEngine
+from repro.engine.early_stop import AdaptiveEarlyStopper
+from repro.engine.frontier import ResultSet
+from repro.metrics import mean_recall_at_k
+
+
+class TestStopperUnit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveEarlyStopper(0, 3)
+        with pytest.raises(ValueError):
+            AdaptiveEarlyStopper(5, 0)
+
+    def test_never_stops_before_min_hops(self):
+        stopper = AdaptiveEarlyStopper(3, patience=1, min_hops=5)
+        results = ResultSet()
+        for i in range(3):
+            results.add(i, float(i))
+        # Results full and stalling, but min_hops not reached.
+        assert not stopper.update(results)
+        assert not stopper.update(results)
+
+    def test_stops_after_patience_stalls(self):
+        stopper = AdaptiveEarlyStopper(2, patience=3, min_hops=1)
+        results = ResultSet()
+        results.add(0, 1.0)
+        results.add(1, 2.0)
+        assert not stopper.update(results)  # first sight = improvement
+        assert not stopper.update(results)  # stall 1
+        assert not stopper.update(results)  # stall 2
+        assert stopper.update(results)  # stall 3 -> stop
+
+    def test_improvement_resets_patience(self):
+        stopper = AdaptiveEarlyStopper(1, patience=2, min_hops=1)
+        results = ResultSet()
+        results.add(0, 5.0)
+        assert not stopper.update(results)
+        assert not stopper.update(results)  # stall 1
+        results.add(1, 1.0)  # improvement
+        assert not stopper.update(results)
+        assert not stopper.update(results)  # stall 1 again
+        assert stopper.update(results)  # stall 2 -> stop
+
+    def test_partial_results_stall_and_stop(self):
+        """Fewer than k results: the key stays infinite, so a stalled
+        frontier still terminates after the patience budget."""
+        stopper = AdaptiveEarlyStopper(5, patience=2, min_hops=1)
+        results = ResultSet()
+        results.add(0, 1.0)  # fewer than k results: key stays inf
+        assert not stopper.update(results)  # stall 1
+        assert stopper.update(results)  # stall 2 -> stop
+
+
+class TestEngineIntegration:
+    def _engine(self, index, patience):
+        return BlockSearchEngine(
+            index.disk_graph, index.pq, index.metric, index.entry_provider,
+            pruning_ratio=index.config.pruning_ratio,
+            early_termination=patience,
+        )
+
+    def test_cuts_ios_at_minor_recall_cost(self, starling_index,
+                                           small_dataset, small_truth):
+        truth, _ = small_truth
+        full = [
+            starling_index.search(q, 10, 128) for q in small_dataset.queries
+        ]
+        engine = self._engine(starling_index, patience=8)
+        early = [engine.search(q, 10, 128) for q in small_dataset.queries]
+        ios_full = np.mean([r.stats.num_ios for r in full])
+        ios_early = np.mean([r.stats.num_ios for r in early])
+        recall_full = mean_recall_at_k([r.ids for r in full], truth, 10)
+        recall_early = mean_recall_at_k([r.ids for r in early], truth, 10)
+        assert ios_early < ios_full
+        assert recall_early >= recall_full - 0.05
+
+    def test_lower_patience_fewer_ios(self, starling_index, small_dataset):
+        q = small_dataset.queries[0]
+        eager = self._engine(starling_index, patience=3).search(q, 10, 128)
+        patient = self._engine(starling_index, patience=20).search(q, 10, 128)
+        assert eager.stats.num_ios <= patient.stats.num_ios
+
+    def test_rejects_bad_patience(self, starling_index):
+        with pytest.raises(ValueError):
+            self._engine(starling_index, patience=0)
+
+    def test_range_search_unaffected(self, starling_index, small_dataset):
+        """RS drivers never use the ANNS stopper (its own §5.3 rule)."""
+        engine = self._engine(starling_index, patience=2)
+        radius = small_dataset.default_radius
+        from repro.engine import incremental_range_search
+
+        a = incremental_range_search(engine, small_dataset.queries[0], radius)
+        b = starling_index.range_search(small_dataset.queries[0], radius)
+        assert np.array_equal(a.ids, b.ids)

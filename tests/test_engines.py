@@ -1,0 +1,191 @@
+"""Tests for the disk search engines (beam search and block search)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiskANNConfig, StarlingConfig, build_diskann, build_starling
+from repro.engine import BeamSearchEngine, BlockSearchEngine
+from repro.metrics import mean_recall_at_k
+
+
+class TestBeamSearchEngine:
+    def test_recall(self, diskann_index, small_dataset, small_truth):
+        truth, _ = small_truth
+        results = [
+            diskann_index.search(q, 10, 64) for q in small_dataset.queries
+        ]
+        recall = mean_recall_at_k([r.ids for r in results], truth, 10)
+        assert recall > 0.7
+
+    def test_results_sorted_by_exact_distance(self, diskann_index,
+                                               small_dataset):
+        r = diskann_index.search(small_dataset.queries[0], 10, 64)
+        assert (np.diff(r.dists) >= -1e-9).all()
+
+    def test_stats_io_matches_device(self, diskann_index, small_dataset):
+        device = diskann_index.disk_graph.device
+        device.reset_counters()
+        r = diskann_index.search(small_dataset.queries[0], 10, 64)
+        assert r.stats.blocks_read == device.counters.blocks_read
+        assert r.stats.round_trips == device.counters.round_trips
+
+    def test_baseline_vertex_utilization_low(self, diskann_index,
+                                              small_dataset):
+        """The baseline uses only the target vertex per block (§3.1)."""
+        r = diskann_index.search(small_dataset.queries[0], 10, 64)
+        eps = diskann_index.disk_graph.fmt.vertices_per_block
+        assert r.stats.vertex_utilization <= 1.5 / eps + 0.05
+
+    def test_cache_hits_avoid_io(self, small_dataset, graph_config):
+        no_cache = build_diskann(
+            small_dataset,
+            DiskANNConfig(graph=graph_config, cache_ratio=0.0),
+        )
+        with_cache = build_diskann(
+            small_dataset,
+            DiskANNConfig(graph=graph_config, cache_ratio=0.3),
+        )
+        q = small_dataset.queries[0]
+        ios_nc = no_cache.search(q, 10, 64).stats.num_ios
+        r = with_cache.search(q, 10, 64)
+        assert r.stats.cache_hits > 0
+        assert r.stats.num_ios < ios_nc
+
+    def test_beam_width_reduces_round_trips(self, small_dataset, graph_config):
+        narrow = build_diskann(
+            small_dataset, DiskANNConfig(graph=graph_config, beam_width=1,
+                                         cache_ratio=0.0)
+        )
+        wide = build_diskann(
+            small_dataset, DiskANNConfig(graph=graph_config, beam_width=8,
+                                         cache_ratio=0.0)
+        )
+        q = small_dataset.queries[1]
+        rt_narrow = narrow.search(q, 10, 64).stats.round_trips
+        rt_wide = wide.search(q, 10, 64).stats.round_trips
+        assert rt_wide < rt_narrow
+
+    def test_exact_routing_costs_more_io(self, small_dataset, graph_config):
+        pq_mode = build_diskann(
+            small_dataset, DiskANNConfig(graph=graph_config, cache_ratio=0.0)
+        )
+        exact_mode = build_diskann(
+            small_dataset,
+            DiskANNConfig(graph=graph_config, cache_ratio=0.0,
+                          use_pq_routing=False),
+        )
+        q = small_dataset.queries[2]
+        assert (
+            exact_mode.search(q, 10, 32).stats.num_ios
+            > pq_mode.search(q, 10, 32).stats.num_ios
+        )
+
+    def test_rejects_bad_beam_width(self, diskann_index):
+        with pytest.raises(ValueError):
+            BeamSearchEngine(
+                diskann_index.disk_graph, diskann_index.pq,
+                diskann_index.metric, diskann_index.entry_provider,
+                beam_width=0,
+            )
+
+    def test_k_larger_than_candidates(self, diskann_index, small_dataset):
+        r = diskann_index.search(small_dataset.queries[0], 500, 16)
+        assert len(r) <= 500
+
+
+class TestBlockSearchEngine:
+    def test_recall_exceeds_baseline(self, starling_index, diskann_index,
+                                     small_dataset, small_truth):
+        truth, _ = small_truth
+        star = [starling_index.search(q, 10, 64) for q in small_dataset.queries]
+        base = [diskann_index.search(q, 10, 64) for q in small_dataset.queries]
+        r_star = mean_recall_at_k([r.ids for r in star], truth, 10)
+        r_base = mean_recall_at_k([r.ids for r in base], truth, 10)
+        assert r_star >= r_base
+
+    def test_fewer_ios_than_baseline(self, starling_index, diskann_index,
+                                     small_dataset):
+        star = np.mean([
+            starling_index.search(q, 10, 64).stats.num_ios
+            for q in small_dataset.queries
+        ])
+        base = np.mean([
+            diskann_index.search(q, 10, 64).stats.num_ios
+            for q in small_dataset.queries
+        ])
+        assert star < base
+
+    def test_higher_vertex_utilization(self, starling_index, diskann_index,
+                                       small_dataset):
+        """Tab. 2: Starling's ξ far exceeds the baseline's."""
+        q = small_dataset.queries[0]
+        xi_star = starling_index.search(q, 10, 64).stats.vertex_utilization
+        xi_base = diskann_index.search(q, 10, 64).stats.vertex_utilization
+        assert xi_star > 2 * xi_base
+
+    def test_shorter_search_path(self, starling_index, diskann_index,
+                                 small_dataset):
+        """Tab. 2: navigation graph + locality shorten ℓ."""
+        star = np.mean([
+            starling_index.search(q, 10, 64).stats.hops
+            for q in small_dataset.queries
+        ])
+        base = np.mean([
+            diskann_index.search(q, 10, 64).stats.hops
+            for q in small_dataset.queries
+        ])
+        assert star < base
+
+    def test_pipelined_stats(self, starling_index, small_dataset):
+        r = starling_index.search(small_dataset.queries[0], 10, 64)
+        assert r.stats.pipelined
+
+    def test_stats_io_matches_device(self, starling_index, small_dataset):
+        device = starling_index.disk_graph.device
+        device.reset_counters()
+        r = starling_index.search(small_dataset.queries[0], 10, 64)
+        assert r.stats.blocks_read == device.counters.blocks_read
+        assert r.stats.round_trips == device.counters.round_trips
+
+    def test_sigma_zero_degenerates_to_target_only(self, small_dataset,
+                                                    graph_config):
+        """App. K: σ = 0 visits only the target vertex per block."""
+        idx = build_starling(
+            small_dataset,
+            StarlingConfig(graph=graph_config, pruning_ratio=0.0),
+        )
+        r = idx.search(small_dataset.queries[0], 10, 64)
+        eps = idx.disk_graph.fmt.vertices_per_block
+        assert r.stats.vertex_utilization <= 1.5 / eps + 0.05
+
+    def test_sigma_bounds_utilization(self, small_dataset, graph_config):
+        idx = build_starling(
+            small_dataset,
+            StarlingConfig(graph=graph_config, pruning_ratio=0.3),
+        )
+        r = idx.search(small_dataset.queries[0], 10, 64)
+        eps = idx.disk_graph.fmt.vertices_per_block
+        expected = (1 + np.ceil((eps - 1) * 0.3)) / eps
+        assert r.stats.vertex_utilization <= expected + 0.05
+
+    def test_rejects_bad_pruning_ratio(self, starling_index):
+        with pytest.raises(ValueError):
+            BlockSearchEngine(
+                starling_index.disk_graph, starling_index.pq,
+                starling_index.metric, starling_index.entry_provider,
+                pruning_ratio=1.5,
+            )
+
+    def test_exact_routing_costs_more_io(self, small_dataset, graph_config):
+        pq_mode = build_starling(
+            small_dataset, StarlingConfig(graph=graph_config)
+        )
+        exact_mode = build_starling(
+            small_dataset,
+            StarlingConfig(graph=graph_config, use_pq_routing=False),
+        )
+        q = small_dataset.queries[3]
+        assert (
+            exact_mode.search(q, 10, 32).stats.num_ios
+            > pq_mode.search(q, 10, 32).stats.num_ios
+        )

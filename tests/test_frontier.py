@@ -1,0 +1,174 @@
+"""Unit tests for CandidateSet and ResultSet."""
+
+import numpy as np
+import pytest
+
+from repro.engine import CandidateSet, ResultSet
+
+
+class TestCandidateSetBasics:
+    def test_push_and_order(self):
+        c = CandidateSet(4)
+        c.push(1, 3.0)
+        c.push(2, 1.0)
+        c.push(3, 2.0)
+        assert [vid for _, vid in c.entries()] == [2, 3, 1]
+
+    def test_push_duplicate_ignored(self):
+        c = CandidateSet(4)
+        assert c.push(1, 3.0)
+        assert not c.push(1, 1.0)
+        assert len(c) == 1
+
+    def test_contains(self):
+        c = CandidateSet(2)
+        c.push(5, 1.0)
+        assert 5 in c
+        assert 6 not in c
+
+    def test_capacity_eviction(self):
+        c = CandidateSet(2)
+        c.push(1, 1.0)
+        c.push(2, 2.0)
+        c.push(3, 1.5)  # evicts 2
+        assert 2 not in c
+        assert [vid for _, vid in c.entries()] == [1, 3]
+
+    def test_push_beyond_worst_rejected(self):
+        c = CandidateSet(2)
+        c.push(1, 1.0)
+        c.push(2, 2.0)
+        assert not c.push(3, 5.0)
+        assert 3 not in c
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CandidateSet(0)
+
+
+class TestVisitedSemantics:
+    def test_pop_unvisited_order(self):
+        c = CandidateSet(4)
+        for vid, d in ((1, 3.0), (2, 1.0), (3, 2.0)):
+            c.push(vid, d)
+        assert c.pop_unvisited(2) == [2, 3]
+        assert c.pop_unvisited(2) == [1]
+        assert c.pop_unvisited(1) == []
+
+    def test_popped_stay_in_set(self):
+        c = CandidateSet(4)
+        c.push(1, 1.0)
+        c.pop_unvisited(1)
+        assert 1 in c  # still a member, just visited
+
+    def test_has_unvisited(self):
+        c = CandidateSet(4)
+        c.push(1, 1.0)
+        assert c.has_unvisited()
+        c.pop_unvisited(1)
+        assert not c.has_unvisited()
+
+    def test_mark_visited_external_id(self):
+        """Block search marks co-located vertices visited before pushing."""
+        c = CandidateSet(4)
+        c.mark_visited(9)
+        c.push(9, 1.0)
+        assert not c.has_unvisited()
+
+    def test_num_visited(self):
+        c = CandidateSet(4)
+        c.push(1, 1.0)
+        c.push(2, 2.0)
+        c.pop_unvisited(1)
+        assert c.num_visited == 1
+
+
+class TestKickedTracking:
+    def test_evicted_recorded(self):
+        c = CandidateSet(2, track_kicked=True)
+        c.push(1, 1.0)
+        c.push(2, 2.0)
+        c.push(3, 1.5)
+        assert (2.0, 2) in c.kicked
+
+    def test_rejected_recorded(self):
+        c = CandidateSet(1, track_kicked=True)
+        c.push(1, 1.0)
+        c.push(2, 9.0)
+        assert (9.0, 2) in c.kicked
+
+    def test_visited_evictions_not_recorded(self):
+        c = CandidateSet(2, track_kicked=True)
+        c.push(1, 1.0)
+        c.push(2, 2.0)
+        c.pop_unvisited(2)  # both visited
+        c.push(3, 1.5)
+        assert all(vid != 2 for _, vid in c.kicked)
+
+    def test_untracked_by_default(self):
+        c = CandidateSet(1)
+        c.push(1, 1.0)
+        c.push(2, 2.0)
+        assert c.kicked == []
+
+    def test_readmit_after_grow(self):
+        c = CandidateSet(2, track_kicked=True)
+        for vid, d in ((1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)):
+            c.push(vid, d)
+        assert len(c) == 2
+        c.grow(4)
+        kicked, c.kicked = c.kicked, []
+        added = c.readmit(kicked)
+        assert added == 2
+        assert 3 in c and 4 in c
+
+    def test_grow_rejects_shrink(self):
+        c = CandidateSet(4)
+        with pytest.raises(ValueError):
+            c.grow(2)
+
+
+class TestResultSet:
+    def test_topk_sorted(self):
+        r = ResultSet()
+        r.add(1, 3.0)
+        r.add(2, 1.0)
+        r.add(3, 2.0)
+        ids, dists = r.top_k(2)
+        assert ids.tolist() == [2, 3]
+        assert dists.tolist() == [1.0, 2.0]
+
+    def test_keeps_best_distance(self):
+        r = ResultSet()
+        r.add(1, 3.0)
+        r.add(1, 2.0)
+        r.add(1, 5.0)
+        _, dists = r.top_k(1)
+        assert dists[0] == 2.0
+
+    def test_within_radius(self):
+        r = ResultSet()
+        for vid, d in ((1, 0.5), (2, 1.5), (3, 1.0)):
+            r.add(vid, d)
+        ids, dists = r.within(1.0)
+        assert ids.tolist() == [1, 3]
+        assert (dists <= 1.0).all()
+
+    def test_topk_beyond_size(self):
+        r = ResultSet()
+        r.add(1, 1.0)
+        ids, _ = r.top_k(10)
+        assert ids.tolist() == [1]
+
+    def test_ties_broken_by_id(self):
+        r = ResultSet()
+        r.add(5, 1.0)
+        r.add(3, 1.0)
+        ids, _ = r.top_k(2)
+        assert ids.tolist() == [3, 5]
+
+    def test_contains_and_len(self):
+        r = ResultSet()
+        r.add(7, 1.0)
+        assert 7 in r
+        assert len(r) == 1

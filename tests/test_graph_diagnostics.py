@@ -1,0 +1,112 @@
+"""Tests for graph structural diagnostics — and the paper's §7 claims."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    AdjacencyGraph,
+    VamanaParams,
+    build_vamana,
+    degree_statistics,
+    edge_lengths,
+    exact_knn_graph,
+    graph_report,
+    long_link_fraction,
+    nearest_neighbor_scale,
+    neighbor_cluster_scatter,
+)
+from repro.vectors import deep_like
+
+
+@pytest.fixture(scope="module")
+def built():
+    ds = deep_like(500, 5, seed=131)
+    vamana, entry = build_vamana(
+        ds.vectors, ds.metric, VamanaParams(max_degree=16, build_ef=32)
+    )
+    knn = exact_knn_graph(ds.vectors, 16, ds.metric)
+    return ds, vamana, entry, knn
+
+
+class TestDegreeStats:
+    def test_exact_on_regular_graph(self):
+        g = AdjacencyGraph(5, 2)
+        for u in range(5):
+            g.set_neighbors(u, [(u + 1) % 5, (u + 2) % 5])
+        stats = degree_statistics(g)
+        assert stats.mean == 2.0
+        assert stats.std == 0.0
+        assert stats.coefficient_of_variation == 0.0
+
+    def test_uniform_degree_claim(self, built):
+        """§7: graph-index out-degree is (near-)uniform — cv well below the
+        power-law regime."""
+        _, vamana, _, knn = built
+        assert degree_statistics(vamana).coefficient_of_variation < 0.5
+        assert degree_statistics(knn).coefficient_of_variation == 0.0
+
+
+class TestEdgeLengths:
+    def test_counts_all_edges(self, built):
+        _, vamana, _, _ = built
+        lengths = edge_lengths(vamana, built[0].vectors, built[0].metric)
+        assert lengths.shape == (vamana.num_edges,)
+        assert (lengths > 0).all()
+
+    def test_empty_graph(self):
+        g = AdjacencyGraph(3, 2)
+        assert edge_lengths(g, np.zeros((3, 4), dtype=np.float32)).size == 0
+
+    def test_nn_scale_positive(self, built):
+        ds = built[0]
+        scale = nearest_neighbor_scale(ds.vectors, ds.metric)
+        assert scale > 0
+
+
+class TestLongLinks:
+    def test_vamana_has_more_long_links_than_knn(self, built):
+        """§7: refined graph indexes carry navigation (long) links that a
+        pure kNN (similarity-only) graph lacks."""
+        ds, vamana, _, knn = built
+        vamana_long = long_link_fraction(vamana, ds.vectors, ds.metric)
+        knn_long = long_link_fraction(knn, ds.vectors, ds.metric)
+        assert vamana_long > knn_long
+
+    def test_fraction_in_unit_interval(self, built):
+        ds, vamana, _, _ = built
+        f = long_link_fraction(vamana, ds.vectors, ds.metric)
+        assert 0.0 <= f <= 1.0
+
+
+class TestClusterScatter:
+    def test_scatter_claim(self, built):
+        """§4.1 Remark 2: a vertex's neighbours scatter across clusters."""
+        ds, vamana, _, _ = built
+        from repro.quantization import kmeans
+
+        clusters = kmeans(ds.vectors, 16, seed=0).assignment
+        scatter = neighbor_cluster_scatter(vamana, clusters)
+        assert scatter > 0.05  # a non-trivial share crosses cluster lines
+
+    def test_zero_for_clique_per_cluster(self):
+        g = AdjacencyGraph(4, 2)
+        g.set_neighbors(0, [1])
+        g.set_neighbors(1, [0])
+        g.set_neighbors(2, [3])
+        g.set_neighbors(3, [2])
+        assert neighbor_cluster_scatter(g, np.asarray([0, 0, 1, 1])) == 0.0
+
+    def test_one_for_bipartite_split(self):
+        g = AdjacencyGraph(2, 1)
+        g.set_neighbors(0, [1])
+        g.set_neighbors(1, [0])
+        assert neighbor_cluster_scatter(g, np.asarray([0, 1])) == 1.0
+
+
+class TestGraphReport:
+    def test_full_report(self, built):
+        ds, vamana, entry, _ = built
+        report = graph_report(vamana, ds.vectors, entry, ds.metric)
+        assert report.degree.mean > 0
+        assert report.reachable_fraction > 0.95  # Vamana is well connected
+        assert 0.0 <= report.long_link_fraction <= 1.0

@@ -1,0 +1,64 @@
+"""Tests for adjacency-graph save/load."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    AdjacencyGraph,
+    load_graph,
+    random_regular_graph,
+    save_graph,
+)
+
+
+class TestGraphPersistence:
+    def test_roundtrip(self, tmp_path):
+        g = random_regular_graph(30, 4, seed=2)
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert g2.num_vertices == g.num_vertices
+        assert g2.max_degree == g.max_degree
+        for u in range(30):
+            assert np.array_equal(g.neighbors(u), g2.neighbors(u))
+
+    def test_empty_adjacency_lists(self, tmp_path):
+        g = AdjacencyGraph(5, 3)
+        g.set_neighbors(0, [1])
+        path = tmp_path / "sparse.npz"
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert g2.neighbors(0).tolist() == [1]
+        assert g2.out_degree(3) == 0
+
+    def test_neighbor_order_preserved(self, tmp_path):
+        g = AdjacencyGraph(5, 3)
+        g.set_neighbors(0, [3, 1, 2])
+        path = tmp_path / "o.npz"
+        save_graph(g, path)
+        assert load_graph(path).neighbors(0).tolist() == [3, 1, 2]
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, flat=np.empty(0, np.uint32),
+                 offsets=np.zeros(1, np.int64),
+                 max_degree=np.asarray([4]))
+        with pytest.raises(ValueError, match="no vertices"):
+            load_graph(path)
+
+    def test_vamana_roundtrip_searchable(self, small_graph, small_dataset,
+                                         tmp_path):
+        """A persisted Vamana graph searches identically after reload."""
+        from repro.graphs import greedy_search
+
+        graph, entry = small_graph
+        path = tmp_path / "vamana.npz"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        vectors = small_dataset.vectors.astype(np.float32)
+        q = small_dataset.queries[0].astype(np.float32)
+        a, _, _ = greedy_search(graph, vectors, small_dataset.metric, q,
+                                [entry], 32, 10)
+        b, _, _ = greedy_search(loaded, vectors, small_dataset.metric, q,
+                                [entry], 32, 10)
+        assert np.array_equal(a, b)

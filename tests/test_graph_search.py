@@ -1,0 +1,96 @@
+"""Unit tests for in-memory greedy (beam) search."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import AdjacencyGraph, exact_knn_graph, greedy_search
+from repro.vectors import get_metric, knn
+
+
+@pytest.fixture(scope="module")
+def line_graph():
+    """Points on a line, chained 0-1-2-...-9 bidirectionally."""
+    vectors = np.arange(10, dtype=np.float32)[:, None]
+    g = AdjacencyGraph(10, 2)
+    for i in range(10):
+        nbrs = [j for j in (i - 1, i + 1) if 0 <= j < 10]
+        g.set_neighbors(i, nbrs)
+    return g, vectors, get_metric("l2")
+
+
+class TestGreedySearch:
+    def test_walks_to_nearest(self, line_graph):
+        g, vectors, m = line_graph
+        ids, dists, trace = greedy_search(
+            g, vectors, m, np.array([8.2], dtype=np.float32), [0], ef=3, k=1
+        )
+        assert ids[0] == 8
+        assert trace.hops >= 7  # must traverse the chain
+
+    def test_returns_sorted_topk(self, line_graph):
+        g, vectors, m = line_graph
+        ids, dists, _ = greedy_search(
+            g, vectors, m, np.array([5.1], dtype=np.float32), [0], ef=6, k=3
+        )
+        assert ids.tolist() == [5, 6, 4] or ids.tolist() == [5, 4, 6]
+        assert (np.diff(dists) >= 0).all()
+
+    def test_collect_visited(self, line_graph):
+        g, vectors, m = line_graph
+        _, _, trace = greedy_search(
+            g, vectors, m, np.array([9.0], dtype=np.float32), [0], ef=2, k=1,
+            collect_visited=True,
+        )
+        assert 0 in trace.visited
+        assert len(set(trace.visited)) == len(trace.visited)
+
+    def test_multiple_entry_points(self, line_graph):
+        g, vectors, m = line_graph
+        ids, _, _ = greedy_search(
+            g, vectors, m, np.array([3.0], dtype=np.float32), [0, 9], ef=4, k=1
+        )
+        assert ids[0] == 3
+
+    def test_duplicate_entry_points_ignored(self, line_graph):
+        g, vectors, m = line_graph
+        ids, _, _ = greedy_search(
+            g, vectors, m, np.array([2.0], dtype=np.float32), [0, 0, 0], ef=4,
+            k=1,
+        )
+        assert ids[0] == 2
+
+    def test_requires_entry_point(self, line_graph):
+        g, vectors, m = line_graph
+        with pytest.raises(ValueError, match="entry_points"):
+            greedy_search(g, vectors, m, vectors[0], [], ef=2)
+
+    def test_rejects_bad_ef(self, line_graph):
+        g, vectors, m = line_graph
+        with pytest.raises(ValueError, match="ef"):
+            greedy_search(g, vectors, m, vectors[0], [0], ef=0)
+
+    def test_distance_computations_counted(self, line_graph):
+        g, vectors, m = line_graph
+        _, _, trace = greedy_search(
+            g, vectors, m, np.array([9.0], dtype=np.float32), [0], ef=2, k=1
+        )
+        # Every vertex visited once: 1 entry + at most 2 neighbours per hop.
+        assert trace.distance_computations <= 1 + 2 * trace.hops
+        assert trace.distance_computations >= trace.hops
+
+    def test_full_ef_gives_exact_results(self, rng):
+        """On a kNN graph with ef = n, greedy search is exhaustive."""
+        vectors = rng.normal(size=(60, 4)).astype(np.float32)
+        m = get_metric("l2")
+        g = exact_knn_graph(vectors, 8, m)
+        q = rng.normal(size=4).astype(np.float32)
+        ids, _, _ = greedy_search(g, vectors, m, q, [0], ef=60, k=5)
+        truth, _ = knn(vectors, q[None, :], 5, m)
+        assert set(ids.tolist()) == set(truth[0].tolist())
+
+    def test_k_defaults_to_ef(self, line_graph):
+        g, vectors, m = line_graph
+        ids, _, _ = greedy_search(
+            g, vectors, m, np.array([4.0], dtype=np.float32), [0], ef=4
+        )
+        assert len(ids) == 4

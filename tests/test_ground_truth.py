@@ -1,0 +1,136 @@
+"""Unit tests for brute-force ground truth (KNN and range search)."""
+
+import numpy as np
+import pytest
+
+from repro.vectors import (
+    bigann_like,
+    knn,
+    radius_for_average_results,
+    range_search,
+)
+from repro.vectors.ground_truth import dataset_knn, dataset_range
+
+
+def _naive_knn(vectors, query, k, metric):
+    d = metric.distances(query, vectors)
+    order = np.lexsort((np.arange(len(d)), d))
+    return order[:k], d[order[:k]]
+
+
+class TestKNN:
+    def test_matches_naive(self, rng):
+        vectors = rng.normal(size=(50, 8)).astype(np.float32)
+        queries = rng.normal(size=(5, 8)).astype(np.float32)
+        from repro.vectors import get_metric
+
+        m = get_metric("l2")
+        ids, dists = knn(vectors, queries, 7, m)
+        for i in range(5):
+            nid, nd = _naive_knn(vectors, queries[i], 7, m)
+            assert np.array_equal(ids[i], nid)
+            assert np.allclose(dists[i], nd, rtol=1e-4, atol=1e-4)
+
+    def test_rows_sorted_ascending(self, rng):
+        vectors = rng.normal(size=(40, 6)).astype(np.float32)
+        queries = rng.normal(size=(3, 6)).astype(np.float32)
+        _, dists = knn(vectors, queries, 10)
+        assert (np.diff(dists, axis=1) >= -1e-9).all()
+
+    def test_k_equals_n(self, rng):
+        vectors = rng.normal(size=(9, 4)).astype(np.float32)
+        ids, _ = knn(vectors, vectors[:2], 9)
+        for row in ids:
+            assert sorted(row.tolist()) == list(range(9))
+
+    def test_k_out_of_range(self, rng):
+        vectors = rng.normal(size=(5, 4)).astype(np.float32)
+        with pytest.raises(ValueError):
+            knn(vectors, vectors[:1], 0)
+        with pytest.raises(ValueError):
+            knn(vectors, vectors[:1], 6)
+
+    def test_self_query_finds_itself(self, rng):
+        vectors = rng.normal(size=(20, 5)).astype(np.float32)
+        ids, dists = knn(vectors, vectors[3][None, :], 1)
+        assert ids[0, 0] == 3
+        assert dists[0, 0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_chunking_consistent(self, rng):
+        vectors = rng.normal(size=(30, 4)).astype(np.float32)
+        queries = rng.normal(size=(11, 4)).astype(np.float32)
+        a, _ = knn(vectors, queries, 3, chunk_size=2)
+        b, _ = knn(vectors, queries, 3, chunk_size=1024)
+        assert np.array_equal(a, b)
+
+    def test_ip_metric(self, rng):
+        vectors = rng.normal(size=(25, 6)).astype(np.float32)
+        queries = rng.normal(size=(4, 6)).astype(np.float32)
+        ids, _ = knn(vectors, queries, 5, "ip")
+        scores = queries @ vectors.T
+        for i in range(4):
+            best = np.argsort(-scores[i])[:5]
+            assert set(ids[i].tolist()) == set(best.tolist())
+
+
+class TestRangeSearch:
+    def test_matches_naive(self, rng):
+        vectors = rng.normal(size=(60, 5)).astype(np.float32)
+        queries = rng.normal(size=(4, 5)).astype(np.float32)
+        from repro.vectors import get_metric
+
+        m = get_metric("l2")
+        radius = 4.0
+        res = range_search(vectors, queries, radius, m)
+        for i in range(4):
+            d = m.distances(queries[i], vectors)
+            expected = np.flatnonzero(d <= radius)
+            assert np.array_equal(res[i], expected)
+
+    def test_tiny_radius_returns_self(self, rng):
+        # The pairwise expansion carries float32 rounding, so "zero" radius
+        # needs a small epsilon to admit the query's own copy.
+        vectors = rng.normal(size=(10, 3)).astype(np.float32)
+        res = range_search(vectors, vectors[:1], 1e-3)
+        assert res[0].tolist() == [0]
+
+    def test_results_sorted_by_id(self, rng):
+        vectors = rng.normal(size=(80, 4)).astype(np.float32)
+        res = range_search(vectors, vectors[:2], 10.0)
+        for row in res:
+            assert (np.diff(row) > 0).all()
+
+    def test_dataset_helpers(self):
+        ds = bigann_like(300, 5, seed=8)
+        ids, _ = dataset_knn(ds, 5)
+        assert ids.shape == (5, 5)
+        lists = dataset_range(ds)
+        assert len(lists) == 5
+
+    def test_dataset_range_requires_radius(self):
+        from repro.vectors import text2image_like
+
+        ds = text2image_like(300, 5)
+        with pytest.raises(ValueError, match="no default radius"):
+            dataset_range(ds)
+
+
+class TestRadiusCalibration:
+    def test_target_respected_roughly(self):
+        ds = bigann_like(2000, 50, seed=2)
+        radius = radius_for_average_results(ds, 20)
+        sizes = [len(g) for g in range_search(
+            ds.vectors, ds.queries, radius, ds.metric
+        )]
+        assert 5 <= np.mean(sizes) <= 80
+
+    def test_monotone_in_target(self):
+        ds = bigann_like(1000, 20, seed=2)
+        assert radius_for_average_results(ds, 5) <= radius_for_average_results(
+            ds, 50
+        )
+
+    def test_rejects_nonpositive_target(self):
+        ds = bigann_like(100, 5)
+        with pytest.raises(ValueError):
+            radius_for_average_results(ds, 0)

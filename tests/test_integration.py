@@ -1,0 +1,123 @@
+"""Cross-framework integration tests: the paper's headline claims in small.
+
+These tests build all three frameworks on one segment and check the
+*relative* behaviour the paper reports — Starling beats the baseline on
+I/Os, utilization, path length, and simulated latency at matched settings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ground_truth_for, run_anns, run_range
+from repro.core import (
+    DiskANNConfig,
+    GraphConfig,
+    StarlingConfig,
+    build_diskann,
+    build_starling,
+)
+from repro.vectors import deep_like
+
+N = 1500
+QUERIES = 15
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = deep_like(N, QUERIES, seed=91)
+    gcfg = GraphConfig(max_degree=20, build_ef=40, seed=2)
+    star = build_starling(ds, StarlingConfig(graph=gcfg))
+    dann = build_diskann(ds, DiskANNConfig(graph=gcfg))
+    truth_ids, truth_lists = ground_truth_for(ds, k=10)
+    return ds, star, dann, truth_ids, truth_lists
+
+
+class TestANNSComparison:
+    def test_starling_fewer_ios_at_matched_gamma(self, setup):
+        ds, star, dann, truth, _ = setup
+        s = run_anns("s", star, ds.queries, truth, candidate_size=64)
+        d = run_anns("d", dann, ds.queries, truth, candidate_size=64)
+        assert s.mean_ios < d.mean_ios
+        assert s.accuracy >= d.accuracy - 0.02
+
+    def test_starling_lower_latency(self, setup):
+        ds, star, dann, truth, _ = setup
+        s = run_anns("s", star, ds.queries, truth, candidate_size=64)
+        d = run_anns("d", dann, ds.queries, truth, candidate_size=64)
+        assert s.mean_latency_us < d.mean_latency_us
+
+    def test_vertex_utilization_gap(self, setup):
+        """Tab. 2: ξ(Starling) is several times ξ(DiskANN)."""
+        ds, star, dann, truth, _ = setup
+        s = run_anns("s", star, ds.queries, truth)
+        d = run_anns("d", dann, ds.queries, truth)
+        assert s.mean_vertex_utilization > 3 * d.mean_vertex_utilization
+
+    def test_search_path_shorter(self, setup):
+        """Tab. 2: ℓ(Starling) < ℓ(DiskANN)."""
+        ds, star, dann, truth, _ = setup
+        s = run_anns("s", star, ds.queries, truth)
+        d = run_anns("d", dann, ds.queries, truth)
+        assert s.mean_hops < d.mean_hops
+
+    def test_io_fraction_shapes(self, setup):
+        """Fig. 11(d): DiskANN is I/O-bound (>80%); Starling balances
+        I/O and compute (<80%)."""
+        ds, star, dann, truth, _ = setup
+        s = run_anns("s", star, ds.queries, truth)
+        d = run_anns("d", dann, ds.queries, truth)
+        assert d.io_fraction > 0.8
+        assert s.io_fraction < d.io_fraction
+
+    def test_both_reach_high_recall(self, setup):
+        ds, star, dann, truth, _ = setup
+        s = run_anns("s", star, ds.queries, truth, candidate_size=128)
+        d = run_anns("d", dann, ds.queries, truth, candidate_size=128)
+        assert s.accuracy > 0.9
+        assert d.accuracy > 0.8
+
+
+class TestRSComparison:
+    def test_starling_rs_dominates(self, setup):
+        """Fig. 4/5's direction: higher AP at lower latency."""
+        ds, star, dann, _, truth_lists = setup
+        radius = ds.default_radius
+        s = run_range("s", star, ds.queries, truth_lists, radius)
+        d = run_range("d", dann, ds.queries, truth_lists, radius)
+        assert s.accuracy >= d.accuracy - 0.02
+        assert s.mean_latency_us < d.mean_latency_us
+
+    def test_rs_accuracy_reasonable(self, setup):
+        ds, star, _, _, truth_lists = setup
+        s = run_range("s", star, ds.queries, truth_lists, ds.default_radius)
+        assert s.accuracy > 0.7
+
+
+class TestMemoryComparison:
+    def test_starling_memory_not_higher(self, setup):
+        """Fig. 8(b): C_graph + C_mapping ≲ C_hot at matched ratios."""
+        _, star, dann, _, _ = setup
+        assert star.memory_bytes <= dann.memory_bytes * 1.6
+
+    def test_disk_cost_identical(self, setup):
+        """§6.4: same disk-based graph, different layout only."""
+        _, star, dann, _, _ = setup
+        assert star.disk_bytes == dann.disk_bytes
+
+
+class TestLayoutEffect:
+    def test_shuffled_beats_unshuffled(self, setup):
+        """Fig. 9(b): BNF layout outperforms the ID-contiguous layout under
+        the same block search strategy."""
+        ds, star, _, truth, _ = setup
+        unshuffled = build_starling(
+            ds,
+            StarlingConfig(
+                graph=GraphConfig(max_degree=20, build_ef=40, seed=2),
+                shuffle="none",
+            ),
+        )
+        s = run_anns("bnf", star, ds.queries, truth, candidate_size=64)
+        u = run_anns("none", unshuffled, ds.queries, truth, candidate_size=64)
+        assert star.layout_or > unshuffled.layout_or
+        assert s.mean_ios <= u.mean_ios

@@ -1,0 +1,54 @@
+"""Tests for the counted-read helper shared by the engines."""
+
+import numpy as np
+import pytest
+
+from repro.engine import CachedDiskGraph, QueryStats
+from repro.engine.io_util import counted_read_blocks_of
+from repro.storage import VertexFormat, build_disk_graph
+
+
+@pytest.fixture
+def dg(rng):
+    n = 12
+    vectors = rng.integers(0, 256, size=(n, 4)).astype(np.uint8)
+    lists = [np.asarray([(i + 1) % n], dtype=np.uint32) for i in range(n)]
+    fmt = VertexFormat(dim=4, dtype=np.uint8, max_degree=4, block_bytes=72)
+    layout = [list(range(i, i + 3)) for i in range(0, n, 3)]
+    return build_disk_graph(vectors, lists, layout, fmt)
+
+
+class TestCountedReads:
+    def test_plain_graph_charges_all_blocks(self, dg):
+        stats = QueryStats()
+        blocks = counted_read_blocks_of(dg, [0, 4, 8], stats)
+        assert len(blocks) == 3
+        assert stats.round_trip_blocks == [3]
+        assert stats.block_cache_hits == 0
+
+    def test_same_block_targets_charge_once(self, dg):
+        stats = QueryStats()
+        blocks = counted_read_blocks_of(dg, [0, 1, 2], stats)  # one block
+        assert len(blocks) == 1
+        assert stats.round_trip_blocks == [1]
+
+    def test_cached_graph_charges_only_misses(self, dg):
+        cached = CachedDiskGraph(dg, capacity_blocks=8)
+        warm = QueryStats()
+        counted_read_blocks_of(cached, [0], warm)
+        assert warm.round_trip_blocks == [1]
+
+        stats = QueryStats()
+        blocks = counted_read_blocks_of(cached, [0, 4], stats)
+        assert len(blocks) == 2
+        assert stats.round_trip_blocks == [1]  # only block of 4 fetched
+        assert stats.block_cache_hits == 1
+
+    def test_all_hits_record_no_round_trip(self, dg):
+        cached = CachedDiskGraph(dg, capacity_blocks=8)
+        counted_read_blocks_of(cached, [0, 4], QueryStats())
+        stats = QueryStats()
+        counted_read_blocks_of(cached, [0, 4], stats)
+        assert stats.round_trip_blocks == []
+        assert stats.block_cache_hits == 2
+        assert stats.num_ios == 0

@@ -1,0 +1,88 @@
+"""Unit tests for k-means and balanced k-means."""
+
+import numpy as np
+import pytest
+
+from repro.quantization import balanced_kmeans, kmeans
+
+
+def _blobs(rng, k=4, per=25, dim=6, spread=20.0):
+    centres = rng.normal(size=(k, dim)) * spread
+    points = np.concatenate(
+        [centres[i] + rng.normal(size=(per, dim)) for i in range(k)]
+    )
+    return points.astype(np.float32), centres
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        points, _ = _blobs(rng)
+        result = kmeans(points, 4, seed=1)
+        # Each blob of 25 should map to one cluster.
+        for b in range(4):
+            labels = result.assignment[b * 25 : (b + 1) * 25]
+            assert len(set(labels.tolist())) == 1
+
+    def test_exact_k_clusters_used(self, rng):
+        points, _ = _blobs(rng, k=3)
+        result = kmeans(points, 3, seed=0)
+        assert set(result.assignment.tolist()) == {0, 1, 2}
+
+    def test_inertia_nonincreasing_vs_more_clusters(self, rng):
+        points, _ = _blobs(rng)
+        i2 = kmeans(points, 2, seed=0).inertia
+        i8 = kmeans(points, 8, seed=0).inertia
+        assert i8 <= i2
+
+    def test_deterministic_given_seed(self, rng):
+        points, _ = _blobs(rng)
+        a = kmeans(points, 4, seed=7)
+        b = kmeans(points, 4, seed=7)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_k_equals_n(self, rng):
+        points = rng.normal(size=(5, 3)).astype(np.float32)
+        result = kmeans(points, 5, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-6)
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 4), dtype=np.float32)
+        result = kmeans(points, 3, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_out_of_range(self, rng):
+        points = rng.normal(size=(5, 3)).astype(np.float32)
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, 6)
+
+    def test_integer_input_promoted(self, rng):
+        points = rng.integers(0, 255, size=(30, 4)).astype(np.uint8)
+        result = kmeans(points, 3, seed=0)
+        assert result.centroids.dtype == np.float32
+
+
+class TestBalancedKMeans:
+    def test_capacity_respected(self, rng):
+        points, _ = _blobs(rng, k=4, per=25)
+        result = balanced_kmeans(points, 5, max_cluster_size=25, seed=0)
+        counts = np.bincount(result.assignment, minlength=5)
+        assert (counts <= 25).all()
+
+    def test_all_points_assigned(self, rng):
+        points, _ = _blobs(rng)
+        result = balanced_kmeans(points, 10, max_cluster_size=15, seed=0)
+        assert (result.assignment >= 0).all()
+        assert result.assignment.shape == (100,)
+
+    def test_rejects_impossible_capacity(self, rng):
+        points = rng.normal(size=(20, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="cannot pack"):
+            balanced_kmeans(points, 3, max_cluster_size=5)
+
+    def test_tight_capacity_exactly_fills(self, rng):
+        points = rng.normal(size=(20, 3)).astype(np.float32)
+        result = balanced_kmeans(points, 4, max_cluster_size=5, seed=0)
+        counts = np.bincount(result.assignment, minlength=4)
+        assert counts.tolist() == [5, 5, 5, 5]

@@ -1,0 +1,141 @@
+"""Unit tests for block-level layout and the overlap ratio OR(G)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import AdjacencyGraph, from_neighbor_lists
+from repro.layout import (
+    assignment_from_layout,
+    block_overlap_ratio,
+    blocks_containing,
+    id_contiguous_layout,
+    layout_from_assignment,
+    neighbor_sets,
+    overlap_ratio,
+    validate_layout,
+    vertex_overlap_ratio,
+)
+
+
+@pytest.fixture
+def clique_graph():
+    """Two 3-cliques (0,1,2) and (3,4,5), no cross edges (directed both ways)."""
+    lists = [
+        [1, 2], [0, 2], [0, 1],
+        [4, 5], [3, 5], [3, 4],
+    ]
+    return from_neighbor_lists(lists)
+
+
+class TestIdContiguous:
+    def test_blocks(self):
+        layout = id_contiguous_layout(7, 3)
+        assert layout == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_exact_fit(self):
+        layout = id_contiguous_layout(6, 3)
+        assert len(layout) == 2
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            id_contiguous_layout(5, 0)
+
+
+class TestAssignmentConversions:
+    def test_roundtrip(self):
+        layout = [[0, 3], [1, 2]]
+        assignment = assignment_from_layout(layout, 4)
+        assert assignment.tolist() == [0, 1, 1, 0]
+        back = layout_from_assignment(assignment)
+        assert sorted(back[0]) == [0, 3]
+        assert sorted(back[1]) == [1, 2]
+
+    def test_assignment_rejects_gaps(self):
+        with pytest.raises(ValueError, match="unassigned"):
+            assignment_from_layout([[0, 1]], 3)
+
+    def test_layout_from_assignment_keeps_empty_blocks(self):
+        layout = layout_from_assignment(np.asarray([0, 2]), num_blocks=3)
+        assert layout == [[0], [], [1]]
+
+
+class TestValidateLayout:
+    def test_accepts_partition(self):
+        validate_layout([[0, 1], [2]], 3, 2)
+
+    def test_rejects_missing(self):
+        with pytest.raises(ValueError, match="covers"):
+            validate_layout([[0, 1]], 3, 2)
+
+    def test_rejects_duplicate(self):
+        with pytest.raises(ValueError, match="more than one"):
+            validate_layout([[0, 1], [1, 2]], 3, 2)
+
+    def test_rejects_overfull(self):
+        with pytest.raises(ValueError, match="ε"):
+            validate_layout([[0, 1, 2]], 3, 2)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown"):
+            validate_layout([[0, 5]], 2, 2)
+
+
+class TestOverlapRatio:
+    def test_perfect_layout(self, clique_graph):
+        """Blocks = cliques gives OR(G) = 1 (Example 3's ideal)."""
+        assert overlap_ratio(clique_graph, [[0, 1, 2], [3, 4, 5]]) == 1.0
+
+    def test_worst_layout(self, clique_graph):
+        """Blocks mixing the two cliques 1-and-2 give partial overlap."""
+        value = overlap_ratio(clique_graph, [[0, 3], [1, 4], [2, 5]])
+        assert value == 0.0  # no co-located pair is an edge
+
+    def test_mixed_layout(self, clique_graph):
+        # Block [0,1,3]: OR(0)=1/2 (1 in block), OR(1)=1/2, OR(3)=0.
+        value = overlap_ratio(clique_graph, [[0, 1, 3], [2, 4, 5]])
+        # Block [2,4,5]: OR(2)=0, OR(4)=1/2 (5), OR(5)=1/2 (4).
+        assert value == pytest.approx((0.5 + 0.5 + 0 + 0 + 0.5 + 0.5) / 6)
+
+    def test_singleton_blocks_zero(self, clique_graph):
+        value = overlap_ratio(
+            clique_graph, [[0], [1], [2], [3], [4], [5]]
+        )
+        assert value == 0.0
+
+    def test_bounds(self, rng):
+        lists = [
+            rng.choice([j for j in range(20) if j != i], size=4, replace=False)
+            for i in range(20)
+        ]
+        g = from_neighbor_lists([a.tolist() for a in lists])
+        layout = id_contiguous_layout(20, 4)
+        assert 0.0 <= overlap_ratio(g, layout) <= 1.0
+
+    def test_rejects_incomplete_layout(self, clique_graph):
+        with pytest.raises(ValueError):
+            overlap_ratio(clique_graph, [[0, 1, 2]])
+
+    def test_vertex_overlap_ratio_eq5(self, clique_graph):
+        sets = neighbor_sets(clique_graph)
+        # |B(u)|>1 case
+        assert vertex_overlap_ratio(0, [0, 1, 3], sets[0]) == 0.5
+        # |B(u)|<=1 case is defined as 0
+        assert vertex_overlap_ratio(0, [0], sets[0]) == 0.0
+
+    def test_block_overlap_ratio(self, clique_graph):
+        sets = neighbor_sets(clique_graph)
+        assert block_overlap_ratio([0, 1, 2], sets) == 1.0
+        assert block_overlap_ratio([], sets) == 0.0
+
+    def test_directed_edges_counted_per_vertex(self):
+        """OR uses each vertex's own out-neighbour set (directed)."""
+        g = from_neighbor_lists([[1], []])
+        # OR(0) = 1 (1 is 0's neighbour and co-located); OR(1) = 0.
+        assert overlap_ratio(g, [[0, 1]]) == pytest.approx(0.5)
+
+
+class TestBlocksContaining:
+    def test_counts_distinct_blocks(self):
+        assignment = np.asarray([0, 0, 1, 2, 2])
+        assert blocks_containing(assignment, np.asarray([0, 1])) == 1
+        assert blocks_containing(assignment, np.asarray([0, 2, 4])) == 3

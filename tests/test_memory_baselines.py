@@ -1,0 +1,137 @@
+"""Tests for the in-memory baselines (IVFPQ, HNSW-in-memory) of §2.2."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HNSWMemoryIndex, IVFPQConfig, IVFPQIndex
+from repro.graphs import HNSWParams
+from repro.metrics import mean_recall_at_k
+from repro.vectors import deep_like, knn
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return deep_like(600, 12, seed=111)
+
+
+@pytest.fixture(scope="module")
+def truth(ds):
+    ids, _ = knn(ds.vectors, ds.queries, 10, ds.metric)
+    return ids
+
+
+class TestIVFPQ:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IVFPQConfig(num_lists=0)
+        with pytest.raises(ValueError):
+            IVFPQConfig(num_probes=0)
+
+    def test_zero_disk_by_design(self, ds):
+        idx = IVFPQIndex(ds, IVFPQConfig(num_lists=16, num_probes=4))
+        assert idx.disk_bytes == 0
+        r = idx.search(ds.queries[0], 10)
+        assert r.stats.num_ios == 0
+
+    def test_reasonable_but_lossy_recall(self, ds, truth):
+        """§2.2's point: quantization caps accuracy below graph methods."""
+        idx = IVFPQIndex(ds, IVFPQConfig(num_lists=16, num_probes=16))
+        results = [idx.search(q, 10) for q in ds.queries]
+        recall = mean_recall_at_k([r.ids for r in results], truth, 10)
+        assert 0.1 < recall < 1.0
+
+    def test_more_probes_no_worse(self, ds, truth):
+        few = IVFPQIndex(ds, IVFPQConfig(num_lists=16, num_probes=1))
+        many = IVFPQIndex(ds, IVFPQConfig(num_lists=16, num_probes=16))
+        r_few = mean_recall_at_k(
+            [few.search(q, 10).ids for q in ds.queries], truth, 10
+        )
+        r_many = mean_recall_at_k(
+            [many.search(q, 10).ids for q in ds.queries], truth, 10
+        )
+        assert r_many >= r_few
+
+    def test_memory_far_below_raw_vectors(self, ds):
+        """PQ codes compress the data — the method's selling point."""
+        idx = IVFPQIndex(ds, IVFPQConfig(num_lists=16))
+        assert idx.pq.code_bytes < ds.vectors.nbytes / 10
+
+    def test_latency_model_positive(self, ds):
+        idx = IVFPQIndex(ds, IVFPQConfig(num_lists=16))
+        r = idx.search(ds.queries[0], 10)
+        assert idx.latency_us(r) > 0
+
+    def test_results_sorted(self, ds):
+        idx = IVFPQIndex(ds, IVFPQConfig(num_lists=16, num_probes=4))
+        r = idx.search(ds.queries[1], 10)
+        assert (np.diff(r.dists) >= -1e-6).all()
+
+    def test_residual_encoding_mode_works(self, ds, truth):
+        """IVFADC's residual trick is supported; on real embeddings it
+        tightens the approximation, on clean synthetic mixtures the raw
+        vectors already carry the exploitable structure, so here we assert
+        parity within noise rather than strict improvement."""
+        from repro.metrics import mean_recall_at_k
+
+        plain = IVFPQIndex(
+            ds, IVFPQConfig(num_lists=16, num_probes=16,
+                            encode_residuals=False)
+        )
+        residual = IVFPQIndex(
+            ds, IVFPQConfig(num_lists=16, num_probes=16,
+                            encode_residuals=True)
+        )
+        r_plain = mean_recall_at_k(
+            [plain.search(q, 10).ids for q in ds.queries], truth, 10
+        )
+        r_res = mean_recall_at_k(
+            [residual.search(q, 10).ids for q in ds.queries], truth, 10
+        )
+        assert r_res >= r_plain - 0.08
+        assert residual._residual  # the mode is actually engaged
+
+    def test_residual_math_is_exact_for_self_queries(self, ds):
+        """d(q−c, x−c) must equal d(q, x): query a stored vector and the
+        residual ADC must rank it first (up to quantization)."""
+        idx = IVFPQIndex(
+            ds, IVFPQConfig(num_lists=16, num_probes=16,
+                            encode_residuals=True)
+        )
+        r = idx.search(ds.vectors[7].astype(np.float32), 10)
+        assert 7 in r.ids[:5]
+
+
+class TestHNSWMemory:
+    def test_high_recall(self, ds, truth):
+        idx = HNSWMemoryIndex(ds, HNSWParams(m=8, ef_construction=48))
+        results = [idx.search(q, 10, 64) for q in ds.queries]
+        recall = mean_recall_at_k([r.ids for r in results], truth, 10)
+        assert recall > 0.85
+
+    def test_memory_includes_raw_vectors(self, ds):
+        """§2.2's objection: vectors AND index must be memory-resident."""
+        idx = HNSWMemoryIndex(ds, HNSWParams(m=8, ef_construction=32))
+        assert idx.memory_bytes > ds.vectors.nbytes
+        assert idx.disk_bytes == 0
+
+    def test_no_disk_io(self, ds):
+        idx = HNSWMemoryIndex(ds, HNSWParams(m=8, ef_construction=32))
+        r = idx.search(ds.queries[0], 10, 48)
+        assert r.stats.num_ios == 0
+
+
+class TestSegmentBudgetComparison:
+    def test_hnsw_memory_dwarfs_starling(self, ds):
+        """The §2.2 comparison: at matched data, the in-memory graph needs
+        far more memory than Starling's resident structures."""
+        from repro.core import GraphConfig, StarlingConfig, build_starling
+
+        star = build_starling(
+            ds, StarlingConfig(graph=GraphConfig(max_degree=12, build_ef=24))
+        )
+        hnsw = HNSWMemoryIndex(ds, HNSWParams(m=8, ef_construction=32))
+        assert hnsw.memory_bytes > star.memory_bytes
+        # Excluding PQ's fixed codebook cost (amortized at real scale, it is
+        # ~100 KiB regardless of n), the gap is several-fold.
+        scaling_memory = star.memory_bytes - star.pq.codebook_bytes
+        assert hnsw.memory_bytes > 3 * scaling_memory

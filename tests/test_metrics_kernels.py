@@ -1,0 +1,121 @@
+"""Unit tests for repro.vectors.metrics distance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.vectors.metrics import (
+    Metric,
+    get_metric,
+    l2_squared,
+    negative_ip,
+    pairwise_l2_squared,
+    pairwise_negative_ip,
+)
+
+
+class TestScalarKernels:
+    def test_l2_squared_matches_manual(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([4.0, 6.0, 3.0])
+        assert l2_squared(a, b) == pytest.approx(9 + 16 + 0)
+
+    def test_l2_squared_zero_for_identical(self):
+        a = np.array([5.0, -2.0, 0.5])
+        assert l2_squared(a, a) == 0.0
+
+    def test_l2_squared_symmetry(self):
+        a = np.array([1.0, 0.0, 2.0])
+        b = np.array([0.0, 3.0, 1.0])
+        assert l2_squared(a, b) == l2_squared(b, a)
+
+    def test_negative_ip_matches_manual(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, -1.0])
+        assert negative_ip(a, b) == pytest.approx(-(3 - 2))
+
+    def test_uint8_inputs_promoted(self):
+        a = np.array([250, 250], dtype=np.uint8)
+        b = np.array([1, 1], dtype=np.uint8)
+        # Without promotion uint8 arithmetic would wrap around.
+        assert l2_squared(a, b) == pytest.approx(2 * 249**2)
+
+
+class TestPairwiseKernels:
+    def test_pairwise_l2_matches_scalar(self, rng):
+        q = rng.normal(size=(5, 16)).astype(np.float32)
+        x = rng.normal(size=(7, 16)).astype(np.float32)
+        d = pairwise_l2_squared(q, x)
+        assert d.shape == (5, 7)
+        for i in range(5):
+            for j in range(7):
+                assert d[i, j] == pytest.approx(
+                    float(l2_squared(q[i], x[j])), rel=1e-4, abs=1e-4
+                )
+
+    def test_pairwise_l2_non_negative(self, rng):
+        q = rng.normal(size=(10, 8)) * 1e-4
+        d = pairwise_l2_squared(q, q)
+        assert (d >= 0).all()
+
+    def test_pairwise_l2_diagonal_zero(self, rng):
+        x = rng.normal(size=(6, 12)).astype(np.float32)
+        d = pairwise_l2_squared(x, x)
+        assert np.allclose(np.diag(d), 0.0, atol=1e-3)
+
+    def test_pairwise_ip_matches_scalar(self, rng):
+        q = rng.normal(size=(4, 10)).astype(np.float32)
+        x = rng.normal(size=(3, 10)).astype(np.float32)
+        d = pairwise_negative_ip(q, x)
+        for i in range(4):
+            for j in range(3):
+                assert d[i, j] == pytest.approx(
+                    float(negative_ip(q[i], x[j])), rel=1e-5
+                )
+
+
+class TestMetricObject:
+    def test_get_metric_by_name(self):
+        assert get_metric("l2").name == "l2"
+        assert get_metric("ip").name == "ip"
+
+    def test_get_metric_passthrough(self):
+        m = get_metric("l2")
+        assert get_metric(m) is m
+
+    def test_get_metric_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unsupported metric"):
+            get_metric("cosine")
+
+    def test_metric_constructor_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Metric("hamming")
+
+    def test_metric_equality_and_hash(self):
+        assert get_metric("l2") == Metric("l2")
+        assert hash(get_metric("ip")) == hash(Metric("ip"))
+        assert get_metric("l2") != get_metric("ip")
+
+    def test_distances_matches_pairwise_row(self, rng):
+        m = get_metric("l2")
+        q = rng.normal(size=12).astype(np.float32)
+        x = rng.normal(size=(9, 12)).astype(np.float32)
+        row = m.distances(q, x)
+        full = m.pairwise(q[None, :], x)[0]
+        assert np.allclose(row, full, rtol=1e-4, atol=1e-4)
+
+    def test_ip_distances_fast_path(self, rng):
+        m = get_metric("ip")
+        q = rng.normal(size=8).astype(np.float32)
+        x = rng.normal(size=(5, 8)).astype(np.float32)
+        assert np.allclose(m.distances(q, x), -(x @ q), rtol=1e-5)
+
+    def test_distance_scalar(self):
+        m = get_metric("l2")
+        assert m.distance(np.zeros(4), np.ones(4)) == pytest.approx(4.0)
+
+    def test_ip_smaller_is_more_similar(self):
+        m = get_metric("ip")
+        q = np.array([1.0, 0.0])
+        close = np.array([2.0, 0.0])
+        far = np.array([0.5, 0.0])
+        assert m.distance(q, close) < m.distance(q, far)

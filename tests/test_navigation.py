@@ -1,0 +1,117 @@
+"""Tests for entry-point providers (navigation graph, fixed, HNSW layers)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    FixedEntryPoint,
+    HNSWParams,
+    HNSWUpperLayers,
+    build_hnsw,
+    build_navigation_graph,
+)
+from repro.vectors import deep_like
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return deep_like(500, 10, seed=41)
+
+
+class TestFixedEntryPoint:
+    def test_returns_fixed_vertex(self, ds):
+        provider = FixedEntryPoint(17)
+        out = provider.entry_points(ds.queries[0], 4)
+        assert out.tolist() == [17]
+
+    def test_memory_trivial(self):
+        assert FixedEntryPoint(0).memory_bytes <= 16
+
+
+class TestNavigationGraph:
+    def test_sample_size(self, ds):
+        nav = build_navigation_graph(ds.vectors, ds.metric, sample_ratio=0.1)
+        assert nav.num_samples == 50
+
+    def test_sample_ids_unique_sorted(self, ds):
+        nav = build_navigation_graph(ds.vectors, ds.metric, sample_ratio=0.2)
+        ids = nav.sample_ids
+        assert (np.diff(ids) > 0).all()
+        assert ids.max() < ds.size
+
+    def test_entry_points_are_global_sample_ids(self, ds):
+        nav = build_navigation_graph(ds.vectors, ds.metric, sample_ratio=0.1)
+        eps = nav.entry_points(ds.queries[0].astype(np.float32), 4)
+        assert len(eps) == 4
+        assert set(eps.tolist()) <= set(nav.sample_ids.tolist())
+
+    def test_entry_points_close_to_query(self, ds):
+        """The whole point of §4.2: entry points near the query."""
+        nav = build_navigation_graph(ds.vectors, ds.metric, sample_ratio=0.2)
+        q = ds.queries[1].astype(np.float32)
+        eps = nav.entry_points(q, 1)
+        d_entry = ds.metric.distance(q, ds.vectors[eps[0]])
+        rng = np.random.default_rng(0)
+        random_ids = rng.choice(ds.size, size=50, replace=False)
+        d_random = np.median(ds.metric.distances(q, ds.vectors[random_ids]))
+        assert d_entry < d_random
+
+    def test_higher_sample_ratio_better_entries(self, ds):
+        """Tab. 14's trend: larger μ gives closer entry points on average."""
+        small = build_navigation_graph(ds.vectors, ds.metric, sample_ratio=0.02,
+                                       seed=1)
+        large = build_navigation_graph(ds.vectors, ds.metric, sample_ratio=0.4,
+                                       seed=1)
+        def mean_entry_dist(nav):
+            total = 0.0
+            for q in ds.queries:
+                q = q.astype(np.float32)
+                eps = nav.entry_points(q, 1)
+                total += ds.metric.distance(q, ds.vectors[eps[0]])
+            return total / ds.num_queries
+        assert mean_entry_dist(large) <= mean_entry_dist(small)
+
+    def test_memory_scales_with_mu(self, ds):
+        small = build_navigation_graph(ds.vectors, ds.metric, sample_ratio=0.05)
+        large = build_navigation_graph(ds.vectors, ds.metric, sample_ratio=0.5)
+        assert large.memory_bytes > small.memory_bytes
+
+    def test_last_trace_records_compute(self, ds):
+        nav = build_navigation_graph(ds.vectors, ds.metric, sample_ratio=0.1)
+        nav.entry_points(ds.queries[0].astype(np.float32), 2)
+        assert nav.last_trace is not None
+        assert nav.last_trace.distance_computations > 0
+
+    @pytest.mark.parametrize("algorithm", ["vamana", "nsg", "hnsw"])
+    def test_algorithms(self, ds, algorithm):
+        nav = build_navigation_graph(
+            ds.vectors, ds.metric, sample_ratio=0.1, algorithm=algorithm
+        )
+        eps = nav.entry_points(ds.queries[0].astype(np.float32), 2)
+        assert len(eps) >= 1
+
+    def test_rejects_unknown_algorithm(self, ds):
+        with pytest.raises(ValueError, match="unknown navigation algorithm"):
+            build_navigation_graph(ds.vectors, ds.metric, algorithm="kgraph")
+
+    def test_rejects_bad_ratio(self, ds):
+        with pytest.raises(ValueError):
+            build_navigation_graph(ds.vectors, ds.metric, sample_ratio=0.0)
+        with pytest.raises(ValueError):
+            build_navigation_graph(ds.vectors, ds.metric, sample_ratio=1.5)
+
+
+class TestHNSWUpperLayers:
+    def test_entry_point_provider(self, ds):
+        index = build_hnsw(ds.vectors, ds.metric, HNSWParams(m=8,
+                                                             ef_construction=32))
+        provider = HNSWUpperLayers(index)
+        eps = provider.entry_points(ds.queries[0].astype(np.float32), 4)
+        assert len(eps) == 1
+        assert 0 <= eps[0] < ds.size
+
+    def test_memory_less_than_full_data(self, ds):
+        index = build_hnsw(ds.vectors, ds.metric, HNSWParams(m=8,
+                                                             ef_construction=32))
+        provider = HNSWUpperLayers(index)
+        assert 0 < provider.memory_bytes < ds.vectors.nbytes

@@ -1,0 +1,118 @@
+"""Tests for index persistence (save/load with identical query behaviour)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import StarlingConfig, build_starling
+from repro.storage import load_diskann, load_starling, save_diskann, save_starling
+
+
+class TestStarlingPersistence:
+    def test_roundtrip_identical_results(self, starling_index, small_dataset,
+                                         tmp_path):
+        save_starling(starling_index, tmp_path / "idx")
+        loaded = load_starling(tmp_path / "idx")
+        for q in small_dataset.queries[:5]:
+            a = starling_index.search(q, 10, 64)
+            b = loaded.search(q, 10, 64)
+            assert np.array_equal(a.ids, b.ids)
+            assert np.allclose(a.dists, b.dists)
+            assert a.stats.num_ios == b.stats.num_ios
+            assert a.stats.hops == b.stats.hops
+
+    def test_roundtrip_range_search(self, starling_index, small_dataset,
+                                    tmp_path):
+        save_starling(starling_index, tmp_path / "idx")
+        loaded = load_starling(tmp_path / "idx")
+        radius = small_dataset.default_radius
+        a = starling_index.range_search(small_dataset.queries[0], radius)
+        b = loaded.range_search(small_dataset.queries[0], radius)
+        assert np.array_equal(a.ids, b.ids)
+
+    def test_metadata_preserved(self, starling_index, tmp_path):
+        save_starling(starling_index, tmp_path / "idx")
+        loaded = load_starling(tmp_path / "idx")
+        assert loaded.layout_or == starling_index.layout_or
+        assert loaded.config == starling_index.config
+        assert loaded.memory_bytes == starling_index.memory_bytes
+        assert loaded.disk_bytes == starling_index.disk_bytes
+        assert loaded.timings.total_s == pytest.approx(
+            starling_index.timings.total_s
+        )
+
+    def test_fixed_entry_point_variant(self, small_dataset, graph_config,
+                                       tmp_path):
+        idx = build_starling(
+            small_dataset,
+            StarlingConfig(graph=graph_config, use_navigation_graph=False),
+        )
+        save_starling(idx, tmp_path / "idx")
+        loaded = load_starling(tmp_path / "idx")
+        q = small_dataset.queries[0]
+        assert np.array_equal(
+            idx.search(q, 10, 48).ids, loaded.search(q, 10, 48).ids
+        )
+
+    def test_rejects_wrong_type(self, diskann_index, tmp_path):
+        with pytest.raises(TypeError):
+            save_starling(diskann_index, tmp_path / "idx")
+
+    def test_block_cache_config_restored(self, small_dataset, graph_config,
+                                         tmp_path):
+        idx = build_starling(
+            small_dataset,
+            StarlingConfig(graph=graph_config, block_cache_blocks=32),
+        )
+        save_starling(idx, tmp_path / "idx")
+        loaded = load_starling(tmp_path / "idx")
+        from repro.engine import CachedDiskGraph
+
+        assert isinstance(loaded.disk_graph, CachedDiskGraph)
+        assert loaded.disk_graph.capacity_blocks == 32
+
+    def test_rejects_wrong_kind_on_load(self, diskann_index, tmp_path):
+        save_diskann(diskann_index, tmp_path / "idx")
+        with pytest.raises(ValueError, match="does not hold a Starling"):
+            load_starling(tmp_path / "idx")
+
+    def test_rejects_corrupt_disk_payload(self, starling_index, tmp_path):
+        save_starling(starling_index, tmp_path / "idx")
+        disk = tmp_path / "idx" / "disk.bin"
+        disk.write_bytes(disk.read_bytes()[:-10])
+        with pytest.raises(ValueError, match="expected"):
+            load_starling(tmp_path / "idx")
+
+    def test_rejects_future_format_version(self, starling_index, tmp_path):
+        save_starling(starling_index, tmp_path / "idx")
+        meta_path = tmp_path / "idx" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="format version"):
+            load_starling(tmp_path / "idx")
+
+
+class TestDiskANNPersistence:
+    def test_roundtrip_identical_results(self, diskann_index, small_dataset,
+                                         tmp_path):
+        save_diskann(diskann_index, tmp_path / "idx")
+        loaded = load_diskann(tmp_path / "idx")
+        for q in small_dataset.queries[:5]:
+            a = diskann_index.search(q, 10, 64)
+            b = loaded.search(q, 10, 64)
+            assert np.array_equal(a.ids, b.ids)
+            assert a.stats.num_ios == b.stats.num_ios
+            assert a.stats.cache_hits == b.stats.cache_hits
+
+    def test_cache_restored(self, diskann_index, tmp_path):
+        save_diskann(diskann_index, tmp_path / "idx")
+        loaded = load_diskann(tmp_path / "idx")
+        assert loaded.cache is not None
+        assert len(loaded.cache) == len(diskann_index.cache)
+        assert loaded.cache.memory_bytes == diskann_index.cache.memory_bytes
+
+    def test_rejects_wrong_type(self, starling_index, tmp_path):
+        with pytest.raises(TypeError):
+            save_diskann(starling_index, tmp_path / "idx")

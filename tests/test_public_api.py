@@ -1,0 +1,94 @@
+"""Public API surface: exports resolve, determinism, and error surfacing."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", repro.__all__)
+    def test_all_entries_resolve(self, name):
+        assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize(
+        "module",
+        ["vectors", "storage", "quantization", "graphs", "layout", "engine",
+         "core", "baselines", "metrics", "bench"],
+    )
+    def test_submodule_all_resolves(self, module):
+        mod = getattr(repro, module)
+        for name in mod.__all__:
+            assert getattr(mod, name) is not None
+
+    def test_updates_exported(self):
+        from repro.core import DynamicIndex, UpdatableSegment  # noqa: F401
+
+
+class TestDeterminism:
+    def test_starling_search_deterministic(self, starling_index,
+                                           small_dataset):
+        q = small_dataset.queries[0]
+        a = starling_index.search(q, 10, 64)
+        b = starling_index.search(q, 10, 64)
+        assert np.array_equal(a.ids, b.ids)
+        assert a.stats.num_ios == b.stats.num_ios
+        assert a.stats.hops == b.stats.hops
+
+    def test_diskann_search_deterministic(self, diskann_index, small_dataset):
+        q = small_dataset.queries[1]
+        a = diskann_index.search(q, 10, 64)
+        b = diskann_index.search(q, 10, 64)
+        assert np.array_equal(a.ids, b.ids)
+        assert a.stats.num_ios == b.stats.num_ios
+
+    def test_spann_search_deterministic(self, spann_index, small_dataset):
+        q = small_dataset.queries[2]
+        a = spann_index.search(q, 10)
+        b = spann_index.search(q, 10)
+        assert np.array_equal(a.ids, b.ids)
+
+    def test_range_search_deterministic(self, starling_index, small_dataset):
+        q = small_dataset.queries[3]
+        radius = small_dataset.default_radius
+        a = starling_index.range_search(q, radius)
+        b = starling_index.range_search(q, radius)
+        assert np.array_equal(a.ids, b.ids)
+        assert a.final_candidate_size == b.final_candidate_size
+
+
+class TestErrorSurfacing:
+    def test_wrong_dim_query_raises(self, starling_index):
+        bad = np.zeros(3, dtype=np.float32)
+        with pytest.raises(Exception):
+            starling_index.search(bad, 10, 32)
+
+    def test_zero_candidate_size_raises(self, starling_index, small_dataset):
+        with pytest.raises(ValueError):
+            starling_index.search(small_dataset.queries[0], 10, 0)
+
+    def test_device_out_of_range_read(self, starling_index):
+        device = starling_index.disk_graph.device
+        with pytest.raises(IndexError):
+            device.read_block(device.num_blocks + 5)
+
+    def test_corrupt_block_detected(self, small_dataset, graph_config):
+        """Failure injection: a corrupted degree word must not pass silently."""
+        from repro.core import StarlingConfig, build_starling
+
+        idx = build_starling(
+            small_dataset,
+            repro.StarlingConfig(graph=graph_config, shuffle="none"),
+        )
+        device = idx.disk_graph.device
+        fmt = idx.disk_graph.fmt
+        payload = bytearray(device._fetch(0))
+        # Overwrite the first record's degree word with garbage > Λ.
+        off = fmt.vector_bytes
+        payload[off : off + 4] = (10**6).to_bytes(4, "little")
+        device.write_block(0, bytes(payload))
+        with pytest.raises(ValueError, match="corrupt"):
+            idx.disk_graph.read_block(0)

@@ -1,0 +1,140 @@
+"""Tests for the range-search drivers."""
+
+import numpy as np
+import pytest
+
+from repro.engine import incremental_range_search, repeated_anns_range_search
+from repro.metrics import mean_average_precision
+from repro.vectors import range_search as brute_range
+
+
+@pytest.fixture(scope="module")
+def rs_truth(small_dataset):
+    return brute_range(
+        small_dataset.vectors, small_dataset.queries,
+        small_dataset.default_radius, small_dataset.metric,
+    )
+
+
+class TestIncrementalRS:
+    def test_results_within_radius(self, starling_index, small_dataset):
+        radius = small_dataset.default_radius
+        for q in small_dataset.queries[:4]:
+            r = starling_index.range_search(q, radius)
+            assert (r.dists <= radius).all()
+
+    def test_results_are_true_hits(self, starling_index, small_dataset,
+                                   rs_truth):
+        radius = small_dataset.default_radius
+        for i, q in enumerate(small_dataset.queries[:6]):
+            r = starling_index.range_search(q, radius)
+            assert set(r.ids.tolist()) <= set(rs_truth[i].tolist())
+
+    def test_good_ap(self, starling_index, small_dataset, rs_truth):
+        radius = small_dataset.default_radius
+        results = [
+            starling_index.range_search(q, radius)
+            for q in small_dataset.queries
+        ]
+        ap = mean_average_precision([r.ids for r in results], rs_truth)
+        assert ap > 0.7
+
+    def test_candidate_set_doubles_for_dense_queries(self, starling_index,
+                                                     small_dataset):
+        """With a big radius, Eq. 7 triggers and |C| grows."""
+        radius = small_dataset.default_radius * 6
+        r = starling_index.range_search(
+            q := small_dataset.queries[0], radius,
+            initial_candidate_size=8,
+        )
+        assert r.final_candidate_size > 8
+
+    def test_small_radius_no_doubling(self, starling_index, small_dataset):
+        tiny = small_dataset.default_radius * 1e-6
+        r = starling_index.range_search(
+            small_dataset.queries[0], tiny, initial_candidate_size=16
+        )
+        assert r.final_candidate_size == 16
+        assert len(r) == 0
+
+    def test_threshold_validation(self, starling_index, small_dataset):
+        with pytest.raises(ValueError):
+            incremental_range_search(
+                starling_index.engine, small_dataset.queries[0], 1.0,
+                ratio_threshold=0.0,
+            )
+
+    def test_max_candidate_cap(self, starling_index, small_dataset):
+        r = incremental_range_search(
+            starling_index.engine, small_dataset.queries[0],
+            small_dataset.default_radius * 50,
+            initial_candidate_size=8, max_candidate_size=32,
+        )
+        assert r.final_candidate_size <= 32
+
+    def test_resume_does_not_rescan(self, starling_index, small_dataset):
+        """Doubling resumes the search; I/O stays well below 2x a fresh run
+        at the doubled size (the paper's claim about avoiding revisits)."""
+        radius = small_dataset.default_radius * 4
+        q = small_dataset.queries[1]
+        incremental = incremental_range_search(
+            starling_index.engine, q, radius, initial_candidate_size=8
+        )
+        fresh = incremental_range_search(
+            starling_index.engine, q, radius,
+            initial_candidate_size=incremental.final_candidate_size,
+        )
+        # The incremental run must not pay more than ~1.5x the one-shot run.
+        assert incremental.stats.num_ios <= fresh.stats.num_ios * 1.5 + 8
+
+
+class TestRepeatedANNSRS:
+    def test_results_within_radius(self, diskann_index, small_dataset):
+        radius = small_dataset.default_radius
+        r = diskann_index.range_search(small_dataset.queries[0], radius)
+        assert (r.dists <= radius).all()
+
+    def test_restarts_on_dense_results(self, diskann_index, small_dataset):
+        radius = small_dataset.default_radius * 8
+        r = repeated_anns_range_search(
+            diskann_index.engine, small_dataset.queries[0], radius,
+            initial_k=4,
+        )
+        assert r.stats.restarts >= 1
+        assert r.final_candidate_size > 4
+
+    def test_no_restart_when_sparse(self, diskann_index, small_dataset):
+        tiny = small_dataset.default_radius * 1e-6
+        r = repeated_anns_range_search(
+            diskann_index.engine, small_dataset.queries[0], tiny,
+            initial_k=16,
+        )
+        assert r.stats.restarts == 0
+
+    def test_restarts_accumulate_io(self, diskann_index, starling_index,
+                                    small_dataset, rs_truth):
+        """Fig. 4/5: the baseline's RS pays for repeated traversals."""
+        radius = small_dataset.default_radius
+        base_ios = np.mean([
+            diskann_index.range_search(q, radius).stats.num_ios
+            for q in small_dataset.queries
+        ])
+        star_ios = np.mean([
+            starling_index.range_search(q, radius).stats.num_ios
+            for q in small_dataset.queries
+        ])
+        assert star_ios < base_ios
+
+    def test_invalid_initial_k(self, diskann_index, small_dataset):
+        with pytest.raises(ValueError):
+            repeated_anns_range_search(
+                diskann_index.engine, small_dataset.queries[0], 1.0,
+                initial_k=0,
+            )
+
+    def test_max_k_respected(self, diskann_index, small_dataset):
+        r = repeated_anns_range_search(
+            diskann_index.engine, small_dataset.queries[0],
+            small_dataset.default_radius * 100, initial_k=4, max_k=16,
+        )
+        assert r.final_candidate_size <= 16

@@ -1,0 +1,69 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.bench import MarkdownReport, markdown_table, run_anns
+
+
+class TestMarkdownTable:
+    def test_basic_structure(self):
+        out = markdown_table(["a", "b"], [[1, 2.5], ["x", "y"]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | 2.5000 |"
+        assert lines[3] == "| x | y |"
+
+    def test_pipe_escaping(self):
+        out = markdown_table(["c"], [["a|b"]])
+        assert "a\\|b" in out
+
+    def test_empty_rows(self):
+        out = markdown_table(["c"], [])
+        assert out.splitlines() == ["| c |", "| --- |"]
+
+
+class TestMarkdownReport:
+    def test_requires_title(self):
+        with pytest.raises(ValueError):
+            MarkdownReport("")
+
+    def test_render_structure(self):
+        report = (
+            MarkdownReport("Run")
+            .add_text("intro text")
+            .add_table("T1", ["x"], [[1]], note="a note")
+        )
+        out = report.render()
+        assert out.startswith("# Run\n")
+        assert "intro text" in out
+        assert "## T1" in out
+        assert "| x |" in out
+        assert "*a note*" in out
+        assert out.endswith("\n")
+
+    def test_chaining_returns_self(self):
+        report = MarkdownReport("r")
+        assert report.add_text("x") is report
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "report.md"
+        MarkdownReport("Saved").add_table("S", ["v"], [[42]]).write(path)
+        content = path.read_text()
+        assert "# Saved" in content
+        assert "| 42 |" in content
+
+    def test_perf_section_end_to_end(self, starling_index, small_dataset,
+                                     small_truth):
+        truth, _ = small_truth
+        summary = run_anns(
+            "starling", starling_index, small_dataset.queries[:3], truth[:3]
+        )
+        out = (
+            MarkdownReport("Perf")
+            .add_perf_section("ANNS", [summary])
+            .render()
+        )
+        assert "## ANNS" in out
+        assert "starling" in out
+        assert "QPS" in out

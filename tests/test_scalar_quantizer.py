@@ -1,0 +1,130 @@
+"""Tests for SQ8 scalar quantization and the quantizer config option."""
+
+import numpy as np
+import pytest
+
+from repro.quantization import ProductQuantizer, ScalarQuantizer
+from repro.vectors import get_metric
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(3)
+    return (rng.normal(size=(300, 12)) * np.linspace(1, 5, 12)).astype(
+        np.float32
+    )
+
+
+class TestCodec:
+    def test_roundtrip_error_bounded(self, data):
+        sq = ScalarQuantizer().fit_dataset(data)
+        rec = sq.decode(sq.codes)
+        per_dim = np.abs(rec - data)
+        # Max error per dimension is half a quantization step.
+        assert (per_dim <= sq.scale * 0.5 + 1e-5).all()
+
+    def test_codes_dtype_shape(self, data):
+        sq = ScalarQuantizer().fit_dataset(data)
+        assert sq.codes.dtype == np.uint8
+        assert sq.codes.shape == data.shape
+        assert sq.code_bytes == data.shape[0] * data.shape[1]
+
+    def test_constant_dimension_handled(self):
+        x = np.zeros((10, 3), dtype=np.float32)
+        x[:, 1] = 7.0
+        sq = ScalarQuantizer().fit_dataset(x)
+        rec = sq.decode(sq.codes)
+        assert np.allclose(rec[:, 1], 7.0)
+
+    def test_out_of_range_inputs_clipped(self, data):
+        sq = ScalarQuantizer().train(data)
+        extreme = data[:1] * 100
+        codes = sq.encode(extreme)
+        assert codes.min() >= 0 and codes.max() <= 255
+
+    def test_requires_training(self, data):
+        sq = ScalarQuantizer()
+        with pytest.raises(RuntimeError):
+            sq.encode(data)
+        with pytest.raises(RuntimeError):
+            sq.lookup_table(data[0])
+        with pytest.raises(ValueError):
+            ScalarQuantizer().train(data[:1])
+
+    def test_num_subspaces_is_dim(self, data):
+        sq = ScalarQuantizer().fit_dataset(data)
+        assert sq.num_subspaces == 12
+
+
+class TestAsymmetricDistance:
+    def test_matches_decoded_distance(self, data):
+        sq = ScalarQuantizer().fit_dataset(data)
+        m = get_metric("l2")
+        q = data[5] + 0.1
+        table = sq.lookup_table(q)
+        adc = sq.distances_from_table(table, np.arange(30))
+        direct = m.distances(q, sq.decode(sq.codes[:30]))
+        assert np.allclose(adc, direct, rtol=1e-4, atol=1e-4)
+
+    def test_more_accurate_than_pq_at_same_data(self, data):
+        """SQ8 spends D bytes/vector and should rank better than 4-byte PQ."""
+        m = get_metric("l2")
+        sq = ScalarQuantizer().fit_dataset(data)
+        pq = ProductQuantizer(4, 16).fit_dataset(data)
+        q = data[7] + 0.2
+        true = m.distances(q, data)
+        sq_d = sq.distances_from_table(sq.lookup_table(q), np.arange(300))
+        pq_d = pq.distances_from_table(pq.lookup_table(q), np.arange(300))
+        sq_corr = np.corrcoef(sq_d, true)[0, 1]
+        pq_corr = np.corrcoef(pq_d, true)[0, 1]
+        assert sq_corr > pq_corr
+
+    def test_ip_metric(self, data):
+        sq = ScalarQuantizer(metric="ip").fit_dataset(data)
+        q = data[2]
+        adc = sq.distances_from_table(sq.lookup_table(q), np.arange(10))
+        rec = sq.decode(sq.codes[:10])
+        assert np.allclose(adc, -(rec @ q), rtol=1e-3, atol=1e-3)
+
+
+class TestConfigIntegration:
+    def test_unknown_quantizer_rejected(self):
+        from repro.core import StarlingConfig
+
+        with pytest.raises(ValueError, match="unknown quantizer"):
+            StarlingConfig(quantizer="lsh")
+
+    def test_sq8_index_searches(self, small_float_dataset, graph_config):
+        from repro.core import StarlingConfig, build_starling
+
+        idx = build_starling(
+            small_float_dataset,
+            StarlingConfig(graph=graph_config, quantizer="sq8"),
+        )
+        r = idx.search(small_float_dataset.queries[0], 10, 48)
+        assert len(r) == 10
+        assert idx.pq.code_bytes == (
+            small_float_dataset.size * small_float_dataset.dim
+        )
+
+    def test_opq_index_searches(self, small_float_dataset, graph_config):
+        from repro.core import StarlingConfig, build_starling
+
+        idx = build_starling(
+            small_float_dataset,
+            StarlingConfig(graph=graph_config, quantizer="opq"),
+        )
+        r = idx.search(small_float_dataset.queries[0], 10, 48)
+        assert len(r) == 10
+
+    def test_non_pq_persistence_rejected(self, small_float_dataset,
+                                         graph_config, tmp_path):
+        from repro.core import StarlingConfig, build_starling
+        from repro.storage import save_starling
+
+        idx = build_starling(
+            small_float_dataset,
+            StarlingConfig(graph=graph_config, quantizer="sq8"),
+        )
+        with pytest.raises(NotImplementedError, match="PQ router"):
+            save_starling(idx, tmp_path / "idx")

@@ -1,0 +1,185 @@
+"""Tests for the block shufflers (BNP, BNF, BNS) and GP baselines."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_vamana, VamanaParams
+from repro.layout import (
+    bnf_layout,
+    bnp_layout,
+    bns_layout,
+    gp1_hierarchical_clustering_layout,
+    gp2_greedy_growing_layout,
+    gp3_restreaming_layout,
+    id_contiguous_layout,
+    kmeans_layout,
+    overlap_ratio,
+    validate_layout,
+)
+from repro.vectors import deep_like
+
+EPS = 6
+
+
+@pytest.fixture(scope="module")
+def graph_and_data():
+    ds = deep_like(300, 5, seed=31)
+    graph, _ = build_vamana(
+        ds.vectors, ds.metric, VamanaParams(max_degree=10, build_ef=20, seed=2)
+    )
+    return graph, ds
+
+
+class TestBNP:
+    def test_valid_partition(self, graph_and_data):
+        graph, _ = graph_and_data
+        layout = bnp_layout(graph, EPS)
+        validate_layout(layout, graph.num_vertices, EPS)
+
+    def test_improves_over_baseline(self, graph_and_data):
+        graph, _ = graph_and_data
+        base = overlap_ratio(graph, id_contiguous_layout(graph.num_vertices, EPS))
+        bnp = overlap_ratio(graph, bnp_layout(graph, EPS))
+        assert bnp > base
+
+    def test_all_blocks_full_except_last(self, graph_and_data):
+        graph, _ = graph_and_data
+        layout = bnp_layout(graph, EPS)
+        for block in layout[:-1]:
+            assert len(block) == EPS
+
+    def test_rejects_bad_eps(self, graph_and_data):
+        graph, _ = graph_and_data
+        with pytest.raises(ValueError):
+            bnp_layout(graph, 0)
+
+
+class TestBNF:
+    def test_valid_partition(self, graph_and_data):
+        graph, _ = graph_and_data
+        report = bnf_layout(graph, EPS, max_iterations=4)
+        validate_layout(report.layout, graph.num_vertices, EPS)
+
+    def test_improves_over_bnp(self, graph_and_data):
+        graph, _ = graph_and_data
+        bnp_or = overlap_ratio(graph, bnp_layout(graph, EPS))
+        report = bnf_layout(graph, EPS, max_iterations=8)
+        assert report.final_or >= bnp_or
+
+    def test_history_starts_at_initial(self, graph_and_data):
+        graph, _ = graph_and_data
+        report = bnf_layout(graph, EPS, max_iterations=3)
+        assert len(report.or_history) == report.iterations + 1
+        # The returned layout is the best iterate seen.
+        assert report.final_or == max(report.or_history)
+
+    def test_gain_threshold_stops_early(self, graph_and_data):
+        graph, _ = graph_and_data
+        # patience=1 reproduces the paper's literal stopping rule.
+        report = bnf_layout(graph, EPS, max_iterations=50, gain_threshold=1.0,
+                            patience=1)
+        assert report.iterations == 1  # first iteration can't gain 1.0
+
+    def test_patience_tolerates_flat_iterations(self, graph_and_data):
+        graph, _ = graph_and_data
+        impatient = bnf_layout(graph, EPS, max_iterations=50,
+                               gain_threshold=1.0, patience=1)
+        patient = bnf_layout(graph, EPS, max_iterations=50,
+                             gain_threshold=1.0, patience=3)
+        assert patient.iterations == 3
+        assert patient.final_or >= impatient.final_or
+
+    def test_patience_validation(self, graph_and_data):
+        graph, _ = graph_and_data
+        with pytest.raises(ValueError):
+            bnf_layout(graph, EPS, patience=0)
+
+    def test_respects_iteration_cap(self, graph_and_data):
+        graph, _ = graph_and_data
+        report = bnf_layout(graph, EPS, max_iterations=2, gain_threshold=0.0)
+        assert report.iterations <= 2
+
+    def test_accepts_custom_initial_layout(self, graph_and_data):
+        graph, _ = graph_and_data
+        initial = id_contiguous_layout(graph.num_vertices, EPS)
+        report = bnf_layout(graph, EPS, initial_layout=initial)
+        validate_layout(report.layout, graph.num_vertices, EPS)
+        assert report.final_or > overlap_ratio(graph, initial)
+
+    def test_rejects_bad_iterations(self, graph_and_data):
+        graph, _ = graph_and_data
+        with pytest.raises(ValueError):
+            bnf_layout(graph, EPS, max_iterations=0)
+
+
+class TestBNS:
+    def test_valid_partition(self, graph_and_data):
+        graph, _ = graph_and_data
+        report = bns_layout(graph, EPS, max_iterations=1)
+        validate_layout(report.layout, graph.num_vertices, EPS)
+
+    def test_or_monotone_nondecreasing(self, graph_and_data):
+        """Lemma 4.2: OR(G) never decreases over BNS iterations."""
+        graph, _ = graph_and_data
+        report = bns_layout(graph, EPS, max_iterations=3, gain_threshold=0.0)
+        diffs = np.diff(report.or_history)
+        assert (diffs >= -1e-12).all()
+
+    def test_improves_on_initial(self, graph_and_data):
+        graph, _ = graph_and_data
+        initial = id_contiguous_layout(graph.num_vertices, EPS)
+        report = bns_layout(graph, EPS, max_iterations=1,
+                            initial_layout=initial)
+        assert report.final_or >= overlap_ratio(graph, initial)
+
+    def test_beats_bnf_given_iterations(self, graph_and_data):
+        """Tab. 7's finding: BNS reaches a higher OR(G) than BNF."""
+        graph, _ = graph_and_data
+        bnf = bnf_layout(graph, EPS, max_iterations=8)
+        bns = bns_layout(graph, EPS, max_iterations=3,
+                         initial_layout=bnf.layout, gain_threshold=0.0)
+        assert bns.final_or >= bnf.final_or
+
+
+class TestPartitioningBaselines:
+    def test_gp1_valid(self, graph_and_data):
+        graph, ds = graph_and_data
+        layout = gp1_hierarchical_clustering_layout(graph, ds.vectors, EPS)
+        validate_layout(layout, graph.num_vertices, EPS)
+
+    def test_gp2_valid(self, graph_and_data):
+        graph, _ = graph_and_data
+        layout = gp2_greedy_growing_layout(graph, EPS)
+        validate_layout(layout, graph.num_vertices, EPS)
+
+    def test_gp3_valid(self, graph_and_data):
+        graph, _ = graph_and_data
+        report = gp3_restreaming_layout(graph, EPS, max_iterations=4)
+        validate_layout(report.layout, graph.num_vertices, EPS)
+
+    def test_kmeans_valid(self, graph_and_data):
+        graph, ds = graph_and_data
+        layout = kmeans_layout(graph, ds.vectors, EPS)
+        validate_layout(layout, graph.num_vertices, EPS)
+
+    @pytest.mark.parametrize("which", ["gp1", "gp2", "kmeans"])
+    def test_baselines_beat_id_contiguous(self, graph_and_data, which):
+        graph, ds = graph_and_data
+        if which == "gp1":
+            layout = gp1_hierarchical_clustering_layout(graph, ds.vectors, EPS)
+        elif which == "gp2":
+            layout = gp2_greedy_growing_layout(graph, EPS)
+        else:
+            layout = kmeans_layout(graph, ds.vectors, EPS)
+        base = overlap_ratio(
+            graph, id_contiguous_layout(graph.num_vertices, EPS)
+        )
+        assert overlap_ratio(graph, layout) > base
+
+    def test_gp3_uses_degree_priority(self, graph_and_data):
+        """GP3 is BNF with a gain order; both must return valid layouts and
+        comparable OR (the paper finds BNF ≥ GP3)."""
+        graph, _ = graph_and_data
+        bnf = bnf_layout(graph, EPS, max_iterations=4)
+        gp3 = gp3_restreaming_layout(graph, EPS, max_iterations=4)
+        assert abs(bnf.final_or - gp3.final_or) < 0.5

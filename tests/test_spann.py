@@ -1,0 +1,130 @@
+"""Tests for the SPANN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SPANNConfig, build_spann
+from repro.metrics import mean_recall_at_k
+from repro.vectors import deep_like, knn
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return deep_like(800, 12, seed=61)
+
+
+@pytest.fixture(scope="module")
+def truth(ds):
+    ids, _ = knn(ds.vectors, ds.queries, 10, ds.metric)
+    return ids
+
+
+@pytest.fixture(scope="module")
+def index(ds):
+    return build_spann(
+        ds, SPANNConfig(posting_size=24, replicas=2, max_probes=8, seed=1)
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SPANNConfig(replicas=0)
+        with pytest.raises(ValueError):
+            SPANNConfig(posting_size=0)
+        with pytest.raises(ValueError):
+            SPANNConfig(closure_factor=0.5)
+        with pytest.raises(ValueError):
+            SPANNConfig(rng_relax=0.0)
+
+    def test_with_(self):
+        cfg = SPANNConfig().with_(replicas=7)
+        assert cfg.replicas == 7
+
+
+class TestBuild:
+    def test_every_vector_stored(self, index, ds):
+        stored = set(index._all_ids())
+        assert stored == set(range(ds.size))
+
+    def test_replication_bounded_by_replicas(self, ds):
+        for eps in (1, 3):
+            idx = build_spann(
+                ds, SPANNConfig(posting_size=24, replicas=eps, seed=1)
+            )
+            assert idx.replication_ratio <= eps + 1e-9
+
+    def test_replication_grows_with_replicas(self, ds):
+        """Tab. 22: index size grows with ε."""
+        r1 = build_spann(ds, SPANNConfig(posting_size=24, replicas=1, seed=1))
+        r4 = build_spann(ds, SPANNConfig(posting_size=24, replicas=4, seed=1))
+        assert r4.disk_bytes > r1.disk_bytes
+        assert r4.replication_ratio > r1.replication_ratio
+
+    def test_disk_budget_caps_replication(self, ds):
+        unbounded = build_spann(
+            ds, SPANNConfig(posting_size=24, replicas=8, seed=1)
+        )
+        budget = int(unbounded.disk_bytes * 0.5)
+        capped = build_spann(
+            ds, SPANNConfig(posting_size=24, replicas=8, seed=1),
+            disk_budget_bytes=budget,
+        )
+        assert capped.disk_bytes < unbounded.disk_bytes
+
+    def test_memory_is_centroids_plus_graph(self, index):
+        assert index.memory_bytes > 0
+        assert index.memory_bytes < index.disk_bytes
+
+    def test_posting_lengths_bounded(self, index):
+        # Balanced primary assignment plus the 2α closure cap.
+        lengths = [p.length for p in index.postings]
+        assert max(lengths) <= index.config.posting_size * 2 + 1
+
+
+class TestSearch:
+    def test_recall(self, index, ds, truth):
+        results = [index.search(q, 10) for q in ds.queries]
+        assert mean_recall_at_k([r.ids for r in results], truth, 10) > 0.8
+
+    def test_no_duplicate_results(self, index, ds):
+        r = index.search(ds.queries[0], 20)
+        assert len(set(r.ids.tolist())) == len(r.ids)
+
+    def test_io_counted_sequentially(self, index, ds):
+        r = index.search(ds.queries[0], 10)
+        assert r.stats.num_ios > 0
+        assert len(r.stats.sequential_blocks) == r.stats.hops
+        assert r.stats.round_trip_blocks == []
+
+    def test_more_probes_more_io(self, ds):
+        few = build_spann(ds, SPANNConfig(posting_size=24, replicas=2,
+                                          max_probes=2, seed=1))
+        many = build_spann(ds, SPANNConfig(posting_size=24, replicas=2,
+                                           max_probes=16, seed=1))
+        q = ds.queries[0]
+        assert many.search(q, 10).stats.num_ios >= few.search(q, 10).stats.num_ios
+
+    def test_results_sorted(self, index, ds):
+        r = index.search(ds.queries[1], 10)
+        assert (np.diff(r.dists) >= -1e-9).all()
+
+    def test_latency_model(self, index, ds):
+        r = index.search(ds.queries[0], 10)
+        assert index.latency_us(r) > 0
+
+
+class TestRangeSearch:
+    def test_within_radius(self, index, ds):
+        radius = ds.default_radius
+        r = index.range_search(ds.queries[0], radius)
+        assert (r.dists <= radius).all()
+
+    def test_matches_ground_truth_subset(self, index, ds):
+        from repro.vectors import range_search as brute
+
+        radius = ds.default_radius
+        truth = brute(ds.vectors, ds.queries, radius, ds.metric)
+        for i, q in enumerate(ds.queries[:5]):
+            r = index.range_search(q, radius)
+            assert set(r.ids.tolist()) <= set(truth[i].tolist())

@@ -1,0 +1,139 @@
+"""Tests for the fvecs/bvecs/ivecs and big-ann bin file formats."""
+
+import numpy as np
+import pytest
+
+from repro.vectors import (
+    read_bin,
+    read_ground_truth,
+    read_vecs,
+    write_bin,
+    write_ground_truth,
+    write_vecs,
+)
+
+
+class TestVecsRoundtrip:
+    @pytest.mark.parametrize(
+        "ext,dtype",
+        [(".fvecs", np.float32), (".bvecs", np.uint8), (".ivecs", np.int32)],
+    )
+    def test_roundtrip(self, tmp_path, rng, ext, dtype):
+        path = tmp_path / f"data{ext}"
+        if np.issubdtype(dtype, np.integer):
+            data = rng.integers(0, 100, size=(20, 8)).astype(dtype)
+        else:
+            data = rng.normal(size=(20, 8)).astype(dtype)
+        write_vecs(path, data)
+        out = read_vecs(path)
+        assert out.dtype == dtype
+        assert np.array_equal(out, data)
+
+    def test_max_vectors(self, tmp_path, rng):
+        path = tmp_path / "d.fvecs"
+        write_vecs(path, rng.normal(size=(10, 4)).astype(np.float32))
+        out = read_vecs(path, max_vectors=3)
+        assert out.shape == (3, 4)
+
+    def test_single_vector(self, tmp_path):
+        path = tmp_path / "one.fvecs"
+        write_vecs(path, np.asarray([1.0, 2.0, 3.0], dtype=np.float32))
+        out = read_vecs(path)
+        assert out.shape == (1, 3)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.fvecs"
+        path.write_bytes(b"")
+        assert read_vecs(path).size == 0
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown vecs extension"):
+            read_vecs(tmp_path / "x.dat")
+
+    def test_corrupt_size_detected(self, tmp_path, rng):
+        path = tmp_path / "c.fvecs"
+        write_vecs(path, rng.normal(size=(3, 4)).astype(np.float32))
+        with open(path, "ab") as f:
+            f.write(b"\x01\x02")
+        with pytest.raises(ValueError, match="not a multiple"):
+            read_vecs(path)
+
+    def test_inconsistent_dims_detected(self, tmp_path):
+        path = tmp_path / "c.ivecs"
+        # two records claiming different dims but same byte length
+        rec1 = np.asarray([2, 5, 6], dtype="<i4").tobytes()
+        rec2 = np.asarray([3, 5, 6], dtype="<i4").tobytes()
+        path.write_bytes(rec1 + rec2)
+        with pytest.raises(ValueError, match="inconsistent|corrupt"):
+            read_vecs(path)
+
+    def test_bad_dim_header(self, tmp_path):
+        path = tmp_path / "b.fvecs"
+        path.write_bytes(np.asarray([-1], dtype="<i4").tobytes())
+        with pytest.raises(ValueError, match="dim header"):
+            read_vecs(path)
+
+
+class TestBinRoundtrip:
+    @pytest.mark.parametrize(
+        "ext,dtype",
+        [(".fbin", np.float32), (".u8bin", np.uint8), (".i8bin", np.int8)],
+    )
+    def test_roundtrip(self, tmp_path, rng, ext, dtype):
+        path = tmp_path / f"data{ext}"
+        if np.issubdtype(dtype, np.integer):
+            info = np.iinfo(dtype)
+            data = rng.integers(info.min, info.max, size=(15, 6)).astype(dtype)
+        else:
+            data = rng.normal(size=(15, 6)).astype(dtype)
+        write_bin(path, data)
+        out = read_bin(path)
+        assert out.dtype == dtype
+        assert np.array_equal(out, data)
+
+    def test_max_vectors(self, tmp_path, rng):
+        path = tmp_path / "d.fbin"
+        write_bin(path, rng.normal(size=(9, 3)).astype(np.float32))
+        assert read_bin(path, max_vectors=4).shape == (4, 3)
+
+    def test_truncated_payload_detected(self, tmp_path, rng):
+        path = tmp_path / "t.fbin"
+        write_bin(path, rng.normal(size=(5, 3)).astype(np.float32))
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-4])
+        with pytest.raises(ValueError, match="truncated"):
+            read_bin(path)
+
+    def test_truncated_header_detected(self, tmp_path):
+        path = tmp_path / "h.fbin"
+        path.write_bytes(b"\x01\x00")
+        with pytest.raises(ValueError, match="truncated header"):
+            read_bin(path)
+
+
+class TestGroundTruthFormat:
+    def test_roundtrip(self, tmp_path, rng):
+        path = tmp_path / "gt.bin"
+        ids = rng.integers(0, 1000, size=(7, 10)).astype(np.int64)
+        dists = rng.normal(size=(7, 10)).astype(np.float32) ** 2
+        write_ground_truth(path, ids, dists)
+        out_ids, out_dists = read_ground_truth(path)
+        assert np.array_equal(out_ids, ids)
+        assert np.allclose(out_dists, dists)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="share a shape"):
+            write_ground_truth(
+                tmp_path / "x.bin", np.zeros((2, 3)), np.zeros((2, 4))
+            )
+
+    def test_matches_brute_force_pipeline(self, tmp_path):
+        """End-to-end: compute ground truth, persist, reload, evaluate."""
+        from repro.vectors import bigann_like, knn
+
+        ds = bigann_like(200, 5)
+        ids, dists = knn(ds.vectors, ds.queries, 10, ds.metric)
+        path = tmp_path / "gt.bin"
+        write_ground_truth(path, ids, dists)
+        loaded_ids, _ = read_ground_truth(path)
+        assert np.array_equal(loaded_ids, ids)
