@@ -139,10 +139,69 @@ def _cmd_gt(args) -> int:
     return 0
 
 
+def _fault_spec_from_args(args):
+    """Build a FaultSpec from the chaos flags (None when all rates are 0)."""
+    from .storage import FaultSpec
+
+    spec = FaultSpec(
+        seed=args.fault_seed,
+        transient_error_rate=args.fault_transient,
+        bad_block_rate=args.fault_bad_blocks,
+        corruption_rate=args.fault_corrupt,
+        latency_spike_rate=args.fault_spike,
+    )
+    return spec if spec.enabled else None
+
+
+def _apply_chaos(index, args) -> None:
+    """Inject faults into a loaded index and arm the retry policy."""
+    from .engine import RetryPolicy
+    from .storage import ensure_fault_injection
+
+    spec = _fault_spec_from_args(args)
+    if spec is None:
+        return
+    ensure_fault_injection(index.disk_graph, spec)
+    if args.no_resilience:
+        index.engine.resilience = None
+    else:
+        index.engine.resilience = RetryPolicy(
+            max_retries=args.max_retries,
+            hedge_after_us=args.hedge_after_us,
+        )
+    print(
+        f"chaos: transient={spec.transient_error_rate}, "
+        f"bad_blocks={spec.bad_block_rate}, corrupt={spec.corruption_rate}, "
+        f"spikes={spec.latency_spike_rate}, seed={spec.seed}, "
+        f"resilience={'off' if args.no_resilience else 'on'}"
+    )
+
+
+def _add_chaos_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("chaos (deterministic fault injection)")
+    g.add_argument("--fault-transient", type=float, default=0.0,
+                   help="per-block-read transient error probability")
+    g.add_argument("--fault-bad-blocks", type=float, default=0.0,
+                   help="fraction of permanently unreadable blocks")
+    g.add_argument("--fault-corrupt", type=float, default=0.0,
+                   help="per-block-read silent bit-flip probability")
+    g.add_argument("--fault-spike", type=float, default=0.0,
+                   help="per-round-trip latency spike probability")
+    g.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault schedule (reproducible chaos)")
+    g.add_argument("--max-retries", type=int, default=2,
+                   help="retry rounds per failed read")
+    g.add_argument("--hedge-after-us", type=float, default=None,
+                   help="hedge a read once its injected delay exceeds this")
+    g.add_argument("--no-resilience", action="store_true",
+                   help="disable retries/hedging (faults crash queries)")
+
+
 def _cmd_search(args) -> int:
     index = _load_index(args.index)
     dataset = _dataset_from_args(args)
     truth = read_ground_truth(args.gt)[0] if args.gt else None
+    _apply_chaos(index, args)
 
     results = [
         index.search(q, args.k, args.gamma) for q in dataset.queries
@@ -157,6 +216,17 @@ def _cmd_search(args) -> int:
         recall = mean_recall_at_k([r.ids for r in results], truth, args.k)
         line += f", recall@{args.k}={recall:.3f}"
     print(line)
+    degraded = sum(1 for r in results if r.degraded)
+    faults = [r.stats.fault for r in results]
+    if degraded or any(f.any for f in faults):
+        print(
+            f"  faults: degraded={degraded}/{len(results)}, "
+            f"retries={sum(f.retries for f in faults)}, "
+            f"hedges={sum(f.hedges for f in faults)}, "
+            f"read_errors={sum(f.read_errors for f in faults)}, "
+            f"corrupt={sum(f.corrupt_blocks for f in faults)}, "
+            f"vertices_abandoned={sum(f.vertices_abandoned for f in faults)}"
+        )
     if args.show:
         for i, r in enumerate(results[: args.show]):
             print(f"  q{i}: {r.ids.tolist()}")
@@ -265,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gt", help="ground-truth file for recall")
     p.add_argument("--show", type=int, default=0,
                    help="print the ids of the first N queries")
+    _add_chaos_args(p)
     p.set_defaults(func=_cmd_search)
     return parser
 

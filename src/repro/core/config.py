@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..engine.resilience import RetryPolicy
+from ..storage.faults import FaultSpec
+
 
 @dataclass(frozen=True)
 class SegmentBudget:
@@ -103,6 +106,11 @@ class StarlingConfig:
     #: L2 only) or "sq8" (per-dimension scalar quantization)
     quantizer: str = "pq"
     seed: int = 0
+    #: fault model of the simulated disk; the default (all rates zero) keeps
+    #: the read path byte-identical and counter-identical to a healthy device
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    #: retry/hedging policy, active only while ``faults`` is enabled
+    resilience: RetryPolicy = field(default_factory=RetryPolicy)
 
     _SHUFFLERS = ("bnf", "bnp", "bns", "gp1", "gp2", "gp3", "kmeans", "none")
     _QUANTIZERS = ("pq", "opq", "sq8")
@@ -142,6 +150,10 @@ class DiskANNConfig:
     #: approximate router: "pq" | "opq" | "sq8" (see StarlingConfig)
     quantizer: str = "pq"
     seed: int = 0
+    #: fault model of the simulated disk (see StarlingConfig.faults)
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    #: retry/hedging policy, active only while ``faults`` is enabled
+    resilience: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.cache_ratio <= 1.0:

@@ -5,16 +5,23 @@ query coordinator fans a query out and merges per-segment candidates.  The
 coordinator here is deliberately simple — search every segment, merge by
 exact distance — matching the setting of Tab. 3 and Fig. 19(b) (the paper's
 billion-scale runs merge candidates from 31 segments).
+
+The serving path is also the failure domain: a segment whose device raises
+(injected or real) must not take the whole coordinated query down.  The
+coordinator therefore tracks consecutive per-segment failures, quarantines a
+segment after :attr:`SegmentCoordinator.quarantine_threshold` of them, and
+merges the surviving segments' candidates into a result flagged as partial —
+answer quality degrades gracefully instead of availability collapsing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..engine.cost import QueryStats
-from ..engine.results import RangeResult, SearchResult
+from ..storage.faults import FaultError
 from ..vectors.dataset import VectorDataset
 
 
@@ -52,9 +59,22 @@ class CoordinatedResult:
     dists: np.ndarray
     stats: QueryStats  # aggregate counters across all segments
     per_segment_latency_us: list[float]
+    #: True when any contribution is missing or best-effort (a segment
+    #: failed, was quarantined, or returned a degraded result)
+    degraded: bool = False
+    #: segments whose search raised mid-query (error counted, result merged
+    #: without them)
+    failed_segments: list[int] = field(default_factory=list)
+    #: segments skipped up front because they were quarantined
+    quarantined_segments: list[int] = field(default_factory=list)
 
     def __len__(self) -> int:
         return int(self.ids.shape[0])
+
+    @property
+    def complete(self) -> bool:
+        """Whether every segment contributed a non-degraded answer."""
+        return not self.degraded
 
     @property
     def serial_latency_us(self) -> float:
@@ -68,33 +88,109 @@ class CoordinatedResult:
 
 
 class SegmentCoordinator:
-    """Fan a query out over segment indexes and merge the candidates."""
+    """Fan a query out over segment indexes and merge the candidates.
 
-    def __init__(self, segments: list, id_offsets: list[int] | None = None) -> None:
+    Args:
+        segments: Per-segment index objects (StarlingIndex/DiskANNIndex).
+        id_offsets: Global-ID offset of each segment.
+        quarantine_threshold: Consecutive per-segment failures after which a
+            segment is skipped instead of searched (0 disables quarantine —
+            every query keeps trying every segment).
+    """
+
+    def __init__(
+        self,
+        segments: list,
+        id_offsets: list[int] | None = None,
+        *,
+        quarantine_threshold: int = 3,
+    ) -> None:
         if not segments:
             raise ValueError("need at least one segment")
         if id_offsets is None:
             id_offsets = [0] * len(segments)
         if len(id_offsets) != len(segments):
             raise ValueError("id_offsets must align with segments")
+        if quarantine_threshold < 0:
+            raise ValueError("quarantine_threshold must be non-negative")
         self.segments = segments
         self.id_offsets = id_offsets
+        self.quarantine_threshold = quarantine_threshold
+        #: consecutive failures per segment (reset by a successful search)
+        self.error_counts = [0] * len(segments)
+        #: lifetime failures per segment (never reset; ops visibility)
+        self.total_errors = [0] * len(segments)
 
     @property
     def num_segments(self) -> int:
         return len(self.segments)
 
+    # -- segment health ------------------------------------------------------
+
+    def is_quarantined(self, segment_index: int) -> bool:
+        return (
+            self.quarantine_threshold > 0
+            and self.error_counts[segment_index] >= self.quarantine_threshold
+        )
+
+    @property
+    def quarantined(self) -> list[int]:
+        """Indexes of currently quarantined segments."""
+        return [i for i in range(self.num_segments) if self.is_quarantined(i)]
+
+    def reinstate(self, segment_index: int) -> None:
+        """Clear a segment's consecutive-failure count (e.g. after repair)."""
+        self.error_counts[segment_index] = 0
+
+    # -- fan-out helpers -----------------------------------------------------
+
+    def _fan_out(self, run_segment):
+        """Run a per-segment callable with error tracking and quarantine.
+
+        Yields ``(index, segment, offset, result)`` for every segment that
+        answered; failures and quarantine skips are recorded in the returned
+        bookkeeping object.
+        """
+        outcomes = []
+        failed: list[int] = []
+        skipped: list[int] = []
+        for i, (segment, offset) in enumerate(
+            zip(self.segments, self.id_offsets)
+        ):
+            if self.is_quarantined(i):
+                skipped.append(i)
+                continue
+            try:
+                result = run_segment(segment)
+            except FaultError:
+                self.error_counts[i] += 1
+                self.total_errors[i] += 1
+                failed.append(i)
+                continue
+            self.error_counts[i] = 0
+            outcomes.append((i, segment, offset, result))
+        return outcomes, failed, skipped
+
     def search(
         self, query: np.ndarray, k: int = 10, candidate_size: int = 64
     ) -> CoordinatedResult:
-        """ANNS across all segments, merged by exact distance."""
+        """ANNS across the healthy segments, merged by exact distance.
+
+        A segment whose search raises a fault contributes nothing to this
+        answer (its error count grows toward quarantine); the merged result
+        from the surviving segments is flagged ``degraded``.
+        """
         merged: list[tuple[float, int]] = []
         total = QueryStats()
         latencies: list[float] = []
-        for segment, offset in zip(self.segments, self.id_offsets):
-            result: SearchResult = segment.search(query, k, candidate_size)
+        degraded = False
+        outcomes, failed, skipped = self._fan_out(
+            lambda segment: segment.search(query, k, candidate_size)
+        )
+        for _, segment, offset, result in outcomes:
             total.merge(result.stats)
             latencies.append(segment.latency_us(result))
+            degraded |= bool(getattr(result, "degraded", False))
             merged.extend(
                 (float(d), int(vid) + offset)
                 for d, vid in zip(result.dists, result.ids)
@@ -106,18 +202,25 @@ class SegmentCoordinator:
             dists=np.asarray([d for d, _ in top], dtype=np.float64),
             stats=total,
             per_segment_latency_us=latencies,
+            degraded=degraded or bool(failed) or bool(skipped),
+            failed_segments=failed,
+            quarantined_segments=skipped,
         )
 
     def range_search(self, query: np.ndarray, radius: float) -> CoordinatedResult:
-        """RS across all segments; the union is exact per-segment."""
+        """RS across the healthy segments; the union is exact per-segment."""
         ids: list[int] = []
         dists: list[float] = []
         total = QueryStats()
         latencies: list[float] = []
-        for segment, offset in zip(self.segments, self.id_offsets):
-            result: RangeResult = segment.range_search(query, radius)
+        degraded = False
+        outcomes, failed, skipped = self._fan_out(
+            lambda segment: segment.range_search(query, radius)
+        )
+        for _, segment, offset, result in outcomes:
             total.merge(result.stats)
             latencies.append(segment.latency_us(result))
+            degraded |= bool(getattr(result, "degraded", False))
             ids.extend(int(v) + offset for v in result.ids)
             dists.extend(float(d) for d in result.dists)
         order = np.argsort(dists, kind="stable") if dists else np.empty(0, int)
@@ -126,4 +229,7 @@ class SegmentCoordinator:
             dists=np.asarray(dists, dtype=np.float64)[order],
             stats=total,
             per_segment_latency_us=latencies,
+            degraded=degraded or bool(failed) or bool(skipped),
+            failed_segments=failed,
+            quarantined_segments=skipped,
         )

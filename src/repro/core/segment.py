@@ -25,6 +25,7 @@ from ..graphs.navigation import EntryPointProvider
 from ..quantization.pq import ProductQuantizer
 from ..storage.device import DiskSpec
 from ..storage.disk_graph import DiskGraph
+from ..storage.faults import ensure_fault_injection
 from ..vectors.metrics import Metric
 from .config import DiskANNConfig, SegmentBudget, StarlingConfig
 
@@ -167,6 +168,10 @@ class StarlingIndex(_SegmentIndexBase):
         )
         self.config = config
         self.layout_or = layout_or
+        # Chaos wiring: a fault-enabled config injects faults (idempotently,
+        # so both fresh builds and persisted reloads get them) and arms the
+        # retry/hedging policy; the default spec leaves the fast path alone.
+        ensure_fault_injection(disk_graph, config.faults)
         self.engine = BlockSearchEngine(
             disk_graph, pq, metric, entry_provider,
             beam_width=config.beam_width,
@@ -174,6 +179,7 @@ class StarlingIndex(_SegmentIndexBase):
             use_pq_routing=config.use_pq_routing,
             pipeline=config.pipeline,
             num_entry_points=config.num_entry_points,
+            resilience=config.resilience if config.faults.enabled else None,
         )
 
     def search(
@@ -224,11 +230,13 @@ class DiskANNIndex(_SegmentIndexBase):
         )
         self.config = config
         self.cache = cache
+        ensure_fault_injection(disk_graph, config.faults)
         self.engine = BeamSearchEngine(
             disk_graph, pq, metric, entry_provider,
             cache=cache,
             beam_width=config.beam_width,
             use_pq_routing=config.use_pq_routing,
+            resilience=config.resilience if config.faults.enabled else None,
         )
 
     def search(

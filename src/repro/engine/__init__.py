@@ -10,9 +10,10 @@ from .concurrency import (
     ThroughputSimulator,
     schedule_from_stats,
 )
-from .cost import ComputeSpec, QueryStats
+from .cost import ComputeSpec, FaultStats, QueryStats
 from .frontier import CandidateSet, ResultSet
 from .range_search import incremental_range_search, repeated_anns_range_search
+from .resilience import RetryPolicy, resilient_read_blocks_of
 from .results import RangeResult, SearchResult
 
 __all__ = [
@@ -21,10 +22,12 @@ __all__ = [
     "CachedDiskGraph",
     "CandidateSet",
     "ComputeSpec",
+    "FaultStats",
     "HotVertexCache",
     "QueryStats",
     "RangeResult",
     "ResultSet",
+    "RetryPolicy",
     "SearchResult",
     "SimulatedQuery",
     "SimulationReport",
@@ -33,4 +36,5 @@ __all__ = [
     "build_hot_vertex_cache",
     "incremental_range_search",
     "repeated_anns_range_search",
+    "resilient_read_blocks_of",
 ]

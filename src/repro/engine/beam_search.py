@@ -38,6 +38,10 @@ class BeamSearchEngine:
             False, every neighbour's exact distance is fetched from disk
             before it can enter the candidate set.
         num_entry_points: How many entry points to request per query.
+        resilience: Retry/hedging policy for faulty devices; ``None`` keeps
+            the zero-overhead fast read path.  With a policy, vertices whose
+            blocks stay unreadable are skipped (the search continues and the
+            result is flagged ``degraded``) instead of raising.
     """
 
     #: label used by benches and tables
@@ -55,6 +59,7 @@ class BeamSearchEngine:
         use_pq_routing: bool = True,
         num_entry_points: int = 1,
         early_termination: int | None = None,
+        resilience=None,
     ) -> None:
         if beam_width <= 0:
             raise ValueError("beam_width must be positive")
@@ -66,6 +71,7 @@ class BeamSearchEngine:
         self.beam_width = beam_width
         self.use_pq_routing = use_pq_routing
         self.num_entry_points = num_entry_points
+        self.resilience = resilience
         if early_termination is not None and early_termination < 1:
             raise ValueError("early_termination patience must be >= 1")
         self.early_termination = early_termination
@@ -86,7 +92,7 @@ class BeamSearchEngine:
         # Exact routing: the full-precision vectors live on disk, so every
         # routing decision costs block reads (this is what Fig. 11(c) shows).
         blocks = counted_read_blocks_of(
-            self.disk_graph, [int(v) for v in ids], stats
+            self.disk_graph, [int(v) for v in ids], stats, self.resilience
         )
         lookup: dict[int, np.ndarray] = {}
         for block in blocks:
@@ -95,9 +101,16 @@ class BeamSearchEngine:
                 lookup[int(vid)] = block.vectors[pos]
         dists = np.empty(ids.size, dtype=np.float64)
         for i, vid in enumerate(ids):
-            dists[i] = self.metric.distance(query, lookup[int(vid)])
-        stats.exact_distances += int(ids.size)
-        stats.vertices_used += int(ids.size)
+            vector = lookup.get(int(vid))
+            if vector is None:
+                # Block unreadable: route this vertex to the back of the
+                # queue instead of aborting the query.
+                stats.fault.vertices_abandoned += 1
+                dists[i] = np.inf
+                continue
+            dists[i] = self.metric.distance(query, vector)
+            stats.exact_distances += 1
+            stats.vertices_used += 1
         return dists
 
     def _seed(
@@ -132,7 +145,7 @@ class BeamSearchEngine:
         )
         self._run(query, candidates, results, table, stats, stopper=stopper)
         ids, dists = results.top_k(k)
-        return SearchResult(ids, dists, stats)
+        return SearchResult(ids, dists, stats, degraded=stats.fault.degraded)
 
     def _run(
         self,
@@ -161,19 +174,24 @@ class BeamSearchEngine:
                     misses.append(vid)
             if misses:
                 blocks = counted_read_blocks_of(
-                    self.disk_graph, misses, stats
+                    self.disk_graph, misses, stats, self.resilience
                 )
                 for block in blocks:
                     stats.vertices_loaded += len(block)
                 by_block = {b.block_id: b for b in blocks}
                 for vid in misses:
-                    block = by_block[self.disk_graph.block_of(vid)]
+                    block = by_block.get(self.disk_graph.block_of(vid))
+                    if block is None:
+                        # Unreadable after retries: skip the vertex, keep
+                        # searching from the rest of the frontier.
+                        stats.fault.vertices_abandoned += 1
+                        continue
                     pos = block.index_of(vid)
                     served.append(
                         (vid, block.vectors[pos], block.neighbor_lists[pos])
                     )
-                # The baseline discards every non-target vertex in a block.
-                stats.vertices_used += len(misses)
+                    # The baseline discards every non-target vertex in a block.
+                    stats.vertices_used += 1
 
             fresh: list[int] = []
             for vid, vector, neighbors in served:

@@ -144,6 +144,33 @@ class CachedDiskGraph:
                 out[block.block_id] = block
         return [out[bid] for bid in block_ids]
 
+    def try_read_blocks(
+        self, block_ids: Sequence[int]
+    ) -> tuple[dict[int, DiskBlock], dict[int, str]]:
+        """Fault-tolerant batched read through the cache.
+
+        Cached blocks never fault (they are in memory); only device misses
+        can fail, and only successfully read blocks enter the LRU — a
+        corrupt payload is never cached.
+        """
+        ok: dict[int, DiskBlock] = {}
+        missing: list[int] = []
+        for bid in block_ids:
+            cached = self._get_cached(bid)
+            if cached is not None:
+                self.hits += 1
+                ok[bid] = cached
+            else:
+                missing.append(bid)
+        failed: dict[int, str] = {}
+        if missing:
+            self.misses += len(missing)
+            fetched, failed = self.inner.try_read_blocks(missing)
+            for block in fetched.values():
+                self._insert(block)
+            ok.update(fetched)
+        return ok, failed
+
     def read_block_of(self, vertex_id: int) -> DiskBlock:
         return self.read_block(self.block_of(vertex_id))
 

@@ -45,6 +45,10 @@ class BlockSearchEngine:
         use_pq_routing: Route by PQ distance; False mirrors Fig. 11(c).
         pipeline: Model the I/O-and-computation pipeline (§5.1).
         num_entry_points: Entry points requested from the provider.
+        resilience: Retry/hedging policy for faulty devices; ``None`` keeps
+            the zero-overhead fast read path.  With a policy, blocks that
+            stay unreadable are skipped (their target vertices abandoned,
+            the result flagged ``degraded``) instead of raising.
     """
 
     name = "starling"
@@ -62,6 +66,7 @@ class BlockSearchEngine:
         pipeline: bool = True,
         num_entry_points: int = 4,
         early_termination: int | None = None,
+        resilience=None,
     ) -> None:
         if beam_width <= 0:
             raise ValueError("beam_width must be positive")
@@ -76,6 +81,7 @@ class BlockSearchEngine:
         self.use_pq_routing = use_pq_routing
         self.pipeline = pipeline
         self.num_entry_points = num_entry_points
+        self.resilience = resilience
         if early_termination is not None and early_termination < 1:
             raise ValueError("early_termination patience must be >= 1")
         self.early_termination = early_termination
@@ -93,7 +99,7 @@ class BlockSearchEngine:
             stats.pq_distances += int(ids.size)
             return self.pq.distances_from_table(table, ids)
         blocks = counted_read_blocks_of(
-            self.disk_graph, [int(v) for v in ids], stats
+            self.disk_graph, [int(v) for v in ids], stats, self.resilience
         )
         lookup: dict[int, np.ndarray] = {}
         for block in blocks:
@@ -102,9 +108,15 @@ class BlockSearchEngine:
                 lookup[int(vid)] = block.vectors[pos]
         dists = np.empty(ids.size, dtype=np.float64)
         for i, vid in enumerate(ids):
-            dists[i] = self.metric.distance(query, lookup[int(vid)])
-        stats.exact_distances += int(ids.size)
-        stats.vertices_used += int(ids.size)
+            vector = lookup.get(int(vid))
+            if vector is None:
+                # Block unreadable: deprioritize instead of aborting.
+                stats.fault.vertices_abandoned += 1
+                dists[i] = np.inf
+                continue
+            dists[i] = self.metric.distance(query, vector)
+            stats.exact_distances += 1
+            stats.vertices_used += 1
         return dists
 
     def _seed(
@@ -138,7 +150,7 @@ class BlockSearchEngine:
         )
         self._run(query, candidates, results, table, stats, stopper=stopper)
         ids, dists = results.top_k(k)
-        return SearchResult(ids, dists, stats)
+        return SearchResult(ids, dists, stats, degraded=stats.fault.degraded)
 
     def _run(
         self,
@@ -157,7 +169,7 @@ class BlockSearchEngine:
             batch = candidates.pop_unvisited(self.beam_width)
             stats.hops += len(batch)
             blocks = counted_read_blocks_of(
-                self.disk_graph, batch, stats
+                self.disk_graph, batch, stats, self.resilience
             )
             by_block = {b.block_id: b for b in blocks}
             targets_by_block: dict[int, list[int]] = {}
@@ -165,6 +177,11 @@ class BlockSearchEngine:
                 targets_by_block.setdefault(
                     self.disk_graph.block_of(vid), []
                 ).append(vid)
+            for block_id, targets in targets_by_block.items():
+                if block_id not in by_block:
+                    # Unreadable after retries: skip these targets, keep
+                    # draining the rest of the frontier.
+                    stats.fault.vertices_abandoned += len(targets)
 
             explore: list[int] = []
             for block_id, block in by_block.items():

@@ -46,6 +46,65 @@ class ComputeSpec:
 
 
 @dataclass
+class FaultStats:
+    """Fault-path counters of one query (all zero on a healthy device).
+
+    Retries and hedges also appear as extra entries in
+    :attr:`QueryStats.round_trip_blocks` — the duplicate I/O is charged at
+    full price — while the *waiting* components (backoff delays, the latency
+    spikes actually suffered) are carried here in simulated microseconds and
+    folded into :meth:`QueryStats.io_time_us`.
+    """
+
+    #: failed block reads that were re-issued
+    retries: int = 0
+    #: duplicate reads issued against a latency spike
+    hedges: int = 0
+    #: read errors observed (transient + permanent, before retry)
+    read_errors: int = 0
+    #: checksum mismatches detected (silent corruption caught)
+    corrupt_blocks: int = 0
+    #: blocks given up on after exhausting retries
+    blocks_abandoned: int = 0
+    #: candidate vertices skipped because their block was unreadable
+    vertices_abandoned: int = 0
+    #: latency spikes suffered (post-hedging)
+    latency_spikes: int = 0
+    #: simulated extra time from spikes, after any hedge won the race
+    injected_latency_us: float = 0.0
+    #: simulated time spent in retry backoff waits
+    backoff_us: float = 0.0
+
+    @property
+    def any(self) -> bool:
+        """Whether any fault activity was observed at all."""
+        return (
+            self.retries > 0 or self.hedges > 0 or self.read_errors > 0
+            or self.corrupt_blocks > 0 or self.blocks_abandoned > 0
+            or self.vertices_abandoned > 0 or self.latency_spikes > 0
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the answer may be missing data (not merely delayed)."""
+        return self.blocks_abandoned > 0 or self.vertices_abandoned > 0
+
+    def extra_io_us(self) -> float:
+        return self.injected_latency_us + self.backoff_us
+
+    def merge(self, other: "FaultStats") -> None:
+        self.retries += other.retries
+        self.hedges += other.hedges
+        self.read_errors += other.read_errors
+        self.corrupt_blocks += other.corrupt_blocks
+        self.blocks_abandoned += other.blocks_abandoned
+        self.vertices_abandoned += other.vertices_abandoned
+        self.latency_spikes += other.latency_spikes
+        self.injected_latency_us += other.injected_latency_us
+        self.backoff_us += other.backoff_us
+
+
+@dataclass
 class QueryStats:
     """Exact counts accumulated while answering one query."""
 
@@ -67,6 +126,8 @@ class QueryStats:
     restarts: int = 0
     #: whether the engine ran with the I/O-and-computation pipeline (§5.1)
     pipelined: bool = False
+    #: fault-path counters (retries, hedges, corruption, abandonment)
+    fault: FaultStats = field(default_factory=FaultStats)
 
     # -- derived counts ------------------------------------------------------
 
@@ -95,7 +156,8 @@ class QueryStats:
     def io_time_us(self, disk: DiskSpec) -> float:
         total = sum(disk.random_read_us(b) for b in self.round_trip_blocks)
         total += sum(disk.sequential_read_us(b) for b in self.sequential_blocks)
-        return total
+        # Injected latency spikes and retry backoff are time-on-the-I/O-path.
+        return total + self.fault.extra_io_us()
 
     def compute_time_us(
         self, comp: ComputeSpec, dim: int, num_subspaces: int
@@ -146,3 +208,4 @@ class QueryStats:
         self.cache_hits += other.cache_hits
         self.block_cache_hits += other.block_cache_hits
         self.restarts += other.restarts
+        self.fault.merge(other.fault)

@@ -5,6 +5,12 @@ device — with an LRU block cache in front of the disk graph, some of a
 batch's blocks are served from memory.  Reading through this helper records
 the device-counter delta as the round-trip's size and credits the remainder
 as block-cache hits.
+
+With a :class:`~repro.engine.resilience.RetryPolicy`, the read goes through
+the resilient path instead: failed or corrupt blocks are retried (each retry
+a fresh, fully charged round-trip) and blocks that stay unreadable are
+abandoned — absent from the returned list and counted in ``stats.fault`` —
+so the engines can skip the affected vertices rather than crash.
 """
 
 from __future__ import annotations
@@ -12,11 +18,16 @@ from __future__ import annotations
 from typing import Sequence
 
 from .cost import QueryStats
+from .resilience import RetryPolicy, resilient_read_blocks_of
 
 
 def counted_read_blocks_of(disk_graph, vertex_ids: Sequence[int],
-                           stats: QueryStats):
+                           stats: QueryStats,
+                           resilience: RetryPolicy | None = None):
     """Fetch the blocks holding ``vertex_ids``; charge exactly the misses."""
+    if resilience is not None:
+        return resilient_read_blocks_of(disk_graph, vertex_ids, stats,
+                                        resilience)
     before = disk_graph.device.counters.blocks_read
     blocks = disk_graph.read_blocks_of(vertex_ids)
     fetched = disk_graph.device.counters.blocks_read - before

@@ -64,7 +64,9 @@ def incremental_range_search(
         if not candidates.has_unvisited():
             break  # nothing left to explore: the frontier is exhausted
     ids, dists = results.within(radius)
-    return RangeResult(ids, dists, stats, final_candidate_size=candidates.capacity)
+    return RangeResult(ids, dists, stats,
+                       final_candidate_size=candidates.capacity,
+                       degraded=stats.fault.degraded)
 
 
 def repeated_anns_range_search(
@@ -102,4 +104,5 @@ def repeated_anns_range_search(
             break
         total.restarts += 1
         k *= 2
-    return RangeResult(ids, dists, total, final_candidate_size=k)
+    return RangeResult(ids, dists, total, final_candidate_size=k,
+                       degraded=total.fault.degraded)

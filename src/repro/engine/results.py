@@ -16,6 +16,9 @@ class SearchResult:
     ids: np.ndarray
     dists: np.ndarray
     stats: QueryStats
+    #: True when unreadable blocks forced the search to skip vertices — the
+    #: answer is best-effort over the data that could be read
+    degraded: bool = False
 
     def __len__(self) -> int:
         return int(self.ids.shape[0])
@@ -30,6 +33,8 @@ class RangeResult:
     stats: QueryStats
     #: final candidate-set capacity after dynamic doubling (§5.3)
     final_candidate_size: int = 0
+    #: True when unreadable blocks forced the search to skip vertices
+    degraded: bool = False
 
     def __len__(self) -> int:
         return int(self.ids.shape[0])

@@ -1,20 +1,42 @@
 """Storage substrate: block codec, simulated device, disk-resident graph."""
 
-from .codec import ID_DTYPE, VertexFormat
+from .codec import ID_DTYPE, VertexFormat, block_checksum
 from .device import BlockDevice, DiskSpec, IOCounters, device_for_blocks
 from .disk_graph import DiskBlock, DiskGraph, build_disk_graph
-from .persist import load_diskann, load_starling, save_diskann, save_starling
+from .faults import (
+    ChecksumError,
+    FaultError,
+    FaultInjector,
+    FaultSpec,
+    ReadFaultError,
+    ensure_fault_injection,
+)
+from .persist import (
+    IndexLoadError,
+    load_diskann,
+    load_starling,
+    save_diskann,
+    save_starling,
+)
 
 __all__ = [
     "BlockDevice",
+    "ChecksumError",
     "DiskBlock",
     "DiskGraph",
     "DiskSpec",
+    "FaultError",
+    "FaultInjector",
+    "FaultSpec",
     "ID_DTYPE",
     "IOCounters",
+    "IndexLoadError",
+    "ReadFaultError",
     "VertexFormat",
+    "block_checksum",
     "build_disk_graph",
     "device_for_blocks",
+    "ensure_fault_injection",
     "load_diskann",
     "load_starling",
     "save_diskann",

@@ -98,6 +98,7 @@ class BlockDevice:
         self.spec = spec or DiskSpec()
         self.counters = IOCounters()
         self._path = os.fspath(path) if path is not None else None
+        self._closed = False
         if self._path is None:
             self._file = None
             self._blocks = bytearray(block_bytes * num_blocks)
@@ -109,10 +110,28 @@ class BlockDevice:
 
     # -- lifecycle ---------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Close the device; idempotent for both backends.
+
+        File-backed writes are flushed to the OS before closing so the
+        backing file is complete on disk; the in-memory buffer is released.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._file is not None:
+            self._file.flush()
             self._file.close()
             self._file = None
+        self._blocks = None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("I/O operation on closed BlockDevice")
 
     def __enter__(self) -> "BlockDevice":
         return self
@@ -140,6 +159,7 @@ class BlockDevice:
 
     def write_block(self, block_id: int, data: bytes) -> None:
         """Write one full block (used only at index-build time)."""
+        self._check_open()
         self._check_block_id(block_id)
         if len(data) != self.block_bytes:
             raise ValueError(
@@ -154,6 +174,7 @@ class BlockDevice:
         self.counters.blocks_written += 1
 
     def _fetch(self, block_id: int) -> bytes:
+        self._check_open()
         if self._file is not None:
             self._file.seek(block_id * self.block_bytes)
             return self._file.read(self.block_bytes)
@@ -189,7 +210,11 @@ class BlockDevice:
         if num_blocks <= 0:
             return []
         self._check_block_id(first_block)
-        self._check_block_id(first_block + num_blocks - 1)
+        if first_block + num_blocks > self.num_blocks:
+            raise IndexError(
+                f"sequential read of {num_blocks} blocks from block "
+                f"{first_block} overruns the device ({self.num_blocks} blocks)"
+            )
         self.counters.blocks_read += num_blocks
         self.counters.round_trips += 1
         return [self._fetch(first_block + i) for i in range(num_blocks)]

@@ -16,8 +16,9 @@ from typing import Sequence
 
 import numpy as np
 
-from .codec import VertexFormat
+from .codec import VertexFormat, block_checksum
 from .device import BlockDevice, DiskSpec
+from .faults import KIND_CHECKSUM, ChecksumError, ReadFaultError
 
 
 @dataclass
@@ -59,6 +60,10 @@ class DiskGraph:
         self.fmt = fmt
         self.vertex_to_block = vertex_to_block
         self._block_ids = block_ids
+        #: per-block CRC32 table (uint32); computed lazily by
+        #: :meth:`enable_checksum_verification`
+        self.block_checksums: np.ndarray | None = None
+        self.verify_checksums = False
 
     # -- shape ---------------------------------------------------------------
 
@@ -72,8 +77,15 @@ class DiskGraph:
 
     @property
     def mapping_bytes(self) -> int:
-        """Memory cost of the vertex→block mapping (C_mapping, §6.4)."""
-        return self.vertex_to_block.nbytes
+        """Memory cost of the vertex→block mapping (C_mapping, §6.4).
+
+        Includes the per-block CRC32 table once checksum verification is
+        enabled (4 B per block, the price of integrity).
+        """
+        total = self.vertex_to_block.nbytes
+        if self.block_checksums is not None:
+            total += self.block_checksums.nbytes
+        return total
 
     @property
     def disk_bytes(self) -> int:
@@ -85,6 +97,31 @@ class DiskGraph:
     def vertices_in_block(self, block_id: int) -> np.ndarray:
         return self._block_ids[block_id]
 
+    # -- integrity -----------------------------------------------------------
+
+    def enable_checksum_verification(self) -> None:
+        """Turn on per-block CRC32 verification of every counted read.
+
+        The checksum table is computed from the device's current contents if
+        missing (an uncounted offline pass, like index build itself).  After
+        this, a read whose payload does not match raises
+        :class:`~repro.storage.faults.ChecksumError` — or reports the block
+        as failed through :meth:`try_read_blocks` — instead of silently
+        decoding corrupt vectors.
+        """
+        if self.block_checksums is None:
+            self.block_checksums = np.asarray(
+                [block_checksum(self.device._fetch(b))
+                 for b in range(self.device.num_blocks)],
+                dtype=np.uint32,
+            )
+        self.verify_checksums = True
+
+    def _payload_ok(self, block_id: int, payload: bytes) -> bool:
+        if not self.verify_checksums or self.block_checksums is None:
+            return True
+        return block_checksum(payload) == int(self.block_checksums[block_id])
+
     # -- counted reads ---------------------------------------------------------
 
     def _decode(self, block_id: int, payload: bytes) -> DiskBlock:
@@ -94,12 +131,43 @@ class DiskGraph:
 
     def read_block(self, block_id: int) -> DiskBlock:
         """Read and decode one block (one device round-trip)."""
-        return self._decode(block_id, self.device.read_block(block_id))
+        payload = self.device.read_block(block_id)
+        if not self._payload_ok(block_id, payload):
+            raise ChecksumError(block_id)
+        return self._decode(block_id, payload)
 
     def read_blocks(self, block_ids: Sequence[int]) -> list[DiskBlock]:
         """Read a batch of blocks in one round-trip."""
         payloads = self.device.read_blocks(block_ids)
+        for bid, payload in zip(block_ids, payloads):
+            if not self._payload_ok(bid, payload):
+                raise ChecksumError(bid)
         return [self._decode(bid, p) for bid, p in zip(block_ids, payloads)]
+
+    def try_read_blocks(
+        self, block_ids: Sequence[int]
+    ) -> tuple[dict[int, DiskBlock], dict[int, str]]:
+        """Fault-tolerant batched read: ``(decoded_ok, {block_id: fault_kind})``.
+
+        One device round-trip; read errors and checksum mismatches land in
+        the failure map instead of raising, so a resilience layer can retry
+        exactly the failed blocks.  On a fault-free device this degenerates
+        to :meth:`read_blocks` with an empty failure map.
+        """
+        ids = list(block_ids)
+        failed: dict[int, str] = {}
+        try:
+            raw = dict(zip(ids, self.device.read_blocks(ids)))
+        except ReadFaultError as exc:
+            failed.update(exc.failed)
+            raw = exc.payloads
+        ok: dict[int, DiskBlock] = {}
+        for bid, payload in raw.items():
+            if self._payload_ok(bid, payload):
+                ok[bid] = self._decode(bid, payload)
+            else:
+                failed[bid] = KIND_CHECKSUM
+        return ok, failed
 
     def read_block_of(self, vertex_id: int) -> DiskBlock:
         return self.read_block(self.block_of(vertex_id))

@@ -37,6 +37,55 @@ from .disk_graph import DiskGraph
 _FORMAT_VERSION = 1
 
 
+class IndexLoadError(ValueError):
+    """A persisted index directory is missing, truncated, or corrupt.
+
+    Subclasses :class:`ValueError` so callers that predate the typed error
+    keep working; new code should catch this instead of raw numpy/JSON
+    exceptions.
+    """
+
+
+def _read_meta(directory: Path, expected_kind: str) -> dict:
+    """Validate and parse ``meta.json``, raising :class:`IndexLoadError`."""
+    if not directory.is_dir():
+        raise IndexLoadError(f"{directory} is not an index directory")
+    meta_path = directory / "meta.json"
+    if not meta_path.is_file():
+        raise IndexLoadError(f"{directory} has no meta.json")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IndexLoadError(f"unreadable meta.json in {directory}: {exc}") from exc
+    if meta.get("kind") != expected_kind:
+        raise IndexLoadError(
+            f"{directory} does not hold a "
+            f"{'Starling' if expected_kind == 'starling' else 'DiskANN'} index"
+        )
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise IndexLoadError(
+            f"unsupported index format version {meta.get('format_version')}"
+        )
+    missing = [
+        key for key in ("metric", "vertex_format", "num_blocks", "pq",
+                        "disk_spec", "compute_spec", "config")
+        if key not in meta
+    ]
+    if missing:
+        raise IndexLoadError(
+            f"meta.json in {directory} is missing keys: {', '.join(missing)}"
+        )
+    return meta
+
+
+def _require_files(directory: Path, names: tuple[str, ...]) -> None:
+    missing = [n for n in names if not (directory / n).is_file()]
+    if missing:
+        raise IndexLoadError(
+            f"index directory {directory} is missing: {', '.join(missing)}"
+        )
+
+
 def _pack_ragged(arrays: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
     """Concatenate ragged int arrays into (flat, offsets)."""
     offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
@@ -107,45 +156,80 @@ def _save_common(index, directory: Path) -> dict:
     }
 
 
+def _restore_chaos_fields(cfg_dict: dict) -> dict:
+    """Rebuild nested FaultSpec/RetryPolicy dataclasses from their dicts.
+
+    Older index directories predate the chaos fields, and ``asdict`` turns
+    the nested dataclasses into plain dicts on save.
+    """
+    from ..engine.resilience import RetryPolicy
+    from .faults import FaultSpec
+
+    if isinstance(cfg_dict.get("faults"), dict):
+        cfg_dict["faults"] = FaultSpec(**cfg_dict["faults"])
+    if isinstance(cfg_dict.get("resilience"), dict):
+        cfg_dict["resilience"] = RetryPolicy(**cfg_dict["resilience"])
+    return cfg_dict
+
+
 def _load_common(directory: Path, meta: dict):
     """Restore the disk graph and PQ shared by both index flavours."""
-    vf = meta["vertex_format"]
-    fmt = VertexFormat(
-        dim=vf["dim"], dtype=np.dtype(vf["dtype"]),
-        max_degree=vf["max_degree"], block_bytes=vf["block_bytes"],
-    )
-    spec = DiskSpec(**meta["disk_spec"])
+    _require_files(directory, ("disk.bin", "layout.npz", "pq.npz"))
+    try:
+        vf = meta["vertex_format"]
+        fmt = VertexFormat(
+            dim=vf["dim"], dtype=np.dtype(vf["dtype"]),
+            max_degree=vf["max_degree"], block_bytes=vf["block_bytes"],
+        )
+        spec = DiskSpec(**meta["disk_spec"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IndexLoadError(
+            f"invalid vertex_format/disk_spec in {directory}: {exc}"
+        ) from exc
     device = BlockDevice(fmt.block_bytes, meta["num_blocks"], spec=spec)
     payload = (directory / "disk.bin").read_bytes()
     expected = fmt.block_bytes * meta["num_blocks"]
     if len(payload) != expected:
-        raise ValueError(
-            f"disk.bin holds {len(payload)} bytes; expected {expected}"
+        raise IndexLoadError(
+            f"truncated or corrupt disk.bin: holds {len(payload)} bytes; "
+            f"expected {expected}"
         )
     for block_id in range(meta["num_blocks"]):
         off = block_id * fmt.block_bytes
         device.write_block(block_id, payload[off: off + fmt.block_bytes])
     device.reset_counters()
 
-    layout = np.load(directory / "layout.npz")
-    block_ids = _unpack_ragged(
-        layout["block_ids_flat"], layout["block_ids_offsets"]
-    )
-    disk_graph = DiskGraph(
-        device, fmt, layout["vertex_to_block"].astype(np.uint32), block_ids
-    )
+    try:
+        layout = np.load(directory / "layout.npz")
+        block_ids = _unpack_ragged(
+            layout["block_ids_flat"], layout["block_ids_offsets"]
+        )
+        vertex_to_block = layout["vertex_to_block"].astype(np.uint32)
+    except (OSError, KeyError, ValueError) as exc:
+        raise IndexLoadError(
+            f"unreadable layout.npz in {directory}: {exc}"
+        ) from exc
+    if len(block_ids) != meta["num_blocks"]:
+        raise IndexLoadError(
+            f"layout.npz describes {len(block_ids)} blocks; meta.json "
+            f"says {meta['num_blocks']}"
+        )
+    disk_graph = DiskGraph(device, fmt, vertex_to_block, block_ids)
 
     metric = get_metric(meta["metric"])
-    pq_npz = np.load(directory / "pq.npz")
-    pq = ProductQuantizer(
-        meta["pq"]["num_subspaces"], meta["pq"]["num_centroids"], metric
-    )
-    pq.codebook = PQCodebook(
-        centroids=pq_npz["centroids"],
-        dim=int(pq_npz["dim"][0]),
-        pad=int(pq_npz["pad"][0]),
-    )
-    pq.codes = pq_npz["codes"]
+    try:
+        pq_npz = np.load(directory / "pq.npz")
+        pq = ProductQuantizer(
+            meta["pq"]["num_subspaces"], meta["pq"]["num_centroids"], metric
+        )
+        pq.codebook = PQCodebook(
+            centroids=pq_npz["centroids"],
+            dim=int(pq_npz["dim"][0]),
+            pad=int(pq_npz["pad"][0]),
+        )
+        pq.codes = pq_npz["codes"]
+    except (OSError, KeyError, ValueError) as exc:
+        raise IndexLoadError(f"unreadable pq.npz in {directory}: {exc}") from exc
     return disk_graph, pq, metric
 
 
@@ -199,13 +283,7 @@ def load_starling(directory: str | os.PathLike):
     from ..engine.cost import ComputeSpec
 
     directory = Path(directory)
-    meta = json.loads((directory / "meta.json").read_text())
-    if meta.get("kind") != "starling":
-        raise ValueError(f"{directory} does not hold a Starling index")
-    if meta.get("format_version") != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported index format version {meta.get('format_version')}"
-        )
+    meta = _read_meta(directory, "starling")
     disk_graph, pq, metric = _load_common(directory, meta)
 
     cfg_dict = dict(meta["config"])
@@ -213,7 +291,7 @@ def load_starling(directory: str | os.PathLike):
         graph=GraphConfig(**cfg_dict.pop("graph")),
         navigation=NavigationConfig(**cfg_dict.pop("navigation")),
         pq=PQConfig(**cfg_dict.pop("pq")),
-        **cfg_dict,
+        **_restore_chaos_fields(cfg_dict),
     )
     if cfg.block_cache_blocks > 0:
         from ..engine.block_cache import CachedDiskGraph
@@ -221,6 +299,7 @@ def load_starling(directory: str | os.PathLike):
         disk_graph = CachedDiskGraph(disk_graph, cfg.block_cache_blocks)
 
     if meta["entry_provider"] == "navigation_graph":
+        _require_files(directory, ("nav.npz",))
         nav_npz = np.load(directory / "nav.npz")
         edges = _unpack_ragged(nav_npz["edges_flat"], nav_npz["edges_offsets"])
         graph = AdjacencyGraph(
@@ -287,19 +366,18 @@ def load_diskann(directory: str | os.PathLike):
     from ..engine.cost import ComputeSpec
 
     directory = Path(directory)
-    meta = json.loads((directory / "meta.json").read_text())
-    if meta.get("kind") != "diskann":
-        raise ValueError(f"{directory} does not hold a DiskANN index")
+    meta = _read_meta(directory, "diskann")
     disk_graph, pq, metric = _load_common(directory, meta)
 
     cfg_dict = dict(meta["config"])
     cfg = DiskANNConfig(
         graph=GraphConfig(**cfg_dict.pop("graph")),
         pq=PQConfig(**cfg_dict.pop("pq")),
-        **cfg_dict,
+        **_restore_chaos_fields(cfg_dict),
     )
     cache = None
     if meta["has_cache"]:
+        _require_files(directory, ("cache.npz",))
         npz = np.load(directory / "cache.npz")
         lists = _unpack_ragged(npz["edges_flat"], npz["edges_offsets"])
         cache = HotVertexCache(npz["ids"], npz["vectors"], lists)
