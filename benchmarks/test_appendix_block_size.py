@@ -8,7 +8,6 @@ the achievable ceiling is ≈ Λ/(ε−1) — which is why the paper frames OR
 comparisons at a fixed block size.
 """
 
-import pytest
 
 from repro.bench import format_table
 from repro.bench.workloads import dataset, knn_truth

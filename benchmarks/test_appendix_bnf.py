@@ -8,7 +8,6 @@ iteration costs orders of magnitude more.
 
 import time
 
-import pytest
 
 from repro.bench import format_table
 from repro.bench.workloads import bench_segment_size, vamana_graph

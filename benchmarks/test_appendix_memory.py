@@ -7,7 +7,6 @@ strategy on search performance with lower memory overhead.
 Tab. 19 shape: at matched recall Starling has lower memory and higher QPS.
 """
 
-import pytest
 
 from repro.bench import format_table, print_perf_table, run_anns
 from repro.bench.workloads import (

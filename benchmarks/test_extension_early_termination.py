@@ -5,7 +5,6 @@ Shape to verify: with a patience-based stopper, mean I/Os drop noticeably
 at a small recall cost, and the trade sharpens as patience shrinks.
 """
 
-import pytest
 
 from repro.bench import format_table
 from repro.bench.workloads import dataset, knn_truth, starling_index

@@ -7,7 +7,6 @@ verify: SQ8's higher-fidelity distances route at least as accurately as PQ
 cost ordering SQ8 > OPQ ≈ PQ.
 """
 
-import pytest
 
 from repro.bench import format_table, run_anns
 from repro.bench.workloads import dataset, default_graph_config, knn_truth

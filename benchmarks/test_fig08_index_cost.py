@@ -6,7 +6,6 @@ lower; Tab. 13: T_shuffling is only 3–12% of T_disk_graph.
 Fig. 8(b): C_graph + C_mapping ≲ C_hot, so Starling's memory is not higher.
 """
 
-import pytest
 
 from repro.bench import format_table
 from repro.bench.workloads import (

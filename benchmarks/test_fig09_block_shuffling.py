@@ -7,7 +7,6 @@ Fig. 9(b): QPS vs recall per layout — BNF > BNP > baseline.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import format_table, print_perf_table, sweep_anns
 from repro.bench.workloads import (

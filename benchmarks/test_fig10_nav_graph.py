@@ -5,7 +5,6 @@ same recall and raises throughput; ξ is unchanged (the navigation graph only
 shortens the path, it does not touch the layout).
 """
 
-import pytest
 
 from repro.bench import print_perf_table, sweep_anns
 from repro.bench.workloads import dataset, knn_truth, starling_index

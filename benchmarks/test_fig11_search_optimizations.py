@@ -10,7 +10,7 @@ decrease monotonically with σ.
 
 import pytest
 
-from repro.bench import format_table, print_perf_table, run_anns, sweep_anns
+from repro.bench import format_table, print_perf_table, run_anns
 from repro.bench.workloads import dataset, diskann_index, knn_truth, starling_index
 from repro.engine import BlockSearchEngine
 from repro.metrics import mean_recall_at_k, summarize

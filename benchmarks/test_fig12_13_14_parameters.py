@@ -7,9 +7,8 @@ Fig. 14: Starling's RS edge holds across radii.
 Fig. 24: a larger candidate set Γ raises accuracy and lowers QPS.
 """
 
-import pytest
 
-from repro.bench import format_table, print_perf_table, run_anns, run_range, sweep_anns
+from repro.bench import print_perf_table, run_anns, run_range, sweep_anns
 from repro.bench.workloads import (
     dataset,
     diskann_index,

@@ -18,7 +18,6 @@ from repro.bench.workloads import (
     knn_truth,
     starling_index,
 )
-from repro.core import GraphConfig
 
 FAMILY = "bigann"
 

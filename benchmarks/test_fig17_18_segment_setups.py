@@ -10,7 +10,6 @@ lead (SPANN can no longer replicate enough).
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines import SPANNConfig, build_spann
 from repro.bench import format_table, print_perf_table, run_anns

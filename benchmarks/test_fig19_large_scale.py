@@ -8,7 +8,6 @@ two query nodes and merges candidates; here we run the same pipeline over 8
 scaled segments and check the merged recall plus the per-framework speed gap.
 """
 
-import pytest
 
 from repro.bench import format_table, print_perf_table, run_anns
 from repro.bench.workloads import (

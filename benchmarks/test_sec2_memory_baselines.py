@@ -6,7 +6,6 @@ exceed the segment's memory budget and (b) compressed-vector methods
 claims against Starling on the same segment.
 """
 
-import pytest
 
 from repro.baselines import HNSWMemoryIndex, IVFPQConfig, IVFPQIndex
 from repro.bench import format_table, run_anns

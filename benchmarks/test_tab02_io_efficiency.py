@@ -8,7 +8,6 @@ Shape to reproduce: ξ(Starling) ≈ (1 + ⌈(ε−1)σ⌉)/ε, several times th
 baseline's 1/ε; ℓ(Starling) < ℓ(DiskANN) thanks to the navigation graph.
 """
 
-import pytest
 
 from repro.bench import format_table, run_anns
 from repro.bench.workloads import (

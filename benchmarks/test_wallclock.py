@@ -1,0 +1,44 @@
+"""Wall-clock benchmark: serial loop vs the batched executor.
+
+Unlike every other bench in this directory, the timings here are *measured*
+(see ``repro/bench/wallclock.py``); the hard assertions are that batching
+changes nothing observable — per-query results and I/O counters are
+identical — and that it is not slower than the serial loop.  The report is
+written to ``BENCH_wallclock.json`` (CI uploads it as an artifact).
+"""
+
+import json
+import os
+
+from repro.bench.wallclock import run_wallclock
+
+OUT_PATH = os.environ.get("REPRO_BENCH_WALLCLOCK_OUT", "BENCH_wallclock.json")
+
+
+def test_wallclock_batched_vs_serial():
+    report = run_wallclock()
+    path = report.write_json(OUT_PATH)
+
+    print(
+        f"\nwallclock [{report.family} n={report.num_vectors} "
+        f"q={report.num_queries}]: "
+        f"serial {report.serial_ms_per_query:.2f} ms/q, "
+        f"batched {report.batched_ms_per_query:.2f} ms/q, "
+        f"speedup {report.speedup:.2f}x -> {path}"
+    )
+
+    # Correctness is non-negotiable: batching must be invisible in results
+    # and in every per-query I/O counter.
+    assert report.results_identical
+    assert report.counters_identical
+
+    # The amortizations must pay for themselves.  The default workload runs
+    # well above this floor (target: >= 2x); the bound is kept loose enough
+    # to absorb scheduler noise on small CI sizings.
+    assert report.speedup >= 1.0
+
+    # The file must round-trip for the CI artifact consumer.
+    with open(path) as fh:
+        data = json.load(fh)
+    assert data["speedup"] == report.speedup
+    assert len(data["per_query_counters"]) == report.num_queries

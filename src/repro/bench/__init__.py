@@ -2,6 +2,7 @@
 
 from .report import MarkdownReport, markdown_table
 from .runner import ground_truth_for, run_anns, run_range, sweep_anns, sweep_range
+from .wallclock import WallclockReport, query_counters, run_wallclock
 from .tables import (
     PERF_HEADERS,
     format_table,
@@ -32,11 +33,14 @@ __all__ = [
     "ground_truth_for",
     "perf_rows",
     "print_perf_table",
+    "query_counters",
     "run_anns",
     "run_range",
+    "run_wallclock",
     "spann_index",
     "speedup",
     "starling_index",
     "sweep_anns",
     "sweep_range",
+    "WallclockReport",
 ]

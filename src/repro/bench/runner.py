@@ -3,6 +3,15 @@
 These helpers execute a query batch against an index, compute accuracy
 against brute-force ground truth, and return a :class:`PerfSummary` — the
 row format every table and figure bench prints.
+
+Batches run through :class:`~repro.engine.batch.BatchExecutor`, so the
+wall-clock cost of producing a table is amortized (shared ADC tables and a
+shared decode cache) while every *simulated* number in the summary — I/Os,
+round trips, latency, QPS — is bit-identical to the plain per-query loop.
+The ``threads`` parameter plays two roles kept deliberately consistent: it
+is the simulated pool width of the paper's QPS model
+(``QPS = threads / mean_latency``, see :mod:`repro.metrics.perf`) and the
+default worker count of the executor's optional fan-out modes.
 """
 
 from __future__ import annotations
@@ -11,11 +20,22 @@ from typing import Sequence
 
 import numpy as np
 
+from ..engine.batch import BatchExecutor, ExecSpec
 from ..metrics.accuracy import mean_average_precision, mean_recall_at_k
 from ..metrics.perf import PerfSummary, summarize
 from ..vectors.dataset import VectorDataset
 from ..vectors.ground_truth import knn as brute_knn
 from ..vectors.ground_truth import range_search as brute_range
+
+
+def _executor(index, threads: int, exec_spec: ExecSpec | None) -> BatchExecutor:
+    """The batch executor for a runner call.
+
+    An explicit ``exec_spec`` wins; otherwise the default in-order
+    ``batched`` mode is used with ``threads`` as the worker count a caller
+    would get by switching the mode to a fan-out one.
+    """
+    return BatchExecutor(index, exec_spec or ExecSpec(workers=threads))
 
 
 def run_anns(
@@ -27,9 +47,12 @@ def run_anns(
     k: int = 10,
     candidate_size: int = 64,
     threads: int = 8,
+    exec_spec: ExecSpec | None = None,
 ) -> PerfSummary:
     """Run an ANNS batch and summarize accuracy + simulated performance."""
-    results = [index.search(q, k, candidate_size) for q in queries]
+    results = _executor(index, threads, exec_spec).search_batch(
+        queries, k, candidate_size
+    )
     recall = mean_recall_at_k([r.ids for r in results], truth_ids, k)
     return summarize(label, index, results, recall, threads=threads)
 
@@ -42,9 +65,10 @@ def run_range(
     radius: float,
     *,
     threads: int = 8,
+    exec_spec: ExecSpec | None = None,
 ) -> PerfSummary:
     """Run an RS batch and summarize AP + simulated performance."""
-    results = [index.range_search(q, radius) for q in queries]
+    results = _executor(index, threads, exec_spec).range_batch(queries, radius)
     ap = mean_average_precision([r.ids for r in results], truth_lists)
     return summarize(label, index, results, ap, threads=threads)
 
@@ -58,12 +82,13 @@ def sweep_anns(
     *,
     k: int = 10,
     threads: int = 8,
+    exec_spec: ExecSpec | None = None,
 ) -> list[PerfSummary]:
     """QPS/latency-vs-recall curve by sweeping the candidate size Γ."""
     return [
         run_anns(
             f"{label}(Γ={size})", index, queries, truth_ids,
-            k=k, candidate_size=size, threads=threads,
+            k=k, candidate_size=size, threads=threads, exec_spec=exec_spec,
         )
         for size in candidate_sizes
     ]
@@ -78,24 +103,21 @@ def sweep_range(
     initial_sizes: Sequence[int],
     *,
     threads: int = 8,
+    exec_spec: ExecSpec | None = None,
 ) -> list[PerfSummary]:
     """Latency/QPS-vs-AP curve by sweeping the initial candidate size."""
+    if not hasattr(index, "range_search"):
+        raise TypeError(f"{index!r} does not support range search")
+    executor = _executor(index, threads, exec_spec)
     curves = []
     for size in initial_sizes:
-        results = []
-        for q in queries:
-            if hasattr(index, "range_search"):
-                try:
-                    results.append(
-                        index.range_search(
-                            q, radius, initial_candidate_size=size
-                        )
-                    )
-                except TypeError:
-                    # Engines without the knob (SPANN, DiskANN) ignore it.
-                    results.append(index.range_search(q, radius))
-            else:
-                raise TypeError(f"{index!r} does not support range search")
+        try:
+            results = executor.range_batch(
+                queries, radius, initial_candidate_size=size
+            )
+        except TypeError:
+            # Engines without the knob (SPANN, DiskANN) ignore it.
+            results = executor.range_batch(queries, radius)
         ap = mean_average_precision([r.ids for r in results], truth_lists)
         curves.append(
             summarize(f"{label}(Γ₀={size})", index, results, ap, threads=threads)

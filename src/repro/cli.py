@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .engine import EXEC_MODES
 from .core import (
     DiskANNConfig,
     GraphConfig,
@@ -203,9 +204,12 @@ def _cmd_search(args) -> int:
     truth = read_ground_truth(args.gt)[0] if args.gt else None
     _apply_chaos(index, args)
 
-    results = [
-        index.search(q, args.k, args.gamma) for q in dataset.queries
-    ]
+    from .engine import BatchExecutor, ExecSpec
+
+    executor = BatchExecutor(
+        index, ExecSpec(mode=args.exec_mode, workers=args.workers)
+    )
+    results = executor.search_batch(dataset.queries, args.k, args.gamma)
     ios = sum(r.stats.num_ios for r in results) / len(results)
     latency = sum(index.latency_us(r) for r in results) / len(results)
     line = (
@@ -230,6 +234,30 @@ def _cmd_search(args) -> int:
     if args.show:
         for i, r in enumerate(results[: args.show]):
             print(f"  q{i}: {r.ids.tolist()}")
+    return 0
+
+
+def _cmd_bench_wallclock(args) -> int:
+    """Measure the batched executor against the serial loop (wall clock)."""
+    from .bench.wallclock import DEFAULT_CANDIDATE_SIZE, run_wallclock
+
+    report = run_wallclock(
+        args.family,
+        num_queries=args.num_queries,
+        k=args.k,
+        candidate_size=args.gamma or DEFAULT_CANDIDATE_SIZE,
+        repeats=args.repeats,
+    )
+    path = report.write_json(args.out)
+    print(
+        f"wallclock [{report.family} n={report.num_vectors} "
+        f"q={report.num_queries}]: "
+        f"serial {report.serial_ms_per_query:.2f} ms/q, "
+        f"batched {report.batched_ms_per_query:.2f} ms/q, "
+        f"speedup {report.speedup:.2f}x, "
+        f"identical={report.results_identical and report.counters_identical} "
+        f"-> {path}"
+    )
     return 0
 
 
@@ -335,8 +363,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gt", help="ground-truth file for recall")
     p.add_argument("--show", type=int, default=0,
                    help="print the ids of the first N queries")
+    p.add_argument("--exec-mode", default="batched", choices=EXEC_MODES,
+                   help="batch execution strategy (results are identical in "
+                        "every mode; with chaos armed, fan-out modes fall "
+                        "back to in-order batched execution)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="pool size for the threads/processes exec modes")
     _add_chaos_args(p)
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser(
+        "bench-wallclock",
+        help="measure serial vs batched wall clock -> BENCH_wallclock.json",
+    )
+    p.add_argument("--family", default="ssnpp",
+                   choices=("bigann", "deep", "ssnpp", "text2image"))
+    p.add_argument("--num-queries", type=int, default=None)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--gamma", type=int, default=None,
+                   help="candidate set size Γ (default: the benchmark's "
+                        "deep-search default)")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--out", default="BENCH_wallclock.json")
+    p.set_defaults(func=_cmd_bench_wallclock)
     return parser
 
 

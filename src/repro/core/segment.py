@@ -183,10 +183,16 @@ class StarlingIndex(_SegmentIndexBase):
         )
 
     def search(
-        self, query: np.ndarray, k: int = 10, candidate_size: int = 64
+        self, query: np.ndarray, k: int = 10, candidate_size: int = 64,
+        *, table: np.ndarray | None = None,
     ) -> SearchResult:
-        """Approximate k-nearest-neighbour search (Algorithm 2)."""
-        return self.engine.search(query, k, candidate_size)
+        """Approximate k-nearest-neighbour search (Algorithm 2).
+
+        ``table`` is an optional precomputed ADC table (one row of the
+        batched executor's shared :meth:`ProductQuantizer.lookup_tables`
+        build) — bit-identical to the table built per query.
+        """
+        return self.engine.search(query, k, candidate_size, table=table)
 
     def range_search(
         self,
@@ -195,12 +201,14 @@ class StarlingIndex(_SegmentIndexBase):
         *,
         initial_candidate_size: int = 32,
         ratio_threshold: float = 0.5,
+        table: np.ndarray | None = None,
     ) -> RangeResult:
         """Range search with dynamic candidate doubling (§5.3)."""
         return incremental_range_search(
             self.engine, query, radius,
             initial_candidate_size=initial_candidate_size,
             ratio_threshold=ratio_threshold,
+            table=table,
         )
 
 
@@ -240,10 +248,11 @@ class DiskANNIndex(_SegmentIndexBase):
         )
 
     def search(
-        self, query: np.ndarray, k: int = 10, candidate_size: int = 64
+        self, query: np.ndarray, k: int = 10, candidate_size: int = 64,
+        *, table: np.ndarray | None = None,
     ) -> SearchResult:
         """Approximate k-nearest-neighbour search (vertex beam search)."""
-        return self.engine.search(query, k, candidate_size)
+        return self.engine.search(query, k, candidate_size, table=table)
 
     def range_search(
         self,
@@ -251,8 +260,9 @@ class DiskANNIndex(_SegmentIndexBase):
         radius: float,
         *,
         initial_k: int = 16,
+        table: np.ndarray | None = None,
     ) -> RangeResult:
         """Range search by repeatedly calling ANNS with doubling k."""
         return repeated_anns_range_search(
-            self.engine, query, radius, initial_k=initial_k
+            self.engine, query, radius, initial_k=initial_k, table=table
         )

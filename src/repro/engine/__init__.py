@@ -1,5 +1,6 @@
 """Disk search engines: cost model, candidate sets, beam & block search, RS."""
 
+from .batch import EXEC_MODES, BatchExecutor, ExecSpec
 from .beam_search import BeamSearchEngine
 from .block_cache import CachedDiskGraph
 from .block_search import BlockSearchEngine
@@ -11,17 +12,20 @@ from .concurrency import (
     schedule_from_stats,
 )
 from .cost import ComputeSpec, FaultStats, QueryStats
-from .frontier import CandidateSet, ResultSet
+from .frontier import CandidateSet, ResultSet, ordered_unique
 from .range_search import incremental_range_search, repeated_anns_range_search
 from .resilience import RetryPolicy, resilient_read_blocks_of
 from .results import RangeResult, SearchResult
 
 __all__ = [
+    "EXEC_MODES",
+    "BatchExecutor",
     "BeamSearchEngine",
     "BlockSearchEngine",
     "CachedDiskGraph",
     "CandidateSet",
     "ComputeSpec",
+    "ExecSpec",
     "FaultStats",
     "HotVertexCache",
     "QueryStats",
@@ -35,6 +39,7 @@ __all__ = [
     "schedule_from_stats",
     "build_hot_vertex_cache",
     "incremental_range_search",
+    "ordered_unique",
     "repeated_anns_range_search",
     "resilient_read_blocks_of",
 ]

@@ -1,0 +1,299 @@
+"""Batched query execution with amortized wall-clock cost.
+
+The engines' *simulated* metrics — block reads, round trips, vertex
+utilization, and the latency derived from them — are functions of each
+query's traversal alone, so they are independent of how a batch of queries
+is scheduled onto the machine.  :class:`BatchExecutor` exploits that gap: it
+runs a query batch through any engine while amortizing the *real* (wall
+clock) cost across the batch, guaranteed to return results bit-identical to
+the plain per-query loop — same ids, same distances, same
+:class:`~repro.engine.cost.QueryStats` counters.
+
+Three amortizations, each individually counter-neutral:
+
+- **Shared ADC tables** — one batched
+  :meth:`~repro.quantization.pq.ProductQuantizer.lookup_tables` build for
+  the whole batch instead of one :meth:`lookup_table` per query.  The
+  single-query path routes through the same batched kernel, so row ``i`` of
+  the shared build is bit-identical to the table query ``i`` would have
+  built itself.
+- **Shared decode cache** — a dict of decoded blocks installed on the
+  physical :class:`~repro.storage.disk_graph.DiskGraph` for the duration of
+  the batch.  Every device read is still issued and counted (the cache sits
+  *behind* the I/O accounting, skipping only the Python-side payload
+  decode), so per-query I/O counters are untouched while the dominant
+  decode cost is paid once per block instead of once per (query, block).
+- **Fan-out** — optional thread or process pools
+  (:class:`concurrent.futures`) for genuinely parallel machines.  Thread
+  mode serializes the entry-point walk (the navigation graph keeps per-walk
+  trace state) and relies on the device's internal lock for exact counter
+  totals; process mode forks workers that each search a contiguous shard.
+
+Fault injection is order-sensitive — :class:`~repro.storage.faults.
+FaultInjector` draws from one sequential RNG, so the fault schedule depends
+on the global read order.  When faults are armed the executor therefore
+degrades fan-out modes to the in-order ``batched`` mode, keeping the read
+sequence (and hence every injected fault and every
+:class:`~repro.engine.cost.FaultStats` counter) identical to the serial
+loop.  The same gate applies to the LRU
+:class:`~repro.engine.block_cache.CachedDiskGraph` wrapper, whose hit
+accounting is order-dependent and not thread-safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..storage.faults import FaultInjector, base_disk_graph
+
+#: execution strategies understood by :class:`ExecSpec`
+EXEC_MODES = ("serial", "batched", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class ExecSpec:
+    """How a query batch is executed.
+
+    Attributes:
+        mode: ``serial`` is the reference per-query loop with no
+            amortization at all; ``batched`` (the default) keeps the serial
+            order but shares the ADC table build and the decode cache;
+            ``threads`` / ``processes`` additionally fan out over a
+            ``concurrent.futures`` pool.
+        workers: Pool size for the fan-out modes.
+        share_tables: Build all queries' ADC tables in one batched kernel
+            call up front.
+        decode_cache: Install a shared decoded-block cache on the physical
+            disk graph for the duration of the batch.
+    """
+
+    mode: str = "batched"
+    workers: int = 4
+    share_tables: bool = True
+    decode_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in EXEC_MODES:
+            raise ValueError(
+                f"mode must be one of {EXEC_MODES}, got {self.mode!r}"
+            )
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+
+
+# Fork-inherited state for process mode: the index (with its open device)
+# cannot be pickled, so workers receive it by forking after this global is
+# set.  Only index positions travel through the task queue.
+_FORK_STATE: tuple | None = None
+
+
+def _forked_search(args: tuple[int, int, int]) -> object:
+    index, queries, tables = _FORK_STATE
+    i, k, candidate_size = args
+    table = tables[i] if tables is not None else None
+    return index.search(queries[i], k, candidate_size, table=table)
+
+
+def _forked_range(args: tuple[int, float, dict]) -> object:
+    index, queries, tables = _FORK_STATE
+    i, radius, kwargs = args
+    table = tables[i] if tables is not None else None
+    return index.range_search(queries[i], radius, table=table, **kwargs)
+
+
+class BatchExecutor:
+    """Run query batches through a segment index with amortized cost.
+
+    Accepts a segment index (:class:`~repro.core.segment.StarlingIndex`,
+    :class:`~repro.core.segment.DiskANNIndex`) or any object with the same
+    ``search``/``range_search`` surface and an ``engine`` attribute; a bare
+    engine works for ANNS batches.
+
+    Args:
+        index: The index (or engine) to execute against.
+        spec: Execution strategy; defaults to in-order ``batched``.
+    """
+
+    def __init__(self, index, spec: ExecSpec | None = None) -> None:
+        self.index = index
+        self.engine = getattr(index, "engine", index)
+        self.spec = spec or ExecSpec()
+
+    # -- mode resolution ---------------------------------------------------
+
+    def _faults_armed(self) -> bool:
+        device = getattr(
+            base_disk_graph(self.engine.disk_graph), "device", None
+        )
+        return isinstance(device, FaultInjector) and device.fault_spec.enabled
+
+    def effective_mode(self) -> str:
+        """The mode actually used, after the determinism gates.
+
+        Fan-out reorders device reads, which would shift the fault
+        injector's sequential RNG draws and an LRU block cache's hit
+        pattern; both gates fall back to the in-order ``batched`` mode so
+        results and counters stay bit-identical to the serial loop.
+        """
+        mode = self.spec.mode
+        if getattr(self.engine, "disk_graph", None) is None:
+            # Non-disk-graph indexes (SPANN's posting lists) have nothing
+            # for the amortizations to share; run the plain loop.
+            return "serial"
+        if mode in ("threads", "processes"):
+            if self._faults_armed():
+                return "batched"
+            if hasattr(self.engine.disk_graph, "inner"):
+                return "batched"
+        if mode == "processes" and (
+            "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            return "threads"
+        return mode
+
+    # -- shared amortizations ----------------------------------------------
+
+    def _tables(self, queries: np.ndarray) -> np.ndarray | None:
+        if not self.spec.share_tables:
+            return None
+        pq = getattr(self.engine, "pq", None)
+        if pq is None or not getattr(self.engine, "use_pq_routing", True):
+            return None
+        return pq.lookup_tables(queries)
+
+    @contextmanager
+    def _shared_decode_cache(self, enabled: bool):
+        graph = base_disk_graph(self.engine.disk_graph)
+        if not enabled or not hasattr(graph, "decode_cache"):
+            yield
+            return
+        previous = graph.decode_cache
+        graph.decode_cache = {}
+        try:
+            yield
+        finally:
+            graph.decode_cache = previous
+
+    @contextmanager
+    def _seed_lock(self):
+        previous = getattr(self.engine, "seed_lock", None)
+        self.engine.seed_lock = threading.Lock()
+        try:
+            yield
+        finally:
+            self.engine.seed_lock = previous
+
+    # -- batch entry points ------------------------------------------------
+
+    def search_batch(
+        self,
+        queries: np.ndarray | Sequence[np.ndarray],
+        k: int = 10,
+        candidate_size: int = 64,
+    ) -> list:
+        """Answer one ANNS query per row of ``queries``.
+
+        Returns the per-query :class:`~repro.engine.results.SearchResult`
+        list in query order, bit-identical to
+        ``[index.search(q, k, candidate_size) for q in queries]``.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.size == 0:
+            return []
+        mode = self.effective_mode()
+        if mode == "serial":
+            return [
+                self.index.search(q, k, candidate_size) for q in queries
+            ]
+        tables = self._tables(queries)
+
+        def one(i: int):
+            table = tables[i] if tables is not None else None
+            return self.index.search(
+                queries[i], k, candidate_size, table=table
+            )
+
+        if mode == "processes":
+            return self._run_processes(
+                _forked_search,
+                [(i, k, candidate_size) for i in range(len(queries))],
+                queries, tables,
+            )
+        with self._shared_decode_cache(self.spec.decode_cache):
+            if mode == "batched":
+                return [one(i) for i in range(len(queries))]
+            return self._run_threads(one, len(queries))
+
+    def range_batch(
+        self,
+        queries: np.ndarray | Sequence[np.ndarray],
+        radius: float,
+        **kwargs,
+    ) -> list:
+        """Answer one range query per row of ``queries``.
+
+        ``kwargs`` are forwarded to the index's ``range_search`` (e.g.
+        ``initial_candidate_size``).  Returns per-query
+        :class:`~repro.engine.results.RangeResult` objects in query order,
+        bit-identical to the serial loop.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.size == 0:
+            return []
+        mode = self.effective_mode()
+        if mode == "serial":
+            return [
+                self.index.range_search(q, radius, **kwargs) for q in queries
+            ]
+        tables = self._tables(queries)
+
+        def one(i: int):
+            table = tables[i] if tables is not None else None
+            return self.index.range_search(
+                queries[i], radius, table=table, **kwargs
+            )
+
+        if mode == "processes":
+            return self._run_processes(
+                _forked_range,
+                [(i, radius, kwargs) for i in range(len(queries))],
+                queries, tables,
+            )
+        with self._shared_decode_cache(self.spec.decode_cache):
+            if mode == "batched":
+                return [one(i) for i in range(len(queries))]
+            return self._run_threads(one, len(queries))
+
+    # -- fan-out backends --------------------------------------------------
+
+    def _run_threads(self, one, count: int) -> list:
+        with self._seed_lock():
+            with ThreadPoolExecutor(max_workers=self.spec.workers) as pool:
+                return list(pool.map(one, range(count)))
+
+    def _run_processes(self, worker, tasks: list, queries, tables) -> list:
+        """Fork a pool that inherits the index, then map index positions.
+
+        Workers accumulate device counters and decode caches in their own
+        address spaces; the per-query stats inside each returned result are
+        complete and identical, but the parent device's *running totals* do
+        not advance — process mode trades global counter visibility for
+        parallelism.
+        """
+        global _FORK_STATE
+        _FORK_STATE = (self.index, queries, tables)
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=self.spec.workers, mp_context=context
+            ) as pool:
+                return list(pool.map(worker, tasks))
+        finally:
+            _FORK_STATE = None

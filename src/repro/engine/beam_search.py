@@ -10,6 +10,8 @@ distance.  A hot-vertex cache can serve targets without disk I/O.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ..quantization.pq import ProductQuantizer
@@ -17,7 +19,7 @@ from ..storage.disk_graph import DiskGraph
 from ..vectors.metrics import Metric
 from .cache import HotVertexCache
 from .cost import QueryStats
-from .frontier import CandidateSet, ResultSet
+from .frontier import CandidateSet, ResultSet, ordered_unique
 from .early_stop import AdaptiveEarlyStopper
 from .io_util import counted_read_blocks_of
 from .results import SearchResult
@@ -114,11 +116,28 @@ class BeamSearchEngine:
         return dists
 
     def _seed(
-        self, query: np.ndarray, candidate_size: int, stats: QueryStats
+        self,
+        query: np.ndarray,
+        candidate_size: int,
+        stats: QueryStats,
+        *,
+        table: np.ndarray | None = None,
     ) -> tuple[CandidateSet, ResultSet, np.ndarray | None]:
-        table = self.pq.lookup_table(query) if self.use_pq_routing else None
-        entries = self.entry_provider.entry_points(query, self.num_entry_points)
-        trace = getattr(self.entry_provider, "last_trace", None)
+        if self.use_pq_routing:
+            # A precomputed ADC table (from the batched executor's shared
+            # lookup_tables build) is bit-identical to building it here.
+            if table is None:
+                table = self.pq.lookup_table(query)
+        else:
+            table = None
+        # The navigation walk mutates provider state (``last_trace``), so the
+        # walk and its readback form one critical section when the batched
+        # executor's thread mode installs ``seed_lock``.
+        with getattr(self, "seed_lock", None) or nullcontext():
+            entries = self.entry_provider.entry_points(
+                query, self.num_entry_points
+            )
+            trace = getattr(self.entry_provider, "last_trace", None)
         if trace is not None:
             # The navigation-graph walk is in-memory compute, not I/O.
             stats.exact_distances += trace.distance_computations
@@ -133,12 +152,19 @@ class BeamSearchEngine:
     # -- main loop ---------------------------------------------------------------
 
     def search(
-        self, query: np.ndarray, k: int, candidate_size: int
+        self,
+        query: np.ndarray,
+        k: int,
+        candidate_size: int,
+        *,
+        table: np.ndarray | None = None,
     ) -> SearchResult:
         """Answer one ANNS query; ``candidate_size`` is the paper's Γ."""
         query = np.asarray(query, dtype=np.float32)
         stats = QueryStats()
-        candidates, results, table = self._seed(query, candidate_size, stats)
+        candidates, results, table = self._seed(
+            query, candidate_size, stats, table=table
+        )
         stopper = (
             AdaptiveEarlyStopper(k, self.early_termination)
             if self.early_termination is not None else None
@@ -193,17 +219,24 @@ class BeamSearchEngine:
                     # The baseline discards every non-target vertex in a block.
                     stats.vertices_used += 1
 
-            fresh: list[int] = []
-            for vid, vector, neighbors in served:
-                d = self.metric.distance(query, vector)
-                stats.exact_distances += 1
-                results.add(vid, float(d))
-                for nbr in neighbors.tolist():
-                    nbr = int(nbr)
-                    if nbr not in candidates and not candidates.is_visited(nbr):
-                        fresh.append(nbr)
-            if fresh:
-                uniq = np.asarray(sorted(set(fresh)), dtype=np.int64)
-                dists = self._routing_distances(query, table, uniq, stats)
-                for vid, d in zip(uniq.tolist(), dists.tolist()):
-                    candidates.push(vid, float(d))
+            if not served:
+                continue
+            # One batched exact-distance evaluation over the beam's served
+            # vectors (mirrors block search's per-block kernel).
+            vecs = np.stack([vector for _, vector, _ in served])
+            dists = self.metric.distances(query, vecs)
+            stats.exact_distances += len(served)
+            results.add_many(
+                np.asarray([vid for vid, _, _ in served], dtype=np.int64),
+                dists,
+            )
+            explore = np.concatenate([nbrs for _, _, nbrs in served])
+            # One vectorized freshness mask, then insertion-ordered dedup
+            # shared with block search so frontier traces are comparable
+            # across engines (seen-filter and dedup commute: a duplicate's
+            # seen-status is the same at every occurrence).
+            fresh = explore[candidates.unseen(explore)]
+            if fresh.size:
+                ids = ordered_unique(fresh).astype(np.int64)
+                route = self._routing_distances(query, table, ids, stats)
+                candidates.push_many(ids, route)

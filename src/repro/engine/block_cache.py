@@ -72,6 +72,9 @@ class CachedDiskGraph:
     def block_of(self, vertex_id: int) -> int:
         return self.inner.block_of(vertex_id)
 
+    def blocks_of(self, vertex_ids):
+        return self.inner.blocks_of(vertex_ids)
+
     def vertices_in_block(self, block_id: int):
         return self.inner.vertices_in_block(block_id)
 
@@ -175,7 +178,30 @@ class CachedDiskGraph:
         return self.read_block(self.block_of(vertex_id))
 
     def read_blocks_of(self, vertex_ids: Sequence[int]) -> list[DiskBlock]:
-        seen: dict[int, None] = {}
-        for vid in vertex_ids:
-            seen.setdefault(self.block_of(vid), None)
-        return self.read_blocks(list(seen))
+        return self.read_blocks(self.inner._unique_blocks_of(vertex_ids))
+
+    def read_blocks_of_counted(
+        self, vertex_ids: Sequence[int]
+    ) -> tuple[list[DiskBlock], int]:
+        """Cache-aware counted read: ``(blocks, blocks fetched from device)``.
+
+        The fetch count equals the LRU misses of this call — the same value
+        the engines used to recover from device-counter deltas, but computed
+        locally so concurrent queries can't misattribute each other's reads.
+        """
+        bids = self.inner._unique_blocks_of(vertex_ids)
+        out: dict[int, DiskBlock] = {}
+        missing: list[int] = []
+        for bid in bids:
+            cached = self._get_cached(bid)
+            if cached is not None:
+                self.hits += 1
+                out[bid] = cached
+            else:
+                missing.append(bid)
+        if missing:
+            self.misses += len(missing)
+            for block in self.inner.read_blocks(missing):
+                self._insert(block)
+                out[block.block_id] = block
+        return [out[bid] for bid in bids], len(missing)

@@ -17,6 +17,7 @@ their simulated latency overlaps T_io with T_comp (see
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -24,7 +25,7 @@ from ..quantization.pq import ProductQuantizer
 from ..storage.disk_graph import DiskGraph
 from ..vectors.metrics import Metric
 from .cost import QueryStats
-from .frontier import CandidateSet, ResultSet
+from .frontier import CandidateSet, ResultSet, ordered_unique
 from .early_stop import AdaptiveEarlyStopper
 from .io_util import counted_read_blocks_of
 from .results import SearchResult
@@ -120,11 +121,28 @@ class BlockSearchEngine:
         return dists
 
     def _seed(
-        self, query: np.ndarray, candidate_size: int, stats: QueryStats
+        self,
+        query: np.ndarray,
+        candidate_size: int,
+        stats: QueryStats,
+        *,
+        table: np.ndarray | None = None,
     ) -> tuple[CandidateSet, ResultSet, np.ndarray | None]:
-        table = self.pq.lookup_table(query) if self.use_pq_routing else None
-        entries = self.entry_provider.entry_points(query, self.num_entry_points)
-        trace = getattr(self.entry_provider, "last_trace", None)
+        if self.use_pq_routing:
+            # A precomputed ADC table (from the batched executor's shared
+            # lookup_tables build) is bit-identical to building it here.
+            if table is None:
+                table = self.pq.lookup_table(query)
+        else:
+            table = None
+        # The navigation walk mutates provider state (``last_trace``), so the
+        # walk and its readback form one critical section when the batched
+        # executor's thread mode installs ``seed_lock``.
+        with getattr(self, "seed_lock", None) or nullcontext():
+            entries = self.entry_provider.entry_points(
+                query, self.num_entry_points
+            )
+            trace = getattr(self.entry_provider, "last_trace", None)
         if trace is not None:
             stats.exact_distances += trace.distance_computations
         candidates = CandidateSet(candidate_size, track_kicked=True)
@@ -138,12 +156,19 @@ class BlockSearchEngine:
     # -- main loop ---------------------------------------------------------------
 
     def search(
-        self, query: np.ndarray, k: int, candidate_size: int
+        self,
+        query: np.ndarray,
+        k: int,
+        candidate_size: int,
+        *,
+        table: np.ndarray | None = None,
     ) -> SearchResult:
         """Answer one ANNS query per Algorithm 2."""
         query = np.asarray(query, dtype=np.float32)
         stats = QueryStats(pipelined=self.pipeline)
-        candidates, results, table = self._seed(query, candidate_size, stats)
+        candidates, results, table = self._seed(
+            query, candidate_size, stats, table=table
+        )
         stopper = (
             AdaptiveEarlyStopper(k, self.early_termination)
             if self.early_termination is not None else None
@@ -183,46 +208,74 @@ class BlockSearchEngine:
                     # draining the rest of the frontier.
                     stats.fault.vertices_abandoned += len(targets)
 
-            explore: list[int] = []
-            for block_id, block in by_block.items():
+            explore_parts: list[np.ndarray] = []
+            keep_quota = math.ceil(
+                (self.disk_graph.fmt.vertices_per_block - 1)
+                * self.pruning_ratio
+            )
+            # Exact distances to every vertex of every block in the round —
+            # the I/O is already paid, the computation is what block pruning
+            # bounds.  One fused kernel call for the whole round; the L2
+            # kernel is row-wise consistent, so the per-block slices equal
+            # what per-block calls would produce.
+            round_blocks = list(by_block.values())
+            if round_blocks:
+                all_dists = self.metric.distances(
+                    query,
+                    np.concatenate([b.vectors for b in round_blocks])
+                    if len(round_blocks) > 1 else round_blocks[0].vectors,
+                ).tolist()
+            offset = 0
+            for block in round_blocks:
                 size = len(block)
                 stats.vertices_loaded += size
-                targets = targets_by_block[block_id]
-                # Exact distances to every vertex in the block — the I/O is
-                # already paid, the computation is what block pruning bounds.
-                dists = self.metric.distances(query, block.vectors)
                 stats.exact_distances += size
+                targets = targets_by_block[block.block_id]
+                # Per-block work is ε-sized (~a dozen vertices), where plain
+                # Python lists beat numpy call overhead, so everything below
+                # runs on the ``tolist()`` views.
+                dists = all_dists[offset:offset + size]
+                offset += size
+                ids = block.ids_list()
+                nbrs = block.neighbor_lists
 
-                target_pos = {block.index_of(v) for v in targets}
+                if len(targets) == 1:
+                    target_pos = [block.index_of(targets[0])]
+                else:
+                    target_pos = sorted({block.index_of(v) for v in targets})
                 for pos in target_pos:
-                    results.add(int(block.vertex_ids[pos]), float(dists[pos]))
-                    explore.extend(int(x) for x in block.neighbor_lists[pos])
+                    results.add(ids[pos], dists[pos])
+                    explore_parts.append(nbrs[pos])
 
                 # Block pruning: examine only the top-((ε−1)·σ) non-target
                 # vertices; distant co-located vertices are discarded early.
-                rest = [p for p in range(size) if p not in target_pos]
-                keep = math.ceil((self.disk_graph.fmt.vertices_per_block - 1)
-                                 * self.pruning_ratio)
-                keep = min(keep, len(rest))
+                rest = list(range(size))
+                for pos in reversed(target_pos):
+                    del rest[pos]
+                keep = min(keep_quota, len(rest))
                 stats.vertices_used += len(target_pos) + keep
                 if keep:
-                    rest_sorted = sorted(rest, key=lambda p: dists[p])[:keep]
-                    for pos in rest_sorted:
-                        vid = int(block.vertex_ids[pos])
-                        results.add(vid, float(dists[pos]))
-                        # They are in memory now; never fetch them again.
-                        candidates.push(vid, float(dists[pos]))
-                        candidates.mark_visited(vid)
-                        explore.extend(
-                            int(x) for x in block.neighbor_lists[pos]
-                        )
+                    # Stable sort by distance == stable argsort: ties keep
+                    # their in-block order.
+                    rest.sort(key=dists.__getitem__)
+                    chosen = rest[:keep]
+                    vids = [ids[i] for i in chosen]
+                    dvals = [dists[i] for i in chosen]
+                    results.add_many(vids, dvals)
+                    # They are in memory now; never fetch them again.
+                    candidates.push_visited_many(vids, dvals)
+                    explore_parts.extend(nbrs[i] for i in chosen)
 
-            fresh = [
-                v for v in dict.fromkeys(explore)
-                if v not in candidates and not candidates.is_visited(v)
-            ]
-            if fresh:
-                ids = np.asarray(fresh, dtype=np.int64)
-                dists = self._routing_distances(query, table, ids, stats)
-                for vid, d in zip(ids.tolist(), dists.tolist()):
-                    candidates.push(vid, float(d))
+            if not explore_parts:
+                continue
+            explore = np.concatenate(explore_parts)
+            # One vectorized freshness mask, then insertion-ordered dedup
+            # shared with beam search (one helper, one order).  Filtering
+            # first shrinks the dedup input; a duplicate's seen-status is
+            # the same at every occurrence, so the order of the two steps
+            # does not change the output.
+            fresh = explore[candidates.unseen(explore)]
+            if fresh.size:
+                ids = ordered_unique(fresh).astype(np.int64)
+                route = self._routing_distances(query, table, ids, stats)
+                candidates.push_many(ids, route)

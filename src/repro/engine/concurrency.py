@@ -19,7 +19,7 @@ converges to the simple model when the disk is uncontended.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..storage.device import DiskSpec

@@ -6,25 +6,62 @@ and an unbounded *result set* holding exact distances, sorted only when the
 search terminates.  The range-search algorithm additionally records the
 vertices kicked out of the candidate set (the set P of §5.3) so a resumed
 search with a doubled candidate set loses nothing.
+
+The candidate set is array-backed: membership and visited flags live in
+auto-grown boolean arrays indexed by vertex id (so the engines' "is this
+neighbour new?" filter is one vectorized mask instead of per-id dict/set
+probes), and the bulk :meth:`CandidateSet.push_many` used on the frontier
+expansion path replaces hundreds of sequential ordered inserts per hop with
+one stable merge.  The sequential :meth:`CandidateSet.push` remains for the
+small seed/readmit paths, and the two are outcome-identical by construction
+(see the stability argument in ``push_many``).
 """
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_left, insort
+from heapq import heappop, heappush
 
 import numpy as np
+
+
+def ordered_unique(ids: np.ndarray) -> np.ndarray:
+    """First-occurrence-order deduplication of an integer id array.
+
+    Literally ``dict.fromkeys`` — both engines route their frontier
+    expansion through this single helper so their dedup order is
+    insertion-ordered and identical by construction.  (A dict pass beats
+    ``np.unique(return_index=True)`` at frontier sizes, and the engines
+    apply their seen-filter first, so the input is small.)
+    """
+    ids = np.asarray(ids)
+    if ids.size == 0:
+        return ids
+    return np.array(list(dict.fromkeys(ids.tolist())), dtype=ids.dtype)
 
 
 class CandidateSet:
     """Fixed-capacity set ordered by ascending distance with visited flags."""
 
+    #: initial size of the id-indexed flag arrays
+    _MIN_FLAGS = 1024
+
     def __init__(self, capacity: int, *, track_kicked: bool = False) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._entries: list[tuple[float, int]] = []  # sorted ascending
-        self._member: dict[int, float] = {}
-        self._visited: set[int] = set()
+        self._entries: list[tuple[float, int]] = []  # sorted by (dist, id)
+        # id-indexed state, grown on demand to cover the largest id seen
+        self._in_set = np.zeros(self._MIN_FLAGS, dtype=bool)
+        self._vis = np.zeros(self._MIN_FLAGS, dtype=bool)
+        self._key = np.zeros(self._MIN_FLAGS, dtype=np.float64)
+        self._num_visited = 0
+        # Lazy-deletion min-heap over the unvisited in-set entries, so
+        # pop_unvisited/has_unvisited don't rescan the (mostly visited)
+        # entry list.  An item is live iff its vertex is in the set,
+        # unvisited, and the recorded distance still matches ``_key``;
+        # anything else is stale and skipped on pop.
+        self._unvis: list[tuple[float, int]] = []
         self.track_kicked = track_kicked
         self.kicked: list[tuple[float, int]] = []
 
@@ -32,61 +69,204 @@ class CandidateSet:
         return len(self._entries)
 
     def __contains__(self, vertex_id: int) -> bool:
-        return vertex_id in self._member
+        vid = int(vertex_id)
+        return vid < self._in_set.size and bool(self._in_set[vid])
+
+    def _ensure(self, max_id: int) -> None:
+        size = self._in_set.size
+        if max_id < size:
+            return
+        new = max(size * 2, max_id + 1)
+        for name in ("_in_set", "_vis"):
+            grown = np.zeros(new, dtype=bool)
+            grown[:size] = getattr(self, name)
+            setattr(self, name, grown)
+        key = np.zeros(new, dtype=np.float64)
+        key[:size] = self._key
+        self._key = key
 
     # -- updates ---------------------------------------------------------------
 
     def push(self, vertex_id: int, distance: float) -> bool:
         """Insert a candidate; returns True if it entered the set.
 
-        A vertex already present keeps its original key (engines compute one
-        approximate distance per vertex, so re-pushes carry the same key).
-        Anything that falls off the tail is recorded as kicked when
-        ``track_kicked`` is on — unless it was already visited, in which case
-        re-exploring it later would be wasted work.
+        A vertex already present keeps the *smaller* of its stored key and
+        the new one (re-pushes with a different approximate distance can
+        happen when range search re-admits kicked vertices).  Anything that
+        falls off the tail is recorded as kicked when ``track_kicked`` is on
+        — unless it was already visited, in which case re-exploring it later
+        would be wasted work.
         """
-        if vertex_id in self._member:
+        vid = int(vertex_id)
+        d = float(distance)
+        self._ensure(vid)
+        if self._in_set[vid]:
+            old = float(self._key[vid])
+            if d < old:
+                del self._entries[bisect_left(self._entries, (old, vid))]
+                insort(self._entries, (d, vid))
+                self._key[vid] = d
+                if not self._vis[vid]:
+                    # Old heap item goes stale via the key mismatch.
+                    heappush(self._unvis, (d, vid))
             return False
-        if len(self._entries) >= self.capacity:
-            worst_dist, worst_id = self._entries[-1]
-            if distance >= worst_dist:
-                if self.track_kicked and vertex_id not in self._visited:
-                    self.kicked.append((distance, vertex_id))
+        entries = self._entries
+        if len(entries) >= self.capacity:
+            worst_dist, worst_id = entries[-1]
+            if d >= worst_dist:
+                if self.track_kicked and not self._vis[vid]:
+                    self.kicked.append((d, vid))
                 return False
-            self._entries.pop()
-            del self._member[worst_id]
-            if self.track_kicked and worst_id not in self._visited:
+            entries.pop()
+            self._in_set[worst_id] = False
+            if self.track_kicked and not self._vis[worst_id]:
                 self.kicked.append((worst_dist, worst_id))
-        insort(self._entries, (distance, vertex_id))
-        self._member[vertex_id] = distance
+        insort(entries, (d, vid))
+        self._in_set[vid] = True
+        self._key[vid] = d
+        if not self._vis[vid]:
+            heappush(self._unvis, (d, vid))
         return True
 
+    def push_many(self, ids: np.ndarray, dists: np.ndarray) -> None:
+        """Bulk push of *new* vertices (unique ids, none currently in the
+        set); final membership, keys, and kicked *content* are identical to
+        sequential :meth:`push` calls (the kicked list's internal order may
+        differ, which nothing observes — re-admission sorts it first).
+
+        While the set is below capacity every push enters, so the head of
+        the batch is inserted directly.  Once full, the eviction threshold
+        (the worst held distance) only ever decreases, so every batch item
+        with ``d >= worst`` now would also be rejected at its sequential
+        turn — one vectorized mask disposes of the bulk of the frontier and
+        only the few survivors take the ordered-insert path.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        dists = np.asarray(dists, dtype=np.float64)
+        if ids.size == 0:
+            return
+        self._ensure(int(ids.max()))
+        entries = self._entries
+        fill = self.capacity - len(entries)
+        if fill > 0:
+            k = min(fill, int(ids.size))
+            for vid, d in zip(ids[:k].tolist(), dists[:k].tolist()):
+                insort(entries, (d, vid))
+                self._in_set[vid] = True
+                self._key[vid] = d
+                if not self._vis[vid]:
+                    heappush(self._unvis, (d, vid))
+            ids, dists = ids[k:], dists[k:]
+            if ids.size == 0:
+                return
+        enter = dists < entries[-1][0]
+        if self.track_kicked:
+            rejected = ~enter & ~self._vis[ids]
+            if rejected.any():
+                self.kicked.extend(
+                    zip(dists[rejected].tolist(), ids[rejected].tolist())
+                )
+        if enter.any():
+            for vid, d in zip(ids[enter].tolist(), dists[enter].tolist()):
+                self.push(vid, d)
+
+    def push_visited_many(self, ids, dists) -> None:
+        """Push each vertex and immediately mark it visited (block search's
+        co-located vertices: in memory now, never fetched again).
+
+        Sequential on purpose — whether an evicted vertex lands in the
+        kicked set depends on its visited flag *at eviction time*, so the
+        push/mark interleaving is semantic.  Accepts arrays or plain lists.
+        """
+        if isinstance(ids, np.ndarray):
+            ids = ids.tolist()
+        if isinstance(dists, np.ndarray):
+            dists = dists.tolist()
+        if len(self._entries) >= self.capacity:
+            # Same prefilter argument as push_many: the eviction threshold
+            # only decreases, so an item at or past it now is rejected at
+            # its sequential turn too.  Restricted to ids not currently in
+            # the set (an in-set id could still take the keep-smaller
+            # path), which also means the rejected ids cannot be evicted
+            # later in the batch — their kick/visit can be settled here.
+            worst = self._entries[-1][0]
+            in_set, vis, size = self._in_set, self._vis, self._in_set.size
+            survivors_ids: list[int] = []
+            survivors_dists: list[float] = []
+            for vid, d in zip(ids, dists):
+                if d >= worst and (vid >= size or not in_set[vid]):
+                    if self.track_kicked and not (vid < size and vis[vid]):
+                        self.kicked.append((d, vid))
+                    self.mark_visited(vid)
+                else:
+                    survivors_ids.append(vid)
+                    survivors_dists.append(d)
+            ids, dists = survivors_ids, survivors_dists
+        for vid, d in zip(ids, dists):
+            self.push(vid, d)
+            self.mark_visited(vid)
+
     def mark_visited(self, vertex_id: int) -> None:
-        self._visited.add(vertex_id)
+        vid = int(vertex_id)
+        self._ensure(vid)
+        if not self._vis[vid]:
+            self._vis[vid] = True
+            self._num_visited += 1
 
     def is_visited(self, vertex_id: int) -> bool:
-        return vertex_id in self._visited
+        vid = int(vertex_id)
+        return vid < self._vis.size and bool(self._vis[vid])
 
     # -- queries ---------------------------------------------------------------
+
+    def unseen(self, ids: np.ndarray) -> np.ndarray:
+        """Mask of ids that are neither in the set nor visited.
+
+        The vectorized form of the engines' per-neighbour freshness filter.
+        """
+        ids = np.asarray(ids)
+        if ids.size == 0:
+            return np.zeros(0, dtype=bool)
+        self._ensure(int(ids.max()))
+        return ~(self._in_set[ids] | self._vis[ids])
 
     def pop_unvisited(self, count: int = 1) -> list[int]:
         """The ``count`` closest unvisited candidates, marked visited.
 
         "Popped" vertices stay in the set (they may still be results); only
         their visited flag changes — this mirrors the search-list semantics
-        of DiskANN/Starling.
+        of DiskANN/Starling.  The entry list is sorted by ``(dist, id)`` and
+        live heap items carry exactly those pairs, so draining the heap
+        yields the same vertices, in the same order, as a front-to-back
+        scan of the entries.
         """
         out: list[int] = []
-        for _, vid in self._entries:
-            if vid not in self._visited:
+        heap = self._unvis
+        while heap and len(out) < count:
+            d, vid = heap[0]
+            if (
+                self._in_set[vid]
+                and not self._vis[vid]
+                and self._key[vid] == d
+            ):
                 out.append(vid)
-                self._visited.add(vid)
-                if len(out) >= count:
-                    break
+                self._vis[vid] = True
+                self._num_visited += 1
+            heappop(heap)
         return out
 
     def has_unvisited(self) -> bool:
-        return any(vid not in self._visited for _, vid in self._entries)
+        heap = self._unvis
+        while heap:
+            d, vid = heap[0]
+            if (
+                self._in_set[vid]
+                and not self._vis[vid]
+                and self._key[vid] == d
+            ):
+                return True
+            heappop(heap)
+        return False
 
     def grow(self, new_capacity: int) -> None:
         """Raise the capacity (range search doubles C, §5.3)."""
@@ -107,7 +287,7 @@ class CandidateSet:
 
     @property
     def num_visited(self) -> int:
-        return len(self._visited)
+        return self._num_visited
 
 
 class ResultSet:
@@ -126,6 +306,21 @@ class ResultSet:
         prev = self._dists.get(vertex_id)
         if prev is None or distance < prev:
             self._dists[vertex_id] = distance
+
+    def add_many(self, ids, dists) -> None:
+        """Minimum-merge a batch of (id, exact distance) pairs.
+
+        Accepts arrays or plain lists of Python scalars.
+        """
+        if isinstance(ids, np.ndarray):
+            ids = ids.tolist()
+        if isinstance(dists, np.ndarray):
+            dists = dists.tolist()
+        store = self._dists
+        for vid, d in zip(ids, dists):
+            prev = store.get(vid)
+            if prev is None or d < prev:
+                store[vid] = d
 
     def top_k(self, k: int) -> tuple[np.ndarray, np.ndarray]:
         """Final sort by exact distance; ties broken by id."""

@@ -28,9 +28,16 @@ def counted_read_blocks_of(disk_graph, vertex_ids: Sequence[int],
     if resilience is not None:
         return resilient_read_blocks_of(disk_graph, vertex_ids, stats,
                                         resilience)
-    before = disk_graph.device.counters.blocks_read
-    blocks = disk_graph.read_blocks_of(vertex_ids)
-    fetched = disk_graph.device.counters.blocks_read - before
+    reader = getattr(disk_graph, "read_blocks_of_counted", None)
+    if reader is not None:
+        # The read reports its own fetch count, so per-query accounting does
+        # not depend on exclusive ownership of the device counters (queries
+        # may interleave on one device under the batched executor).
+        blocks, fetched = reader(vertex_ids)
+    else:
+        before = disk_graph.device.counters.blocks_read
+        blocks = disk_graph.read_blocks_of(vertex_ids)
+        fetched = disk_graph.device.counters.blocks_read - before
     if fetched:
         stats.round_trip_blocks.append(fetched)
     stats.block_cache_hits += len(blocks) - fetched

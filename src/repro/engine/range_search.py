@@ -33,6 +33,7 @@ def incremental_range_search(
     initial_candidate_size: int = 32,
     ratio_threshold: float = 0.5,
     max_candidate_size: int = 4096,
+    table: np.ndarray | None = None,
 ) -> RangeResult:
     """Starling's RS: dynamic candidate-set doubling with a kicked set.
 
@@ -43,13 +44,15 @@ def incremental_range_search(
         initial_candidate_size: Starting |C|.
         ratio_threshold: φ of Eq. 7 (paper's optimum: 0.5).
         max_candidate_size: Safety cap on |C| growth.
+        table: Optional precomputed ADC table for the query (the batched
+            executor's shared build); ``None`` builds it in ``_seed``.
     """
     if not 0.0 < ratio_threshold <= 1.0:
         raise ValueError("ratio_threshold must be in (0, 1]")
     query = np.asarray(query, dtype=np.float32)
     stats = QueryStats(pipelined=getattr(engine, "pipeline", False))
     candidates, results, table = engine._seed(
-        query, initial_candidate_size, stats
+        query, initial_candidate_size, stats, table=table
     )
     while True:
         engine._run(query, candidates, results, table, stats)
@@ -77,6 +80,7 @@ def repeated_anns_range_search(
     initial_k: int = 16,
     max_k: int = 8192,
     candidate_headroom: float = 1.25,
+    table: np.ndarray | None = None,
 ) -> RangeResult:
     """The baseline RS: repeat ANNS with doubling k (wasteful on purpose).
 
@@ -94,7 +98,7 @@ def repeated_anns_range_search(
     dists = np.empty(0, dtype=np.float64)
     while True:
         result = engine.search(
-            query, k, max(int(k * candidate_headroom), initial_k)
+            query, k, max(int(k * candidate_headroom), initial_k), table=table
         )
         total.merge(result.stats)
         within = result.dists <= radius

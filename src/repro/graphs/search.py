@@ -82,7 +82,7 @@ def greedy_search(
         if len(pool) >= ef and d_u > -pool[0][0]:
             break
         trace.hops += 1
-        raw = graph.neighbors(u).astype(np.int64)
+        raw = graph.neighbors(u)
         nbrs = raw[~visited[raw]]
         if nbrs.size == 0:
             continue
@@ -92,6 +92,15 @@ def greedy_search(
         nd = metric.distances(query, vectors[nbrs])
         trace.distance_computations += int(nbrs.size)
         threshold = -pool[0][0] if pool else np.inf
+        if len(pool) >= ef:
+            # Once the pool is full its worst entry only improves, so a
+            # neighbour at or past the current threshold is rejected at its
+            # sequential turn too — drop the bulk with one vectorized mask.
+            keep = nd < threshold
+            if not keep.all():
+                nbrs, nd = nbrs[keep], nd[keep]
+                if nbrs.size == 0:
+                    continue
         for vid, d in zip(nbrs.tolist(), nd.tolist()):
             if len(pool) < ef or d < threshold:
                 heapq.heappush(pool, (-d, vid))

@@ -4,6 +4,18 @@ The evaluation protocol of the paper reports *queries per second*, *mean
 latency*, and *mean I/Os* per configuration, serving a batch with a pool of
 threads (8 by default) where each thread handles one query at a time.  Under
 that model ``QPS = threads / mean_latency`` — the relation Fig. 12 sweeps.
+
+**Simulated vs. wall-clock.**  Every number aggregated here is *simulated*:
+latency is derived from each query's exact I/O and compute counters through
+:class:`~repro.storage.device.DiskSpec` and
+:class:`~repro.engine.cost.ComputeSpec`, so summaries are deterministic,
+machine-independent, and unaffected by how the batch was actually executed
+— the ``threads`` in the QPS model is a *modelled* pool width, not a count
+of real threads, and it need not match the worker count of the
+:class:`~repro.engine.batch.BatchExecutor` that produced the results.  The
+one deliberately *measured* timer in the repository lives in
+:mod:`repro.bench.wallclock`, which times the executor's amortizations and
+checks they leave every counter aggregated here untouched.
 """
 
 from __future__ import annotations

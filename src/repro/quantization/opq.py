@@ -127,11 +127,23 @@ class OptimizedProductQuantizer:
 
     # -- ADC ------------------------------------------------------------------------
 
+    def lookup_tables(self, queries: np.ndarray) -> np.ndarray:
+        """ADC tables for a batch of rotated queries, shape ``(Q, M, ks)``.
+
+        The rotation uses an einsum contraction instead of ``@`` so each row
+        of a batched rotation is bit-identical to rotating that query alone
+        (BLAS GEMMs do not guarantee this); see
+        :meth:`ProductQuantizer.lookup_tables`.
+        """
+        if self.rotation is None:
+            raise RuntimeError("train() must be called before lookup_tables()")
+        queries = np.atleast_2d(queries).astype(np.float32)
+        rotated = np.einsum("qd,de->qe", queries, self.rotation)
+        return self.pq.lookup_tables(rotated)
+
     def lookup_table(self, query: np.ndarray) -> np.ndarray:
         """ADC table for the rotated query (L2 is rotation-invariant)."""
-        if self.rotation is None:
-            raise RuntimeError("train() must be called before lookup_table()")
-        return self.pq.lookup_table(self._rotate(query)[0])
+        return self.lookup_tables(np.asarray(query)[None, :])[0]
 
     def distances_from_table(self, table: np.ndarray,
                              ids: np.ndarray) -> np.ndarray:

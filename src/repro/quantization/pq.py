@@ -71,6 +71,9 @@ class ProductQuantizer:
         self.metric = get_metric(metric)
         self.codebook: PQCodebook | None = None
         self.codes: np.ndarray | None = None
+        # per-subspace offsets into a flattened (M, ks) table; built lazily
+        # because train() may clamp num_centroids on tiny segments
+        self._flat_offsets: np.ndarray | None = None
 
     # -- training / encoding -------------------------------------------------
 
@@ -154,6 +157,33 @@ class ProductQuantizer:
 
     # -- asymmetric distance computation -------------------------------------
 
+    def lookup_tables(self, queries: np.ndarray) -> np.ndarray:
+        """ADC lookup tables for a query batch, shape ``(Q, M, ks)``.
+
+        The kernels are einsum-based rather than BLAS GEMM expansions because
+        einsum reductions are row-consistent: the table computed for a query
+        inside a batch is bit-identical to the table computed for that query
+        alone.  That property is what lets the batched executor share one
+        table build across a batch while guaranteeing results identical to
+        the serial per-query loop.
+        """
+        if self.codebook is None:
+            raise RuntimeError("train() must be called before lookup_tables()")
+        parts = self._split(np.atleast_2d(queries))  # (Q, M, sub_dim)
+        tables = np.empty(
+            (parts.shape[0], self.num_subspaces, self.num_centroids),
+            dtype=np.float32,
+        )
+        for m in range(self.num_subspaces):
+            if self.metric.name == "l2":
+                diff = parts[:, m, None, :] - self.codebook.centroids[m][None]
+                tables[:, m, :] = np.einsum("qkd,qkd->qk", diff, diff)
+            else:
+                tables[:, m, :] = -np.einsum(
+                    "qd,kd->qk", parts[:, m, :], self.codebook.centroids[m]
+                )
+        return tables
+
     def lookup_table(self, query: np.ndarray) -> np.ndarray:
         """ADC lookup table for one query, shape ``(M, ks)``.
 
@@ -161,30 +191,27 @@ class ProductQuantizer:
         each centroid; for IP it is the negated partial inner product.  Summing
         one entry per subspace gives the approximate distance.
         """
-        if self.codebook is None:
-            raise RuntimeError("train() must be called before lookup_table()")
-        parts = self._split(query[None, :])[0]  # (M, sub_dim)
-        table = np.empty(
-            (self.num_subspaces, self.num_centroids), dtype=np.float32
-        )
-        for m in range(self.num_subspaces):
-            if self.metric.name == "l2":
-                table[m] = pairwise_l2_squared(
-                    parts[m][None, :], self.codebook.centroids[m]
-                )[0]
-            else:
-                table[m] = -(self.codebook.centroids[m] @ parts[m])
-        return table
+        return self.lookup_tables(np.asarray(query)[None, :])[0]
 
     def distances_from_table(
         self, table: np.ndarray, ids: np.ndarray
     ) -> np.ndarray:
-        """Approximate distances for stored vectors ``ids`` given a table."""
+        """Approximate distances for stored vectors ``ids`` given a table.
+
+        A flat gather — ``table.reshape(-1)[m*ks + codes[:, m]]`` — rather
+        than ``take_along_axis`` on the transpose: same elements, same
+        ``sum`` reduction order, a fraction of the indexing overhead on the
+        beam-sized id lists this runs on.
+        """
         if self.codes is None:
             raise RuntimeError("fit_dataset() must be called first")
+        if self._flat_offsets is None:
+            self._flat_offsets = (
+                np.arange(self.num_subspaces, dtype=np.int64)
+                * self.num_centroids
+            )
         codes = self.codes[np.asarray(ids, dtype=np.int64)]
-        cols = np.arange(self.num_subspaces)
-        return table[cols, codes].sum(axis=1)
+        return table.reshape(-1)[codes + self._flat_offsets].sum(axis=1)
 
     # -- accounting ------------------------------------------------------------
 

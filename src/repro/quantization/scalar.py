@@ -81,6 +81,16 @@ class ScalarQuantizer:
 
     # -- asymmetric distances ------------------------------------------------------
 
+    def lookup_tables(self, queries: np.ndarray) -> np.ndarray:
+        """Batched "tables": the float query rows themselves, shape (Q, dim).
+
+        Trivially row-consistent with :meth:`lookup_table`, which is all the
+        batched executor needs from this surface.
+        """
+        if self.lo is None:
+            raise RuntimeError("train() must be called before lookup_tables()")
+        return np.atleast_2d(queries).astype(np.float32)
+
     def lookup_table(self, query: np.ndarray) -> np.ndarray:
         """The "table" for SQ is just the float query (per-dim affine codec
         admits direct asymmetric computation)."""

@@ -16,6 +16,7 @@ plus a small per-extra-block transfer charge.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -97,6 +98,9 @@ class BlockDevice:
         self.num_blocks = num_blocks
         self.spec = spec or DiskSpec()
         self.counters = IOCounters()
+        # Counted reads mutate shared state (counters; the file offset in
+        # file-backed mode), so they are serialized for thread-pool callers.
+        self._lock = threading.Lock()
         self._path = os.fspath(path) if path is not None else None
         self._closed = False
         if self._path is None:
@@ -186,9 +190,10 @@ class BlockDevice:
     def read_block(self, block_id: int) -> bytes:
         """Read one block: one round-trip, one block charged."""
         self._check_block_id(block_id)
-        self.counters.blocks_read += 1
-        self.counters.round_trips += 1
-        return self._fetch(block_id)
+        with self._lock:
+            self.counters.blocks_read += 1
+            self.counters.round_trips += 1
+            return self._fetch(block_id)
 
     def read_blocks(self, block_ids: Sequence[int]) -> list[bytes]:
         """Batched random read: one round-trip for the whole batch.
@@ -201,9 +206,10 @@ class BlockDevice:
             self._check_block_id(bid)
         if not ids:
             return []
-        self.counters.blocks_read += len(ids)
-        self.counters.round_trips += 1
-        return [self._fetch(bid) for bid in ids]
+        with self._lock:
+            self.counters.blocks_read += len(ids)
+            self.counters.round_trips += 1
+            return [self._fetch(bid) for bid in ids]
 
     def read_sequential(self, first_block: int, num_blocks: int) -> list[bytes]:
         """Sequential streaming read of ``num_blocks`` contiguous blocks."""
@@ -215,9 +221,10 @@ class BlockDevice:
                 f"sequential read of {num_blocks} blocks from block "
                 f"{first_block} overruns the device ({self.num_blocks} blocks)"
             )
-        self.counters.blocks_read += num_blocks
-        self.counters.round_trips += 1
-        return [self._fetch(first_block + i) for i in range(num_blocks)]
+        with self._lock:
+            self.counters.blocks_read += num_blocks
+            self.counters.round_trips += 1
+            return [self._fetch(first_block + i) for i in range(num_blocks)]
 
     # -- accounting helpers --------------------------------------------------
 

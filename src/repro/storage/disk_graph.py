@@ -29,16 +29,32 @@ class DiskBlock:
     vertex_ids: np.ndarray  # shape (c,), uint32
     vectors: np.ndarray  # shape (c, dim)
     neighbor_lists: list[np.ndarray]
+    #: lazily built id→position map; O(1) lookups instead of a linear scan
+    _pos: dict[int, int] | None = None
+    #: lazily built Python-int view of ``vertex_ids`` for the engines' small
+    #: per-block loops (a block holds ~ε vertices — list indexing beats
+    #: numpy scalar extraction at that size)
+    _ids_list: list[int] | None = None
 
     def __len__(self) -> int:
         return len(self.vertex_ids)
 
+    def ids_list(self) -> list[int]:
+        """``vertex_ids`` as a cached list of Python ints."""
+        if self._ids_list is None:
+            self._ids_list = self.vertex_ids.tolist()
+        return self._ids_list
+
     def index_of(self, vertex_id: int) -> int:
         """Position of ``vertex_id`` inside this block."""
-        hits = np.flatnonzero(self.vertex_ids == vertex_id)
-        if hits.size == 0:
-            raise KeyError(f"vertex {vertex_id} not in block {self.block_id}")
-        return int(hits[0])
+        if self._pos is None:
+            self._pos = {int(v): i for i, v in enumerate(self.vertex_ids)}
+        try:
+            return self._pos[int(vertex_id)]
+        except KeyError:
+            raise KeyError(
+                f"vertex {vertex_id} not in block {self.block_id}"
+            ) from None
 
 
 class DiskGraph:
@@ -64,6 +80,12 @@ class DiskGraph:
         #: :meth:`enable_checksum_verification`
         self.block_checksums: np.ndarray | None = None
         self.verify_checksums = False
+        #: optional {block_id: DiskBlock} map of already-decoded blocks.  When
+        #: set (by the batched executor), :meth:`_decode` serves repeat decodes
+        #: from it.  The device read itself is still issued and counted — the
+        #: cache amortizes only the Python-side decode, so I/O counters stay
+        #: byte-identical to uncached execution.
+        self.decode_cache: dict[int, DiskBlock] | None = None
 
     # -- shape ---------------------------------------------------------------
 
@@ -93,6 +115,12 @@ class DiskGraph:
 
     def block_of(self, vertex_id: int) -> int:
         return int(self.vertex_to_block[vertex_id])
+
+    def blocks_of(self, vertex_ids) -> np.ndarray:
+        """Bulk vertex→block lookup: one fancy-index instead of a Python loop."""
+        return self.vertex_to_block[
+            np.asarray(vertex_ids, dtype=np.int64)
+        ].astype(np.int64)
 
     def vertices_in_block(self, block_id: int) -> np.ndarray:
         return self._block_ids[block_id]
@@ -125,9 +153,17 @@ class DiskGraph:
     # -- counted reads ---------------------------------------------------------
 
     def _decode(self, block_id: int, payload: bytes) -> DiskBlock:
+        cache = self.decode_cache
+        if cache is not None:
+            hit = cache.get(block_id)
+            if hit is not None:
+                return hit
         ids = self._block_ids[block_id]
         vectors, neighbor_lists = self.fmt.decode_block(payload, len(ids))
-        return DiskBlock(block_id, ids, vectors, neighbor_lists)
+        block = DiskBlock(block_id, ids, vectors, neighbor_lists)
+        if cache is not None:
+            cache[block_id] = block
+        return block
 
     def read_block(self, block_id: int) -> DiskBlock:
         """Read and decode one block (one device round-trip)."""
@@ -172,12 +208,31 @@ class DiskGraph:
     def read_block_of(self, vertex_id: int) -> DiskBlock:
         return self.read_block(self.block_of(vertex_id))
 
+    def _unique_blocks_of(self, vertex_ids) -> list[int]:
+        """Deduplicated block ids for the vertices, in first-occurrence order.
+
+        The id lists here are beam-sized (a handful of entries), where a
+        dict-based dedup beats ``np.unique``.
+        """
+        blocks = self.vertex_to_block[
+            np.asarray(vertex_ids, dtype=np.int64)
+        ]
+        return list(dict.fromkeys(blocks.tolist()))
+
     def read_blocks_of(self, vertex_ids: Sequence[int]) -> list[DiskBlock]:
         """Blocks containing the given vertices, deduplicated, one round-trip."""
-        seen: dict[int, None] = {}
-        for vid in vertex_ids:
-            seen.setdefault(self.block_of(vid), None)
-        return self.read_blocks(list(seen))
+        return self.read_blocks(self._unique_blocks_of(vertex_ids))
+
+    def read_blocks_of_counted(
+        self, vertex_ids: Sequence[int]
+    ) -> tuple[list[DiskBlock], int]:
+        """Like :meth:`read_blocks_of`, also returning how many blocks were
+        fetched from the device (here always all of them; the block-cache
+        wrapper overrides this with its hit-aware count).  The local count
+        replaces device-counter deltas in per-query accounting, which keeps
+        stats exact even when queries interleave on one device."""
+        blocks = self.read_blocks_of(vertex_ids)
+        return blocks, len(blocks)
 
     # -- uncounted access (build/analysis only) -----------------------------
 

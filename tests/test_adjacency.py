@@ -1,6 +1,5 @@
 """Unit tests for the AdjacencyGraph container."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import AdjacencyGraph, from_neighbor_lists, random_regular_graph

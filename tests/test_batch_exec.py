@@ -1,0 +1,167 @@
+"""BatchExecutor equivalence: batching must be observably invisible.
+
+The contract of :class:`repro.engine.batch.BatchExecutor` is that every
+execution mode returns results bit-identical to the plain per-query loop —
+same ids, same distances, same :class:`~repro.engine.cost.QueryStats`
+counters (including :class:`~repro.engine.cost.FaultStats` when a fault
+injector is armed).  These tests check the contract on both engines and
+exercise the determinism gates that keep it true.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import StarlingConfig, build_starling
+from repro.engine import BatchExecutor, CachedDiskGraph, ExecSpec, RetryPolicy
+from repro.storage import FaultSpec
+from repro.storage.faults import base_disk_graph
+
+# The indexes behind the function-scoped fixture wrapper are session-scoped
+# and read-only, so reusing them across generated examples is sound.
+COMMON = settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow, HealthCheck.function_scoped_fixture,
+    ],
+)
+
+
+def _same_results(a, b) -> None:
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert np.array_equal(x.ids, y.ids)
+        assert np.array_equal(x.dists, y.dists)
+        # Dataclass __dict__ equality covers every counter, including the
+        # nested FaultStats and the per-round-trip block counts.
+        assert x.stats.__dict__ == y.stats.__dict__
+
+
+@pytest.fixture(params=["starling_index", "diskann_index"])
+def disk_index(request):
+    return request.getfixturevalue(request.param)
+
+
+class TestExecSpec:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ExecSpec(mode="warp")
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ExecSpec(workers=0)
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize("mode", ["batched", "threads", "processes"])
+    def test_matches_serial_loop(self, disk_index, small_dataset, mode):
+        queries = np.asarray(small_dataset.queries, dtype=np.float32)
+        reference = [disk_index.search(q, 10, 48) for q in queries]
+        out = BatchExecutor(disk_index, ExecSpec(mode=mode)).search_batch(
+            queries, 10, 48
+        )
+        _same_results(reference, out)
+
+    def test_serial_mode_is_the_reference(self, disk_index, small_dataset):
+        queries = np.asarray(small_dataset.queries, dtype=np.float32)
+        reference = [disk_index.search(q, 10, 48) for q in queries]
+        out = BatchExecutor(disk_index, ExecSpec(mode="serial")).search_batch(
+            queries, 10, 48
+        )
+        _same_results(reference, out)
+
+    def test_empty_batch(self, disk_index):
+        assert BatchExecutor(disk_index).search_batch(
+            np.zeros((0, 128), dtype=np.float32)
+        ) == []
+
+    def test_amortizations_can_be_disabled(self, disk_index, small_dataset):
+        queries = np.asarray(small_dataset.queries[:4], dtype=np.float32)
+        reference = [disk_index.search(q, 10, 48) for q in queries]
+        spec = ExecSpec(share_tables=False, decode_cache=False)
+        out = BatchExecutor(disk_index, spec).search_batch(queries, 10, 48)
+        _same_results(reference, out)
+
+    @COMMON
+    @given(seed=st.integers(0, 2**32 - 1), nq=st.integers(1, 5))
+    def test_random_query_batches(self, disk_index, seed, nq):
+        rng = np.random.default_rng(seed)
+        queries = rng.integers(0, 256, size=(nq, 128)).astype(np.float32)
+        reference = [disk_index.search(q, 10, 32) for q in queries]
+        out = BatchExecutor(disk_index).search_batch(queries, 10, 32)
+        _same_results(reference, out)
+
+
+class TestRangeEquivalence:
+    @pytest.mark.parametrize("mode", ["batched", "threads", "processes"])
+    def test_matches_serial_loop(self, disk_index, small_dataset, mode):
+        radius = small_dataset.default_radius or 120_000.0
+        queries = np.asarray(small_dataset.queries[:6], dtype=np.float32)
+        reference = [disk_index.range_search(q, radius) for q in queries]
+        out = BatchExecutor(disk_index, ExecSpec(mode=mode)).range_batch(
+            queries, radius
+        )
+        _same_results(reference, out)
+
+
+class TestDeterminismGates:
+    CHAOS = FaultSpec(
+        seed=13, transient_error_rate=0.05, bad_block_rate=0.02,
+        corruption_rate=0.02, latency_spike_rate=0.1,
+    )
+
+    @pytest.fixture(scope="class")
+    def chaos_index(self, small_dataset, graph_config):
+        return build_starling(
+            small_dataset,
+            StarlingConfig(
+                graph=graph_config, faults=self.CHAOS,
+                resilience=RetryPolicy(max_retries=3, hedge_after_us=500.0),
+            ),
+        )
+
+    def _rearm(self, index) -> None:
+        """Rewind the injector's sequential RNG so two runs see the same
+        fault schedule (the schedule depends on the global read order)."""
+        injector = base_disk_graph(index.disk_graph).device
+        injector._rng = random.Random(self.CHAOS.seed)
+        injector._pending_extra_us = 0.0
+
+    def test_fanout_gates_to_batched_when_faults_armed(self, chaos_index):
+        for mode in ("threads", "processes"):
+            executor = BatchExecutor(chaos_index, ExecSpec(mode=mode))
+            assert executor.effective_mode() == "batched"
+
+    def test_fault_stats_identical_serial_vs_batched(
+        self, chaos_index, small_dataset
+    ):
+        queries = np.asarray(small_dataset.queries, dtype=np.float32)
+        self._rearm(chaos_index)
+        reference = [chaos_index.search(q, 10, 48) for q in queries]
+        self._rearm(chaos_index)
+        out = BatchExecutor(chaos_index).search_batch(queries, 10, 48)
+        _same_results(reference, out)
+        # The chaos actually fired, so FaultStats equality was non-trivial.
+        assert any(r.stats.fault.any for r in reference)
+
+    def test_lru_cache_gates_to_batched(self, small_dataset, graph_config):
+        index = build_starling(
+            small_dataset, StarlingConfig(graph=graph_config)
+        )
+        index.engine.disk_graph = CachedDiskGraph(
+            index.engine.disk_graph, capacity_blocks=8
+        )
+        executor = BatchExecutor(index, ExecSpec(mode="threads"))
+        assert executor.effective_mode() == "batched"
+
+    def test_spann_falls_back_to_serial(self, spann_index, small_dataset):
+        executor = BatchExecutor(spann_index, ExecSpec(mode="batched"))
+        assert executor.effective_mode() == "serial"
+        queries = np.asarray(small_dataset.queries[:4], dtype=np.float32)
+        reference = [spann_index.search(q, 10, 48) for q in queries]
+        _same_results(reference, executor.search_batch(queries, 10, 48))

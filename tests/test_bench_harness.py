@@ -1,7 +1,5 @@
 """Smoke tests for the bench harness (runner + tables + workloads)."""
 
-import numpy as np
-import pytest
 
 from repro.bench import (
     PERF_HEADERS,

@@ -1,6 +1,5 @@
 """Tests for bench-harness internals: formatting, env sizing, sweeps."""
 
-import numpy as np
 import pytest
 
 from repro.bench.tables import _fmt, format_table, speedup

@@ -1,6 +1,5 @@
 """End-to-end tests for the segment builders and index facades."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -2,7 +2,6 @@
 block cache, navigation search_ef."""
 
 import numpy as np
-import pytest
 
 from repro.core import DiskANNConfig, build_diskann
 from repro.engine import BlockSearchEngine, schedule_from_stats

@@ -172,3 +172,41 @@ class TestResultSet:
         r.add(7, 1.0)
         assert 7 in r
         assert len(r) == 1
+
+
+class TestOrderedUnique:
+    """Both engines must dedup their frontier in the same, defined order."""
+
+    def test_first_occurrence_order(self):
+        from repro.engine import ordered_unique
+
+        ids = np.asarray([7, 3, 7, 1, 3, 3, 9, 1], dtype=np.int64)
+        out = ordered_unique(ids)
+        assert out.tolist() == [7, 3, 1, 9]
+        assert out.dtype == ids.dtype
+
+    def test_empty_passthrough(self):
+        from repro.engine import ordered_unique
+
+        out = ordered_unique(np.asarray([], dtype=np.uint32))
+        assert out.size == 0
+        assert out.dtype == np.uint32
+
+    def test_matches_dict_fromkeys_model(self):
+        from repro.engine import ordered_unique
+
+        rng = np.random.default_rng(11)
+        for n in (1, 2, 17, 256):
+            ids = rng.integers(0, 50, size=n).astype(np.uint32)
+            assert (
+                ordered_unique(ids).tolist()
+                == list(dict.fromkeys(ids.tolist()))
+            )
+
+    def test_engines_share_the_helper(self):
+        """Regression guard: the dedup order must stay unified by
+        construction — both engine modules use the frontier helper."""
+        from repro.engine import beam_search, block_search, frontier
+
+        assert block_search.ordered_unique is frontier.ordered_unique
+        assert beam_search.ordered_unique is frontier.ordered_unique

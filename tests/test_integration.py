@@ -5,7 +5,6 @@ These tests build all three frameworks on one segment and check the
 I/Os, utilization, path length, and simulated latency at matched settings.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import ground_truth_for, run_anns, run_range

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graphs import AdjacencyGraph, from_neighbor_lists
+from repro.graphs import from_neighbor_lists
 from repro.layout import (
     assignment_from_layout,
     block_overlap_ratio,

@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -77,6 +76,8 @@ class _NaiveModel:
 
     def push(self, vid, dist):
         if vid in self.items:
+            # Re-push with a different key keeps the smaller distance.
+            self.items[vid] = min(self.items[vid], dist)
             return False
         if len(self.items) >= self.capacity:
             worst = max(self.items.items(), key=lambda kv: (kv[1], kv[0]))

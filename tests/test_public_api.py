@@ -77,7 +77,7 @@ class TestErrorSurfacing:
 
     def test_corrupt_block_detected(self, small_dataset, graph_config):
         """Failure injection: a corrupted degree word must not pass silently."""
-        from repro.core import StarlingConfig, build_starling
+        from repro.core import build_starling
 
         idx = build_starling(
             small_dataset,

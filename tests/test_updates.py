@@ -10,7 +10,7 @@ from repro.core import (
     build_starling,
 )
 from repro.core.updates import DynamicIndex
-from repro.vectors import deep_like, get_metric, knn
+from repro.vectors import deep_like, get_metric
 
 
 @pytest.fixture()
