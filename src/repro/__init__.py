@@ -19,6 +19,7 @@ Public API highlights:
 
 from . import baselines, bench, core, engine, graphs, layout, metrics
 from . import quantization, storage, vectors
+from .buildspec import BUILD_MODES, BuildSpec
 from .core import (
     DiskANNConfig,
     DiskANNIndex,
@@ -35,6 +36,8 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BUILD_MODES",
+    "BuildSpec",
     "DiskANNConfig",
     "DiskANNIndex",
     "GraphConfig",

@@ -1,5 +1,7 @@
 """Benchmark harness: workload runners, presets, and table rendering."""
 
+from .build_cache import BuildCache, cache_key
+from .buildclock import BuildclockReport, run_buildclock
 from .report import MarkdownReport, markdown_table
 from .runner import ground_truth_for, run_anns, run_range, sweep_anns, sweep_range
 from .wallclock import WallclockReport, query_counters, run_wallclock
@@ -21,9 +23,13 @@ from .workloads import (
 )
 
 __all__ = [
+    "BuildCache",
+    "BuildclockReport",
     "MarkdownReport",
     "PERF_HEADERS",
+    "cache_key",
     "markdown_table",
+    "run_buildclock",
     "bench_num_queries",
     "bench_segment_size",
     "dataset",

@@ -1,0 +1,250 @@
+"""Wall-clock benchmark of the wave-batched index build (measured, not simulated).
+
+Counterpart of :mod:`repro.bench.wallclock` for the *offline* pipeline: it
+times serial vs wave-batched graph construction, regenerates Fig. 8(a)'s
+per-phase build breakdown for both modes, checks the determinism contract
+(NSG wave builds are bit-identical to serial; Vamana wave builds must match
+serial recall within a point), and exercises the build-artifact cache
+(second build of the same key must be a hit).
+
+Run via ``benchmarks/test_buildclock.py`` or the CLI's ``bench-build``
+command; both emit ``BENCH_build.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..buildspec import DEFAULT_WAVE_SIZE, BuildSpec
+from ..core.builder import build_starling
+from ..core.config import StarlingConfig
+from ..graphs.nsg import NSGParams, build_nsg
+from ..graphs.vamana import VamanaParams, build_vamana
+from ..metrics import mean_recall_at_k
+
+#: default workload family; bigann's uint8 vectors are the paper's headline
+#: segment workload and stress the float promotion in the search kernel
+DEFAULT_FAMILY = "bigann"
+
+
+def _graphs_equal(a, b) -> bool:
+    return all(
+        np.array_equal(x, y)
+        for x, y in zip(a.neighbor_lists(), b.neighbor_lists())
+    )
+
+
+@dataclass
+class BuildclockReport:
+    """Measured serial-vs-wave build timings on the fixed workload."""
+
+    family: str
+    num_vectors: int
+    wave_size: int
+    repeats: int
+    vamana_serial_s: float
+    vamana_batched_s: float
+    nsg_serial_s: float
+    nsg_batched_s: float
+    nsg_identical: bool
+    recall_serial: float
+    recall_batched: float
+    k: int
+    phases_serial: dict = field(default_factory=dict)
+    phases_batched: dict = field(default_factory=dict)
+    cache_first_hit: bool = False
+    cache_second_hit: bool = False
+
+    @property
+    def vamana_speedup(self) -> float:
+        if self.vamana_batched_s <= 0:
+            return 0.0
+        return self.vamana_serial_s / self.vamana_batched_s
+
+    @property
+    def nsg_speedup(self) -> float:
+        return self.nsg_serial_s / self.nsg_batched_s if self.nsg_batched_s > 0 else 0.0
+
+    @property
+    def graph_speedup(self) -> float:
+        """Headline number: best serial/wave ratio across the two builders."""
+        return max(self.vamana_speedup, self.nsg_speedup)
+
+    @property
+    def total_speedup(self) -> float:
+        serial = self.phases_serial.get("total_s", 0.0)
+        batched = self.phases_batched.get("total_s", 0.0)
+        return serial / batched if batched > 0 else 0.0
+
+    @property
+    def recall_gap(self) -> float:
+        return abs(self.recall_serial - self.recall_batched)
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": {
+                "family": self.family,
+                "num_vectors": self.num_vectors,
+                "wave_size": self.wave_size,
+                "repeats": self.repeats,
+                "k": self.k,
+            },
+            "graph_build": {
+                "vamana": {
+                    "serial_s": self.vamana_serial_s,
+                    "batched_s": self.vamana_batched_s,
+                    "speedup": self.vamana_speedup,
+                },
+                "nsg": {
+                    "serial_s": self.nsg_serial_s,
+                    "batched_s": self.nsg_batched_s,
+                    "speedup": self.nsg_speedup,
+                    "identical": self.nsg_identical,
+                },
+                "speedup": self.graph_speedup,
+            },
+            "phases": {  # Fig. 8(a)-style offline breakdown, both modes
+                "serial": self.phases_serial,
+                "batched": self.phases_batched,
+                "total_speedup": self.total_speedup,
+            },
+            "recall": {
+                "k": self.k,
+                "serial": self.recall_serial,
+                "batched": self.recall_batched,
+                "gap": self.recall_gap,
+            },
+            "cache": {
+                "first_hit": self.cache_first_hit,
+                "second_hit": self.cache_second_hit,
+            },
+        }
+
+    def write_json(self, path: str) -> str:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+            fh.write("\n")
+        return path
+
+
+def _best_of(repeats: int, fn) -> tuple[float, object]:
+    best_s, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best_s:
+            best_s, result = elapsed, out
+    return best_s, result
+
+
+def run_buildclock(
+    family: str = DEFAULT_FAMILY,
+    *,
+    n: int | None = None,
+    wave_size: int = DEFAULT_WAVE_SIZE,
+    workers: int = 4,
+    k: int = 10,
+    candidate_size: int = 64,
+    repeats: int = 1,
+    cache_dir: str | None = None,
+) -> BuildclockReport:
+    """Time serial against wave-batched construction end to end.
+
+    Args:
+        family: Synthetic dataset family.
+        n: Segment size (default: the bench env default).
+        wave_size: Queries per wave in the batched kernels.
+        workers: Pool size for the ``processes`` determinism check paths.
+        k, candidate_size: Recall-evaluation search parameters.
+        repeats: Best-of repeats for the bare graph-build timings.
+        cache_dir: Build-artifact cache directory (a temp dir by default).
+    """
+    from .workloads import dataset, default_graph_config, knn_truth
+
+    ds = dataset(family, n)
+    vectors = ds.vectors
+    metric = ds.metric
+    gcfg = default_graph_config()
+    spec = BuildSpec(mode="batched", workers=workers, wave_size=wave_size)
+
+    vparams = VamanaParams(
+        max_degree=gcfg.max_degree, build_ef=gcfg.build_ef,
+        alpha=gcfg.alpha, seed=gcfg.seed,
+    )
+    vamana_serial_s, _ = _best_of(
+        repeats, lambda: build_vamana(vectors, metric, vparams)
+    )
+    vamana_batched_s, _ = _best_of(
+        repeats, lambda: build_vamana(vectors, metric, vparams, spec=spec)
+    )
+
+    nparams = NSGParams(
+        max_degree=gcfg.max_degree, build_ef=gcfg.build_ef, seed=gcfg.seed
+    )
+    nsg_serial_s, (nsg_g_serial, _) = _best_of(
+        repeats, lambda: build_nsg(vectors, metric, nparams)
+    )
+    nsg_batched_s, (nsg_g_batched, _) = _best_of(
+        repeats, lambda: build_nsg(vectors, metric, nparams, spec=spec)
+    )
+
+    # Full offline pipeline, both modes: Fig. 8(a) per-phase breakdown
+    # plus the end-to-end recall check.
+    cfg = StarlingConfig(graph=gcfg)
+    index_serial = build_starling(ds, cfg)
+    index_batched = build_starling(ds, cfg, build_spec=spec)
+    truth = knn_truth(family, n, k)
+
+    def _recall(index) -> float:
+        results = [
+            index.search(np.asarray(q, dtype=np.float32), k, candidate_size)
+            for q in ds.queries
+        ]
+        return mean_recall_at_k([r.ids for r in results], truth, k)
+
+    # Artifact cache: same key twice — first populates, second must hit.
+    def _cache_roundtrip(directory: str) -> tuple[bool, bool]:
+        from .build_cache import BuildCache
+
+        cache = BuildCache(directory)
+        _, first = cache.build_starling(ds, cfg, build_spec=spec)
+        _, second = cache.build_starling(ds, cfg, build_spec=spec)
+        return first, second
+
+    if cache_dir is None:
+        with tempfile.TemporaryDirectory() as tmp:
+            cache_first, cache_second = _cache_roundtrip(tmp)
+    else:
+        cache_first, cache_second = _cache_roundtrip(cache_dir)
+
+    return BuildclockReport(
+        family=family,
+        num_vectors=len(vectors),
+        wave_size=wave_size,
+        repeats=repeats,
+        vamana_serial_s=vamana_serial_s,
+        vamana_batched_s=vamana_batched_s,
+        nsg_serial_s=nsg_serial_s,
+        nsg_batched_s=nsg_batched_s,
+        nsg_identical=_graphs_equal(nsg_g_serial, nsg_g_batched),
+        recall_serial=_recall(index_serial),
+        recall_batched=_recall(index_batched),
+        k=k,
+        phases_serial={
+            **asdict(index_serial.timings),
+            "total_s": index_serial.timings.total_s,
+        },
+        phases_batched={
+            **asdict(index_batched.timings),
+            "total_s": index_batched.timings.total_s,
+        },
+        cache_first_hit=cache_first,
+        cache_second_hit=cache_second,
+    )

@@ -30,6 +30,21 @@ def bench_num_queries() -> int:
     return int(os.environ.get("REPRO_BENCH_QUERIES", "30"))
 
 
+def _build_cache():
+    """On-disk build-artifact cache, enabled via ``REPRO_BUILD_CACHE=<dir>``.
+
+    The in-process ``lru_cache`` memoization above it stays authoritative
+    within a run; the disk cache makes *repeat* suite runs skip the
+    builds entirely.
+    """
+    directory = os.environ.get("REPRO_BUILD_CACHE")
+    if not directory:
+        return None
+    from .build_cache import BuildCache
+
+    return BuildCache(directory)
+
+
 def default_graph_config(**overrides) -> GraphConfig:
     base = dict(max_degree=24, build_ef=48, alpha=1.2, seed=0)
     base.update(overrides)
@@ -50,6 +65,9 @@ def dataset(family: str, n: int | None = None, num_queries: int | None = None):
 def starling_index(family: str, n: int | None = None, **config_overrides):
     """Memoized Starling build with the default bench configuration."""
     cfg = StarlingConfig(graph=default_graph_config()).with_(**config_overrides)
+    cache = _build_cache()
+    if cache is not None:
+        return cache.build_starling(dataset(family, n), cfg)[0]
     return build_starling(dataset(family, n), cfg)
 
 
@@ -57,6 +75,9 @@ def starling_index(family: str, n: int | None = None, **config_overrides):
 def diskann_index(family: str, n: int | None = None, **config_overrides):
     """Memoized DiskANN build with the default bench configuration."""
     cfg = DiskANNConfig(graph=default_graph_config()).with_(**config_overrides)
+    cache = _build_cache()
+    if cache is not None:
+        return cache.build_diskann(dataset(family, n), cfg)[0]
     return build_diskann(dataset(family, n), cfg)
 
 

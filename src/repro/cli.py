@@ -22,6 +22,8 @@ from pathlib import Path
 
 import numpy as np
 
+from .bench.build_cache import BuildCache
+from .buildspec import BUILD_MODES, BuildSpec
 from .engine import EXEC_MODES
 from .core import (
     DiskANNConfig,
@@ -90,25 +92,42 @@ def _add_dataset_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--num-queries", type=int, default=50)
 
 
+def _build_spec_from_args(args) -> BuildSpec | None:
+    if args.build_mode == "serial":
+        return None
+    return BuildSpec(mode=args.build_mode, workers=args.build_workers)
+
+
 def _cmd_build(args) -> int:
     dataset = _dataset_from_args(args)
     graph = GraphConfig(
         algorithm=args.algorithm, max_degree=args.max_degree,
         build_ef=args.build_ef, seed=args.seed,
     )
-    print(f"building {args.framework} index over {dataset} ...")
+    spec = _build_spec_from_args(args)
+    cache = BuildCache(args.cache_dir) if args.cache_dir else None
+    print(f"building {args.framework} index over {dataset} "
+          f"[mode={args.build_mode}] ...")
+    hit = False
     if args.framework == "starling":
-        index = build_starling(
-            dataset,
-            StarlingConfig(graph=graph, shuffle=args.shuffle,
-                           pruning_ratio=args.pruning_ratio),
-        )
+        cfg = StarlingConfig(graph=graph, shuffle=args.shuffle,
+                             pruning_ratio=args.pruning_ratio)
+        if cache is not None:
+            index, hit = cache.build_starling(dataset, cfg, build_spec=spec)
+        else:
+            index = build_starling(dataset, cfg, build_spec=spec)
         save_starling(index, args.out)
         extra = f", OR(G)={index.layout_or:.3f}"
     else:
-        index = build_diskann(dataset, DiskANNConfig(graph=graph))
+        cfg = DiskANNConfig(graph=graph)
+        if cache is not None:
+            index, hit = cache.build_diskann(dataset, cfg, build_spec=spec)
+        else:
+            index = build_diskann(dataset, cfg, build_spec=spec)
         save_diskann(index, args.out)
         extra = ""
+    if hit:
+        extra += " (from build cache)"
     print(
         f"saved to {args.out}: n={index.num_vectors}, "
         f"disk={index.disk_bytes / 1e6:.1f} MB, "
@@ -261,6 +280,34 @@ def _cmd_bench_wallclock(args) -> int:
     return 0
 
 
+def _cmd_bench_build(args) -> int:
+    """Measure serial vs wave-batched index construction (wall clock)."""
+    from .bench.buildclock import run_buildclock
+
+    report = run_buildclock(
+        args.family,
+        n=args.n,
+        wave_size=args.wave_size,
+        workers=args.build_workers,
+        k=args.k,
+        repeats=args.repeats,
+        cache_dir=args.cache_dir,
+    )
+    path = report.write_json(args.out)
+    print(
+        f"buildclock [{report.family} n={report.num_vectors} "
+        f"wave={report.wave_size}]: "
+        f"vamana {report.vamana_serial_s:.2f}s -> "
+        f"{report.vamana_batched_s:.2f}s ({report.vamana_speedup:.2f}x), "
+        f"nsg {report.nsg_serial_s:.2f}s -> "
+        f"{report.nsg_batched_s:.2f}s ({report.nsg_speedup:.2f}x), "
+        f"nsg_identical={report.nsg_identical}, "
+        f"recall gap {report.recall_gap:.3f}, "
+        f"cache_hit={report.cache_second_hit} -> {path}"
+    )
+    return 0
+
+
 def _cmd_bench(args) -> int:
     """Compact three-framework comparison, written as a markdown report."""
     from .baselines import SPANNConfig, build_spann
@@ -332,6 +379,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "kmeans", "none"))
     p.add_argument("--pruning-ratio", type=float, default=0.3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--build-mode", default="serial", choices=BUILD_MODES,
+                   help="construction strategy: 'serial' reproduces the "
+                        "classic loop bit for bit; the wave modes are "
+                        "seed-deterministic and faster")
+    p.add_argument("--build-workers", type=int, default=4,
+                   help="pool size for the processes build mode")
+    p.add_argument("--cache-dir", default=None,
+                   help="build-artifact cache directory; a repeat build "
+                        "with the same dataset/config/mode loads from it")
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser("info", help="print a persisted index's metadata")
@@ -386,6 +442,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--out", default="BENCH_wallclock.json")
     p.set_defaults(func=_cmd_bench_wallclock)
+
+    p = sub.add_parser(
+        "bench-build",
+        help="measure serial vs wave-batched build -> BENCH_build.json",
+    )
+    p.add_argument("--family", default="bigann",
+                   choices=("bigann", "deep", "ssnpp", "text2image"))
+    p.add_argument("--n", type=int, default=None,
+                   help="segment size (default: REPRO_BENCH_N)")
+    p.add_argument("--wave-size", type=int, default=64)
+    p.add_argument("--build-workers", type=int, default=4)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--repeats", type=int, default=1)
+    p.add_argument("--cache-dir", default=None,
+                   help="build-artifact cache directory for the cache leg "
+                        "(a temp dir by default)")
+    p.add_argument("--out", default="BENCH_build.json")
+    p.set_defaults(func=_cmd_bench_build)
     return parser
 
 

@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from ..buildspec import BuildSpec
 from ..engine.block_cache import CachedDiskGraph
 from ..engine.cache import build_hot_vertex_cache
 from ..engine.cost import ComputeSpec
@@ -47,12 +48,15 @@ from .segment import BuildTimings, DiskANNIndex, MemoryFootprint, StarlingIndex
 
 
 def _build_graph(
-    vectors: np.ndarray, metric, cfg: GraphConfig
+    vectors: np.ndarray, metric, cfg: GraphConfig,
+    spec: BuildSpec | None = None,
 ) -> tuple[AdjacencyGraph, int, HNSWIndex | None]:
     """Dispatch on the configured graph algorithm.
 
     Returns ``(graph, entry_point, hnsw_index_or_None)`` — the HNSW index is
     kept so its upper layers can serve as the navigation structure.
+    ``spec`` selects the wave-batched construction path for Vamana and NSG;
+    HNSW's insertion order is inherently sequential, so it ignores it.
     """
     if cfg.algorithm == "vamana":
         graph, entry = build_vamana(
@@ -61,6 +65,7 @@ def _build_graph(
                 max_degree=cfg.max_degree, build_ef=cfg.build_ef,
                 alpha=cfg.alpha, seed=cfg.seed,
             ),
+            spec=spec,
         )
         return graph, entry, None
     if cfg.algorithm == "nsg":
@@ -70,6 +75,7 @@ def _build_graph(
                 max_degree=cfg.max_degree, build_ef=cfg.build_ef,
                 seed=cfg.seed,
             ),
+            spec=spec,
         )
         return graph, entry, None
     index = build_hnsw(
@@ -121,16 +127,21 @@ def _shuffle(
     raise ValueError(f"unknown shuffler {shuffle!r}")
 
 
-def _build_quantizer(kind: str, pq_cfg, metric, vectors, seed: int):
-    """Instantiate the configured approximate router (PQ / OPQ / SQ8)."""
+def _build_quantizer(kind: str, pq_cfg, metric, vectors, seed: int,
+                     spec: BuildSpec | None = None):
+    """Instantiate the configured approximate router (PQ / OPQ / SQ8).
+
+    ``spec`` in ``processes`` mode trains PQ/OPQ sub-codebooks
+    concurrently; SQ8 training is a single pass and ignores it.
+    """
     if kind == "pq":
         return ProductQuantizer(
             pq_cfg.num_subspaces, pq_cfg.num_centroids, metric
-        ).fit_dataset(vectors, seed=seed)
+        ).fit_dataset(vectors, seed=seed, spec=spec)
     if kind == "opq":
         return OptimizedProductQuantizer(
             pq_cfg.num_subspaces, pq_cfg.num_centroids, metric
-        ).fit_dataset(vectors, seed=seed)
+        ).fit_dataset(vectors, seed=seed, spec=spec)
     if kind == "sq8":
         return ScalarQuantizer(metric).fit_dataset(vectors, seed=seed)
     raise ValueError(f"unknown quantizer {kind!r}")
@@ -143,6 +154,7 @@ def build_starling(
     path: str | os.PathLike | None = None,
     disk_spec: DiskSpec | None = None,
     compute_spec: ComputeSpec | None = None,
+    build_spec: BuildSpec | None = None,
 ) -> StarlingIndex:
     """Build a complete Starling index for one segment.
 
@@ -152,6 +164,8 @@ def build_starling(
         path: Optional backing file for the disk-resident graph.
         disk_spec: Disk latency model for simulated query time.
         compute_spec: Compute cost model.
+        build_spec: Build strategy (serial / wave-batched / process pool);
+            the default serial path is bit-identical to earlier releases.
     """
     config = config or StarlingConfig()
     vectors = dataset.vectors
@@ -159,7 +173,9 @@ def build_starling(
     timings = BuildTimings()
 
     t0 = time.perf_counter()
-    graph, entry, hnsw_index = _build_graph(vectors, metric, config.graph)
+    graph, entry, hnsw_index = _build_graph(
+        vectors, metric, config.graph, build_spec
+    )
     timings.disk_graph_s = time.perf_counter() - t0
 
     fmt = VertexFormat(
@@ -197,13 +213,15 @@ def build_starling(
 
     t0 = time.perf_counter()
     pq = _build_quantizer(config.quantizer, config.pq, metric, vectors,
-                          config.seed)
+                          config.seed, build_spec)
     timings.pq_s = time.perf_counter() - t0
 
+    t0 = time.perf_counter()
     disk_graph = build_disk_graph(
         vectors, graph.neighbor_lists(), layout, fmt,
         path=path, spec=disk_spec,
     )
+    timings.disk_write_s = time.perf_counter() - t0
     if config.block_cache_blocks > 0:
         disk_graph = CachedDiskGraph(disk_graph, config.block_cache_blocks)
     memory = MemoryFootprint(
@@ -225,6 +243,7 @@ def build_diskann(
     path: str | os.PathLike | None = None,
     disk_spec: DiskSpec | None = None,
     compute_spec: ComputeSpec | None = None,
+    build_spec: BuildSpec | None = None,
 ) -> DiskANNIndex:
     """Build the baseline DiskANN index for one segment."""
     config = config or DiskANNConfig()
@@ -233,7 +252,7 @@ def build_diskann(
     timings = BuildTimings()
 
     t0 = time.perf_counter()
-    graph, entry, _ = _build_graph(vectors, metric, config.graph)
+    graph, entry, _ = _build_graph(vectors, metric, config.graph, build_spec)
     timings.disk_graph_s = time.perf_counter() - t0
 
     fmt = VertexFormat(
@@ -257,13 +276,15 @@ def build_diskann(
 
     t0 = time.perf_counter()
     pq = _build_quantizer(config.quantizer, config.pq, metric, vectors,
-                          config.seed)
+                          config.seed, build_spec)
     timings.pq_s = time.perf_counter() - t0
 
+    t0 = time.perf_counter()
     disk_graph = build_disk_graph(
         vectors, graph.neighbor_lists(), layout, fmt,
         path=path, spec=disk_spec,
     )
+    timings.disk_write_s = time.perf_counter() - t0
     if config.block_cache_blocks > 0:
         disk_graph = CachedDiskGraph(disk_graph, config.block_cache_blocks)
     memory = MemoryFootprint(

@@ -39,12 +39,13 @@ class BuildTimings:
     memory_graph_s: float = 0.0  # T_memory_graph (Starling only)
     hot_cache_s: float = 0.0  # T_hot (DiskANN only)
     pq_s: float = 0.0
+    disk_write_s: float = 0.0  # serialising blocks to the disk file
 
     @property
     def total_s(self) -> float:
         return (
             self.disk_graph_s + self.shuffle_s + self.memory_graph_s
-            + self.hot_cache_s + self.pq_s
+            + self.hot_cache_s + self.pq_s + self.disk_write_s
         )
 
 

@@ -29,6 +29,12 @@ from .navigation import (
 from .nsg import NSGParams, build_nsg, mrng_select
 from .search import SearchTrace, greedy_search
 from .vamana import VamanaParams, build_vamana, medoid, robust_prune
+from .wavebuild import (
+    build_nsg_waves,
+    build_vamana_waves,
+    robust_prune_wave,
+    wave_greedy_search,
+)
 
 __all__ = [
     "AdjacencyGraph",
@@ -52,7 +58,9 @@ __all__ = [
     "build_hnsw",
     "build_navigation_graph",
     "build_nsg",
+    "build_nsg_waves",
     "build_vamana",
+    "build_vamana_waves",
     "exact_knn_graph",
     "from_neighbor_lists",
     "greedy_search",
@@ -63,5 +71,7 @@ __all__ = [
     "nn_descent_knn_graph",
     "random_regular_graph",
     "robust_prune",
+    "robust_prune_wave",
     "save_graph",
+    "wave_greedy_search",
 ]

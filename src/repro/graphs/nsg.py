@@ -14,10 +14,14 @@ One of the three graph algorithms Starling supports as its disk-based graph
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..vectors.metrics import Metric, get_metric
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..buildspec import BuildSpec
 from .adjacency import AdjacencyGraph
 from .knn import knn_graph
 from .search import greedy_search
@@ -76,10 +80,21 @@ def build_nsg(
     vectors: np.ndarray,
     metric: Metric | str = "l2",
     params: NSGParams | None = None,
+    *,
+    spec: "BuildSpec | None" = None,
 ) -> tuple[AdjacencyGraph, int]:
-    """Build an NSG; returns ``(graph, navigating_node)``."""
-    metric = get_metric(metric)
+    """Build an NSG; returns ``(graph, navigating_node)``.
+
+    ``spec`` selects the build strategy.  NSG's searches run over the
+    static kNN base graph, so the wave-batched modes produce a graph
+    bit-identical to this serial loop — only faster.
+    """
     params = params or NSGParams()
+    if spec is not None and spec.parallel:
+        from .wavebuild import build_nsg_waves
+
+        return build_nsg_waves(vectors, metric, params, spec)
+    metric = get_metric(metric)
     n = vectors.shape[0]
     if n < 2:
         raise ValueError("need at least two vectors")
@@ -123,8 +138,21 @@ def _ensure_connectivity(
     Repeatedly finds a vertex not reachable from the navigating node, searches
     for its nearest reachable vertex, and adds an edge from that vertex (making
     room by dropping its farthest neighbour if full).
+
+    The drop-farthest rule alone can livelock: grafting u may evict the edge
+    keeping w reachable, and re-grafting w may evict u's edge again, forever.
+    First-time grafts keep that classic rule.  A vertex that comes back after
+    an earlier graft is re-attached without dropping — at its nearest
+    reachable vertex with spare capacity — and if every anchor is full, the
+    replacement edge is protected from future drops.  Every iteration then
+    either spends a first-time graft (≤ n), grows the edge count, or grows
+    the protected set, so the loop terminates.
     """
     n = graph.num_vertices
+    if n <= 1:
+        return
+    grafted = np.zeros(n, dtype=bool)
+    protected: set[tuple[int, int]] = set()
     while True:
         reachable = graph.reachable_from(nav)
         missing = np.flatnonzero(~reachable)
@@ -133,13 +161,31 @@ def _ensure_connectivity(
         u = int(missing[0])
         reach_ids = np.flatnonzero(reachable)
         d = metric.distances(vectors[u], vectors[reach_ids])
+        if grafted[u]:
+            # A later drop disconnected u again: attach without dropping.
+            attached = False
+            for a in reach_ids[np.argsort(d, kind="stable")]:
+                if graph.add_edge(int(a), u):
+                    protected.add((int(a), u))
+                    attached = True
+                    break
+            if attached:
+                continue
+            # All reachable anchors full: fall through to drop-farthest,
+            # but protect the new edge so the eviction cycle cannot recur.
+            protected.add((int(reach_ids[np.argmin(d)]), u))
+        grafted[u] = True
         anchor = int(reach_ids[np.argmin(d)])
         if not graph.add_edge(anchor, u):
             nbrs = graph.neighbors(anchor).astype(np.int64)
             nd = metric.distances(vectors[anchor], vectors[nbrs])
+            droppable = np.asarray(
+                [(anchor, int(v)) not in protected for v in nbrs]
+            )
+            if not droppable.any():  # pragma: no cover - extreme corner
+                droppable[:] = True
+            nd = np.where(droppable, nd, -np.inf)
             drop = int(np.argmax(nd))
             new = np.delete(nbrs, drop)
             graph.set_neighbors(anchor, np.append(new, u))
         # Loop: attaching u may make a whole unreachable component reachable.
-        if n <= 1:
-            return

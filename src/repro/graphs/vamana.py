@@ -14,12 +14,16 @@ Vamana is the paper's default disk-based graph algorithm (§6.1,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..vectors.metrics import Metric, get_metric
 from .adjacency import AdjacencyGraph, random_regular_graph
 from .search import greedy_search
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..buildspec import BuildSpec
 
 
 @dataclass(frozen=True)
@@ -105,10 +109,22 @@ def build_vamana(
     vectors: np.ndarray,
     metric: Metric | str = "l2",
     params: VamanaParams | None = None,
+    *,
+    spec: "BuildSpec | None" = None,
 ) -> tuple[AdjacencyGraph, int]:
-    """Build a Vamana graph; returns ``(graph, medoid_entry_point)``."""
-    metric = get_metric(metric)
+    """Build a Vamana graph; returns ``(graph, medoid_entry_point)``.
+
+    ``spec`` selects the build strategy (:class:`~repro.buildspec.BuildSpec`).
+    ``None`` or ``serial`` mode runs the reference loop below, bit-identical
+    to builds that predate the spec; the parallel modes dispatch to the
+    wave-batched pipeline in :mod:`~repro.graphs.wavebuild`.
+    """
     params = params or VamanaParams()
+    if spec is not None and spec.parallel:
+        from .wavebuild import build_vamana_waves
+
+        return build_vamana_waves(vectors, metric, params, spec)
+    metric = get_metric(metric)
     n = vectors.shape[0]
     if n < 2:
         raise ValueError("need at least two vectors")

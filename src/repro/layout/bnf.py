@@ -32,6 +32,229 @@ class ShuffleReport:
     final_or: float = 0.0
 
 
+def bnf_place_reference(
+    neighbor_arrays: list[np.ndarray],
+    prev_assignment: np.ndarray,
+    vertex_order: np.ndarray,
+    eps: int,
+    num_blocks: int,
+) -> Layout:
+    """One BNF re-assignment sweep, the paper's per-vertex loop.
+
+    Kept as the executable specification: :func:`bnf_place` reproduces this
+    placement exactly (property-tested), block for block, member order for
+    member order.
+    """
+    fill = np.zeros(num_blocks, dtype=np.int64)
+    new_layout: Layout = [[] for _ in range(num_blocks)]
+    next_fresh = 0  # scan pointer over candidate fallback blocks
+
+    for u in vertex_order:
+        u = int(u)
+        nbrs = neighbor_arrays[u]
+        placed = False
+        if nbrs.size:
+            blocks = prev_assignment[nbrs]
+            counts = np.bincount(blocks, minlength=num_blocks)
+            # Candidate blocks in descending neighbour count (H, line 7).
+            cand = np.flatnonzero(counts)
+            for b in cand[np.argsort(-counts[cand], kind="stable")]:
+                if fill[b] < eps:
+                    new_layout[b].append(u)
+                    fill[b] += 1
+                    placed = True
+                    break
+        if not placed:
+            # All neighbour blocks full: take an empty block, falling
+            # back to the least-filled open block when none is empty.
+            while next_fresh < num_blocks and fill[next_fresh] > 0:
+                next_fresh += 1
+            if next_fresh < num_blocks:
+                b = next_fresh
+            else:
+                open_blocks = np.flatnonzero(fill < eps)
+                b = int(open_blocks[np.argmin(fill[open_blocks])])
+            new_layout[b].append(u)
+            fill[b] += 1
+    return new_layout
+
+
+def _preference_matrix(
+    neighbor_arrays: list[np.ndarray],
+    prev_assignment: np.ndarray,
+    num_blocks: int,
+) -> np.ndarray:
+    """Each vertex's candidate blocks, most-frequent first (H of Alg. 1).
+
+    One grouped scatter over every ``(vertex, neighbour_block)`` pair
+    replaces the per-vertex ``bincount``: count pairs with one
+    ``np.unique`` over composite keys, then order each vertex's row by
+    (-count, block id) — exactly the reference loop's stable descending
+    sort.  Rows are padded with -1.
+    """
+    n = len(neighbor_arrays)
+    degrees = np.fromiter(
+        (a.size for a in neighbor_arrays), dtype=np.int64, count=n
+    )
+    total = int(degrees.sum())
+    if total == 0:
+        return np.full((n, 1), -1, dtype=np.int64)
+    flat = np.concatenate([a for a in neighbor_arrays if a.size])
+    owner = np.repeat(np.arange(n), degrees)
+    keys = owner * num_blocks + prev_assignment[flat.astype(np.int64)]
+    uniq, cnt = np.unique(keys, return_counts=True)
+    u = uniq // num_blocks
+    b = uniq % num_blocks
+    # Order by (u, -cnt, b): ``uniq`` is already sorted by (u, b), so a
+    # stable sort on a composite (u, -cnt) key keeps b ascending on ties.
+    maxc = int(cnt.max())
+    order = np.argsort(u * (maxc + 1) + (maxc - cnt), kind="stable")
+    u, b = u[order], b[order]
+    starts = np.flatnonzero(np.concatenate(([True], u[1:] != u[:-1])))
+    group_len = np.diff(np.append(starts, u.size))
+    rank = np.arange(u.size) - np.repeat(starts, group_len)
+    pref = np.full((n, int(rank.max()) + 1), -1, dtype=np.int64)
+    pref[u, rank] = b
+    return pref
+
+
+def bnf_place(
+    neighbor_arrays: list[np.ndarray],
+    prev_assignment: np.ndarray,
+    vertex_order: np.ndarray,
+    eps: int,
+    num_blocks: int,
+) -> Layout:
+    """Vectorized BNF re-assignment sweep; identical to the reference loop.
+
+    The placement is inherently sequential — each vertex sees the fills
+    left by its predecessors — but runs of it are conflict-free.  Rounds of
+    *prefix commits* exploit that: optimistically give every unplaced
+    vertex its top open choice under the committed fill, then commit the
+    longest prefix of ``vertex_order`` along which the optimism is provably
+    serial-exact — up to (exclusive) the first vertex that either
+    overflows its chosen block's remaining capacity or finds no open
+    candidate at all (the fallback path).  The vertex at the cut is placed
+    with the reference rules, and the sweep repeats on the suffix.
+
+    Why the prefix is exact: a committed vertex's serial fill differs from
+    the committed fill only by the choices of suffix vertices before it;
+    blocks earlier in its preference list were already full at round start
+    and stay full, and its chosen block cannot have filled in between —
+    that would make some earlier vertex the block's over-capacity chooser,
+    moving the cut before it.
+    """
+    n = len(neighbor_arrays)
+    pref = _preference_matrix(neighbor_arrays, prev_assignment, num_blocks)
+    order = np.asarray(vertex_order, dtype=np.int64)
+    fill = np.zeros(num_blocks, dtype=np.int64)
+    block_of = np.full(n, -1, dtype=np.int64)
+    # Per-position optimistic choice, maintained incrementally: blocks only
+    # ever close (fill never decreases), so a vertex's choice is stale
+    # exactly when its chosen block has closed since it was computed.
+    choice = np.full(n, -1, dtype=np.int64)
+    has = np.zeros(n, dtype=bool)
+    next_fresh = 0
+    pos = 0
+
+    def refresh(positions: np.ndarray) -> None:
+        rows = pref[order[positions]]
+        ok = (rows >= 0) & (fill < eps)[rows]
+        first = np.argmax(ok, axis=1)
+        idx = np.arange(positions.size)
+        hit = ok[idx, first]
+        has[positions] = hit
+        choice[positions] = np.where(hit, rows[idx, first], -1)
+
+    refresh(np.arange(n))
+    chunk = 1024
+    while pos < n:
+        # Work one chunk at a time: every round is O(chunk), independent of
+        # the suffix length.  Overflows past the chunk boundary are caught
+        # when their own chunk is processed, against the updated fills.
+        end = min(pos + chunk, n)
+        m = end - pos
+        # Lazy staleness repair: refresh only chunk entries whose chosen
+        # block has closed since their choice was computed.
+        closed = fill >= eps
+        stale_rel = np.flatnonzero(has[pos:end] & closed[choice[pos:end]])
+        if stale_rel.size:
+            refresh(pos + stale_rel)
+        rem_has = has[pos:end]
+        rem_choice = choice[pos:end]
+
+        # First fallback vertex: no open candidate block at all.
+        no_choice = np.flatnonzero(~rem_has)
+        cut = int(no_choice[0]) if no_choice.size else m
+        # First capacity overflow: within each chosen block, choosers
+        # beyond its remaining capacity diverge from the serial sweep.
+        # Only "risky" blocks — more choosers than capacity left — need
+        # the rank computation.
+        capacity = eps - fill
+        valid = np.flatnonzero(rem_has)
+        chosen = rem_choice[valid]
+        risky = np.bincount(chosen, minlength=num_blocks) > capacity
+        if risky.any():
+            in_risk = risky[chosen]
+            risk_pos = valid[in_risk]
+            risk_blk = chosen[in_risk]
+            grouped = np.argsort(risk_blk, kind="stable")
+            blk_sorted = risk_blk[grouped]
+            starts = np.flatnonzero(
+                np.concatenate(([True], blk_sorted[1:] != blk_sorted[:-1]))
+            )
+            group_len = np.diff(np.append(starts, blk_sorted.size))
+            rank = np.arange(blk_sorted.size) - np.repeat(starts, group_len)
+            over = rank >= capacity[blk_sorted]
+            if over.any():
+                cut = min(cut, int(risk_pos[grouped[over]].min()))
+
+        if cut > 0:
+            block_of[order[pos : pos + cut]] = rem_choice[:cut]
+            fill += np.bincount(rem_choice[:cut], minlength=num_blocks)
+            pos += cut
+        if pos < n and cut < m:
+            # Place the conflicting vertex with the reference rules.
+            u = int(order[pos])
+            placed = False
+            for b in pref[u]:
+                b = int(b)
+                if b < 0:
+                    break
+                if fill[b] < eps:
+                    block_of[u] = b
+                    fill[b] += 1
+                    placed = True
+                    break
+            if not placed:
+                while next_fresh < num_blocks and fill[next_fresh] > 0:
+                    next_fresh += 1
+                if next_fresh < num_blocks:
+                    b = next_fresh
+                else:
+                    open_blocks = np.flatnonzero(fill < eps)
+                    b = int(open_blocks[np.argmin(fill[open_blocks])])
+                block_of[u] = int(b)
+                fill[int(b)] += 1
+            pos += 1
+
+    # Assemble member lists in placement (= vertex_order) order.
+    order_blocks = block_of[order]
+    grouped = np.argsort(order_blocks, kind="stable")
+    members = order[grouped]
+    blocks_sorted = order_blocks[grouped]
+    layout: Layout = [[] for _ in range(num_blocks)]
+    starts = np.flatnonzero(
+        np.concatenate(([True], blocks_sorted[1:] != blocks_sorted[:-1]))
+    )
+    ends = np.append(starts[1:], blocks_sorted.size)
+    for j in range(starts.size):
+        layout[int(blocks_sorted[starts[j]])] = members[
+            starts[j] : ends[j]
+        ].tolist()
+    return layout
+
+
 def bnf_layout(
     graph: AdjacencyGraph,
     vertices_per_block: int,
@@ -79,38 +302,9 @@ def bnf_layout(
     for _ in range(max_iterations):
         iterations_run += 1
         prev_assignment = assignment_from_layout(layout, n)
-        fill = np.zeros(num_blocks, dtype=np.int64)
-        new_layout: Layout = [[] for _ in range(num_blocks)]
-        next_fresh = 0  # scan pointer over candidate fallback blocks
-
-        for u in vertex_order:
-            u = int(u)
-            nbrs = neighbor_arrays[u]
-            placed = False
-            if nbrs.size:
-                blocks = prev_assignment[nbrs]
-                counts = np.bincount(blocks, minlength=num_blocks)
-                # Candidate blocks in descending neighbour count (H, line 7).
-                cand = np.flatnonzero(counts)
-                for b in cand[np.argsort(-counts[cand], kind="stable")]:
-                    if fill[b] < eps:
-                        new_layout[b].append(u)
-                        fill[b] += 1
-                        placed = True
-                        break
-            if not placed:
-                # All neighbour blocks full: take an empty block, falling
-                # back to the least-filled open block when none is empty.
-                while next_fresh < num_blocks and fill[next_fresh] > 0:
-                    next_fresh += 1
-                if next_fresh < num_blocks:
-                    b = next_fresh
-                else:
-                    open_blocks = np.flatnonzero(fill < eps)
-                    b = int(open_blocks[np.argmin(fill[open_blocks])])
-                new_layout[b].append(u)
-                fill[b] += 1
-
+        new_layout = bnf_place(
+            neighbor_arrays, prev_assignment, vertex_order, eps, num_blocks
+        )
         new_or = overlap_ratio(graph, new_layout)
         layout = new_layout
         history.append(new_or)

@@ -68,6 +68,27 @@ def gp1_hierarchical_clustering_layout(
     return _repack(layout, vertices_per_block)
 
 
+def _undirected_neighbor_arrays(graph: AdjacencyGraph) -> list[np.ndarray]:
+    """Symmetrised, deduplicated neighbour lists, one sorted array per vertex.
+
+    A single edge-list symmetrise plus one ``np.unique`` over composite
+    (u, v) keys replaces the per-edge Python set construction.
+    """
+    n = graph.num_vertices
+    nbr_lists = [a.astype(np.int64) for a in graph.neighbor_lists()]
+    sizes = np.fromiter((a.size for a in nbr_lists), dtype=np.int64, count=n)
+    if sizes.sum() == 0:
+        return [np.empty(0, dtype=np.int64) for _ in range(n)]
+    src = np.repeat(np.arange(n, dtype=np.int64), sizes)
+    dst = np.concatenate([a for a in nbr_lists if a.size])
+    keys = np.unique(
+        np.concatenate([src * n + dst, dst * n + src])
+    )
+    u, v = keys // n, keys % n
+    starts = np.searchsorted(u, np.arange(n + 1))
+    return [v[starts[i] : starts[i + 1]] for i in range(n)]
+
+
 def gp2_greedy_growing_layout(
     graph: AdjacencyGraph,
     vertices_per_block: int,
@@ -83,12 +104,7 @@ def gp2_greedy_growing_layout(
     n = graph.num_vertices
     rng = np.random.default_rng(seed)
     assigned = np.zeros(n, dtype=bool)
-    undirected: list[set[int]] = [set() for _ in range(n)]
-    for u in range(n):
-        for v in graph.neighbors(u):
-            v = int(v)
-            undirected[u].add(v)
-            undirected[v].add(u)
+    undirected = _undirected_neighbor_arrays(graph)
 
     order = rng.permutation(n)
     pointer = 0
@@ -104,6 +120,7 @@ def gp2_greedy_growing_layout(
         # connection count into the growing block for frontier vertices
         gain: dict[int, int] = {}
         for v in undirected[seed_vertex]:
+            v = int(v)
             if not assigned[v]:
                 gain[v] = gain.get(v, 0) + 1
         while len(block) < vertices_per_block and gain:
@@ -114,6 +131,7 @@ def gp2_greedy_growing_layout(
             block.append(best)
             assigned[best] = True
             for v in undirected[best]:
+                v = int(v)
                 if not assigned[v]:
                     gain[v] = gain.get(v, 0) + 1
         layout.append(block)

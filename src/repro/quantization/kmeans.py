@@ -35,8 +35,11 @@ def _kmeanspp_seeds(
     for i in range(1, k):
         total = float(closest.sum())
         if total <= 0.0:
-            # All remaining points coincide with an existing seed.
-            seeds[i:] = rng.integers(n, size=k - i)
+            # All remaining points coincide with an existing seed: fill
+            # the rest with distinct non-seed points so no centroid index
+            # is duplicated (k <= n is validated by the callers).
+            pool = np.setdiff1d(np.arange(n), seeds[:i])
+            seeds[i:] = rng.choice(pool, size=k - i, replace=False)
             break
         probs = closest / total
         seeds[i] = rng.choice(n, p=probs)

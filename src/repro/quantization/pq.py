@@ -11,12 +11,64 @@ inner-product lookup tables (negated, so smaller is still better).
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..vectors.metrics import Metric, get_metric, pairwise_l2_squared
 from .kmeans import kmeans
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..buildspec import BuildSpec
+
+# Training sample shared with forked workers by inheritance (same pattern
+# as engine.batch); each subspace's k-means is seeded independently, so
+# results are identical for any worker count — and to the serial loop.
+_TRAIN_STATE: tuple | None = None
+
+
+def _forked_subspace(args: tuple[int, int, int, int]) -> np.ndarray:
+    parts = _TRAIN_STATE
+    m, num_centroids, seed, max_iters = args
+    return kmeans(
+        parts[:, m, :], num_centroids, seed=seed + m, max_iters=max_iters
+    ).centroids
+
+
+def _train_subspaces(
+    parts: np.ndarray,
+    num_subspaces: int,
+    num_centroids: int,
+    seed: int,
+    max_iters: int,
+    spec: "BuildSpec | None",
+) -> list[np.ndarray]:
+    """Train the M independent sub-codebooks, optionally in a process pool."""
+    tasks = [(m, num_centroids, seed, max_iters) for m in range(num_subspaces)]
+    if (
+        spec is not None
+        and spec.effective_mode() == "processes"
+        and num_subspaces > 1
+    ):
+        global _TRAIN_STATE
+        _TRAIN_STATE = parts
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(spec.workers, num_subspaces), mp_context=context
+            ) as pool:
+                return list(pool.map(_forked_subspace, tasks))
+        finally:
+            _TRAIN_STATE = None
+    return [
+        kmeans(
+            parts[:, m, :], num_centroids, seed=seed + m, max_iters=max_iters
+        ).centroids
+        for m, num_centroids, seed, max_iters in tasks
+    ]
 
 
 @dataclass
@@ -92,8 +144,14 @@ class ProductQuantizer:
         seed: int = 0,
         max_iters: int = 15,
         train_size: int = 20_000,
+        spec: "BuildSpec | None" = None,
     ) -> "ProductQuantizer":
-        """Fit per-subspace codebooks on (a sample of) ``vectors``."""
+        """Fit per-subspace codebooks on (a sample of) ``vectors``.
+
+        ``spec`` in ``processes`` mode trains the M sub-codebooks
+        concurrently; every mode produces identical centroids (each
+        subspace's k-means is independently seeded with ``seed + m``).
+        """
         vectors = np.atleast_2d(vectors)
         n, dim = vectors.shape
         if n < 2:
@@ -116,12 +174,11 @@ class ProductQuantizer:
         else:
             sample = vectors
         parts = self._split(sample)
-        for m in range(self.num_subspaces):
-            result = kmeans(
-                parts[:, m, :], self.num_centroids, seed=seed + m,
-                max_iters=max_iters,
-            )
-            self.codebook.centroids[m] = result.centroids
+        centroids = _train_subspaces(
+            parts, self.num_subspaces, self.num_centroids, seed, max_iters, spec
+        )
+        for m, cents in enumerate(centroids):
+            self.codebook.centroids[m] = cents
         return self
 
     def encode(self, vectors: np.ndarray) -> np.ndarray:
@@ -135,9 +192,12 @@ class ProductQuantizer:
             codes[:, m] = d.argmin(axis=1)
         return codes
 
-    def fit_dataset(self, vectors: np.ndarray, *, seed: int = 0) -> "ProductQuantizer":
+    def fit_dataset(
+        self, vectors: np.ndarray, *, seed: int = 0,
+        spec: "BuildSpec | None" = None,
+    ) -> "ProductQuantizer":
         """Train on the dataset and store its codes for later lookups."""
-        self.train(vectors, seed=seed)
+        self.train(vectors, seed=seed, spec=spec)
         self.codes = self.encode(vectors)
         return self
 

@@ -109,6 +109,22 @@ class Metric:
             return np.einsum("ij,ij->i", diff, diff)
         return -(x @ q)
 
+    def rowwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Row-paired distances ``d(a[i], b[i])`` (1-D result).
+
+        The kernel behind the wave-batched index builders: one call scores
+        every (query, neighbour) pair of a whole wave.  For L2 each row's
+        fused einsum reduction is computed independently, so the result is
+        bit-identical to :meth:`distances` applied row by row — the same
+        row-consistency the batched query executor relies on.
+        """
+        x = _as_float(a)
+        y = _as_float(b)
+        if self.name == "l2":
+            diff = x - y
+            return np.einsum("ij,ij->i", diff, diff)
+        return -np.einsum("ij,ij->i", x, y)
+
     def pairwise(self, queries: np.ndarray, base: np.ndarray) -> np.ndarray:
         """Full distance matrix of shape ``(len(queries), len(base))``."""
         if self.name == "l2":

@@ -20,8 +20,10 @@ class TestStarlingBuild:
         assert t.memory_graph_s > 0
         assert t.pq_s > 0
         assert t.hot_cache_s == 0  # Starling has no hot cache
+        assert t.disk_write_s > 0
         assert t.total_s == pytest.approx(
             t.disk_graph_s + t.shuffle_s + t.memory_graph_s + t.pq_s
+            + t.disk_write_s
         )
 
     def test_memory_footprint_decomposition(self, starling_index):
