@@ -29,7 +29,16 @@ from repro.core import (
 )
 from repro.engine import RetryPolicy
 from repro.metrics import mean_recall_at_k
-from repro.storage import FaultError, FaultSpec
+from repro.storage import (
+    CrashInjector,
+    FaultError,
+    FaultSpec,
+    SimulatedCrash,
+    WriteFaultSpec,
+    fsck,
+    load_starling,
+    save_starling,
+)
 from repro.vectors import knn
 
 FAMILY = "bigann"
@@ -141,6 +150,61 @@ def test_bad_blocks_degrade_gracefully():
     assert rows[-1][3] > 0.0  # vertices were actually lost
     assert rows[-1][4] > 0.0  # ...and the results say so
     assert rows[0][4] == 0.0  # clean run is never flagged
+
+
+def test_persist_under_torn_writes_fsck_restores_recall(tmp_path, benchmark):
+    """Write-path chaos: a torn write mid-save must cost zero recall.
+
+    A clean save establishes the baseline generation; a re-save is then torn
+    at every ``write:`` op of the commit protocol.  After each crash, fsck
+    repairs the directory and the loaded index must answer with recall
+    identical to the clean save — the old generation survives bit-for-bit.
+    """
+    ds = dataset(FAMILY)
+    truth = knn_truth(FAMILY, k=K)
+    idx = build_starling(ds, StarlingConfig(graph=default_graph_config()))
+
+    d = tmp_path / "idx"
+    save_starling(idx, d)
+    clean = load_starling(d)
+    clean_ids = [clean.search(q, K, GAMMA).ids for q in ds.queries]
+    clean_recall = mean_recall_at_k(clean_ids, truth, K)
+
+    recorder = CrashInjector()
+    save_starling(idx, tmp_path / "dry", injector=recorder)
+    write_ops = [
+        i for i, op in enumerate(recorder.ops) if op.startswith("write:")
+    ]
+
+    rows = []
+    for op in write_ops:
+        spec = WriteFaultSpec(crash_op=op, mode="torn", seed=17 + op)
+        try:
+            save_starling(idx, d, injector=CrashInjector(spec))
+            crashed = False
+        except SimulatedCrash:
+            crashed = True
+        report = fsck(d)
+        assert report.exit_code <= 1, report.to_dict()
+        loaded = load_starling(d)
+        ids = [loaded.search(q, K, GAMMA).ids for q in ds.queries]
+        recall = mean_recall_at_k(ids, truth, K)
+        rows.append([recorder.ops[op], crashed, report.status, recall])
+
+    print()
+    print(format_table(
+        "Extension — torn writes during save vs. fsck repair",
+        ["torn_at", "crashed", "fsck", "recall@10"],
+        rows,
+    ))
+    # The acceptance bar: chaos on the write path never costs recall.
+    for torn_at, _, _, recall in rows:
+        assert recall == clean_recall, (
+            f"recall drifted after torn write at {torn_at}: "
+            f"{recall} != {clean_recall}"
+        )
+
+    benchmark(lambda: fsck(d).exit_code)
 
 
 def test_coordinator_quarantines_failing_segment():

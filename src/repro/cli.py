@@ -33,7 +33,15 @@ from .core import (
     build_starling,
 )
 from .metrics import mean_recall_at_k
-from .storage import load_diskann, load_starling, save_diskann, save_starling
+from .storage import (
+    IndexLoadError,
+    fsck,
+    load_diskann,
+    load_starling,
+    read_index_meta,
+    save_diskann,
+    save_starling,
+)
 from .vectors import (
     VectorDataset,
     by_name,
@@ -137,17 +145,83 @@ def _cmd_build(args) -> int:
     return 0
 
 
-def _load_index(path: str):
-    meta = json.loads((Path(path) / "meta.json").read_text())
+def _load_index(path: str, *, strict: bool = False):
+    meta = read_index_meta(path)
     if meta.get("kind") == "starling":
-        return load_starling(path)
-    return load_diskann(path)
+        return load_starling(path, strict=strict)
+    return load_diskann(path, strict=strict)
+
+
+def _load_index_or_exit(args):
+    """Load the index named by ``args.index``; damage is a one-line exit 2.
+
+    With ``--repair``, a failed load triggers one fsck pass (rollback /
+    re-derivation) and a retry before giving up.
+    """
+    strict = getattr(args, "strict", False)
+    repair = getattr(args, "repair", False)
+    try:
+        return _load_index(args.index, strict=strict)
+    except IndexLoadError as exc:
+        if repair:
+            report = fsck(args.index, strict=strict)
+            if report.exit_code == 1:
+                print(
+                    f"repaired {args.index}: {'; '.join(report.actions)}",
+                    file=sys.stderr,
+                )
+                try:
+                    return _load_index(args.index, strict=strict)
+                except IndexLoadError as exc2:
+                    exc = exc2
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _add_load_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--strict", action="store_true",
+                   help="verify SHA-256 digests at load, not just CRC32")
+    p.add_argument("--repair", action="store_true",
+                   help="on load failure, run fsck once and retry")
 
 
 def _cmd_info(args) -> int:
-    meta = json.loads((Path(args.index) / "meta.json").read_text())
+    try:
+        meta = read_index_meta(args.index)
+    except IndexLoadError as exc:
+        if getattr(args, "repair", False):
+            report = fsck(args.index, strict=args.strict)
+            if report.exit_code == 1:
+                print(
+                    f"repaired {args.index}: {'; '.join(report.actions)}",
+                    file=sys.stderr,
+                )
+                meta = read_index_meta(args.index)
+                print(json.dumps(meta, indent=2))
+                return 0
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(json.dumps(meta, indent=2))
     return 0
+
+
+def _cmd_fsck(args) -> int:
+    report = fsck(
+        args.directory, repair=not args.no_repair, strict=args.strict
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"{report.path}: {report.status}"
+              + (f" (kind={report.kind}, gen={report.generation})"
+                 if report.kind else ""))
+        for problem in report.problems:
+            print(f"  problem: {problem}")
+        for action in report.actions:
+            print(f"  action:  {action}")
+    if args.report:
+        report.write_json(args.report)
+    return report.exit_code
 
 
 def _cmd_gt(args) -> int:
@@ -218,7 +292,7 @@ def _add_chaos_args(p: argparse.ArgumentParser) -> None:
 
 
 def _cmd_search(args) -> int:
-    index = _load_index(args.index)
+    index = _load_index_or_exit(args)
     dataset = _dataset_from_args(args)
     truth = read_ground_truth(args.gt)[0] if args.gt else None
     _apply_chaos(index, args)
@@ -392,7 +466,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="print a persisted index's metadata")
     p.add_argument("--index", required=True)
+    _add_load_args(p)
     p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser(
+        "fsck",
+        help="verify and repair an index directory "
+             "(exit 0 clean / 1 repaired / 2 unrecoverable)",
+    )
+    p.add_argument("directory", help="index directory to scrub")
+    p.add_argument("--no-repair", action="store_true",
+                   help="detect and report only; change nothing on disk")
+    p.add_argument("--strict", action="store_true",
+                   help="verify SHA-256 digests in addition to CRC32")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON")
+    p.add_argument("--report", default=None,
+                   help="also write the JSON report to this file")
+    p.set_defaults(func=_cmd_fsck)
 
     p = sub.add_parser("gt", help="compute exact KNN ground truth")
     _add_dataset_args(p)
@@ -425,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "back to in-order batched execution)")
     p.add_argument("--workers", type=int, default=4,
                    help="pool size for the threads/processes exec modes")
+    _add_load_args(p)
     _add_chaos_args(p)
     p.set_defaults(func=_cmd_search)
 

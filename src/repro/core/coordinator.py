@@ -120,6 +120,9 @@ class SegmentCoordinator:
         self.error_counts = [0] * len(segments)
         #: lifetime failures per segment (never reset; ops visibility)
         self.total_errors = [0] * len(segments)
+        #: segments quarantined administratively (fsck found unrecoverable
+        #: damage) rather than by consecutive query failures
+        self._forced: set[int] = set()
 
     @property
     def num_segments(self) -> int:
@@ -128,7 +131,7 @@ class SegmentCoordinator:
     # -- segment health ------------------------------------------------------
 
     def is_quarantined(self, segment_index: int) -> bool:
-        return (
+        return segment_index in self._forced or (
             self.quarantine_threshold > 0
             and self.error_counts[segment_index] >= self.quarantine_threshold
         )
@@ -138,9 +141,28 @@ class SegmentCoordinator:
         """Indexes of currently quarantined segments."""
         return [i for i in range(self.num_segments) if self.is_quarantined(i)]
 
+    def quarantine_segment(self, segment_index: int) -> None:
+        """Administratively quarantine a segment (unrecoverable on-disk
+        damage found by fsck); it is skipped until rebuilt + reinstated."""
+        if not 0 <= segment_index < self.num_segments:
+            raise IndexError(f"segment index {segment_index} out of range")
+        self._forced.add(segment_index)
+
     def reinstate(self, segment_index: int) -> None:
-        """Clear a segment's consecutive-failure count (e.g. after repair)."""
+        """Clear a segment's quarantine (e.g. after repair or rebuild)."""
         self.error_counts[segment_index] = 0
+        self._forced.discard(segment_index)
+
+    def replace_segment(
+        self, segment_index: int, index, offset: int | None = None
+    ) -> None:
+        """Swap in a freshly rebuilt index for a segment and reinstate it."""
+        if not 0 <= segment_index < self.num_segments:
+            raise IndexError(f"segment index {segment_index} out of range")
+        self.segments[segment_index] = index
+        if offset is not None:
+            self.id_offsets[segment_index] = offset
+        self.reinstate(segment_index)
 
     # -- fan-out helpers -----------------------------------------------------
 

@@ -220,11 +220,17 @@ class UpdatableSegment:
 
     # -- merge ------------------------------------------------------------------------
 
-    def merge(self) -> None:
+    def merge(self, persist_to=None) -> None:
         """Fold dynamic data into a rebuilt static index (async in a real DB).
 
         Deleted vectors are dropped for good; the shuffled layout and
         navigation graph are rebuilt over the merged data (§7).
+
+        Args:
+            persist_to: Optional directory; when given, the merged segment
+                is re-persisted there atomically (a new manifest generation
+                via :func:`repro.storage.persist.save_updatable`), so a
+                crash mid-merge leaves the pre-merge generation loadable.
         """
         live_static = np.asarray(
             [vid for vid in self._static_ids.tolist()
@@ -265,3 +271,7 @@ class UpdatableSegment:
         self._dynamic_ids = []
         self._deleted = set()
         self.merges += 1
+        if persist_to is not None:
+            from ..storage.persist import save_updatable
+
+            save_updatable(self, persist_to)

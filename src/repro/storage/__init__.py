@@ -5,40 +5,68 @@ from .device import BlockDevice, DiskSpec, IOCounters, device_for_blocks
 from .disk_graph import DiskBlock, DiskGraph, build_disk_graph
 from .faults import (
     ChecksumError,
+    CrashInjector,
     FaultError,
     FaultInjector,
     FaultSpec,
     ReadFaultError,
+    SimulatedCrash,
+    WriteFaultSpec,
     ensure_fault_injection,
+)
+from .manifest import (
+    DigestMismatchError,
+    Manifest,
+    ManifestError,
+    read_manifest,
 )
 from .persist import (
     IndexLoadError,
+    index_files_dir,
     load_diskann,
     load_starling,
+    load_updatable,
+    read_index_meta,
     save_diskann,
     save_starling,
+    save_updatable,
 )
+from .repair import FsckReport, fsck, rebuild_segment
 
 __all__ = [
     "BlockDevice",
     "ChecksumError",
+    "CrashInjector",
+    "DigestMismatchError",
     "DiskBlock",
     "DiskGraph",
     "DiskSpec",
     "FaultError",
     "FaultInjector",
     "FaultSpec",
+    "FsckReport",
     "ID_DTYPE",
     "IOCounters",
     "IndexLoadError",
+    "Manifest",
+    "ManifestError",
     "ReadFaultError",
+    "SimulatedCrash",
     "VertexFormat",
+    "WriteFaultSpec",
     "block_checksum",
     "build_disk_graph",
     "device_for_blocks",
     "ensure_fault_injection",
+    "fsck",
+    "index_files_dir",
     "load_diskann",
     "load_starling",
+    "load_updatable",
+    "read_index_meta",
+    "read_manifest",
+    "rebuild_segment",
     "save_diskann",
     "save_starling",
+    "save_updatable",
 ]

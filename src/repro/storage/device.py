@@ -118,19 +118,32 @@ class BlockDevice:
     def closed(self) -> bool:
         return self._closed
 
+    def sync(self) -> None:
+        """Force file-backed writes down to the media (fsync); no-op in
+        memory mode.  Persistence calls this before committing a manifest
+        that vouches for the payload's durability."""
+        self._check_open()
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
     def close(self) -> None:
         """Close the device; idempotent for both backends.
 
-        File-backed writes are flushed to the OS before closing so the
-        backing file is complete on disk; the in-memory buffer is released.
+        File-backed writes are flushed and fsynced before closing so the
+        backing file is durably complete on disk; the in-memory buffer is
+        released.
         """
         if self._closed:
             return
-        self._closed = True
         if self._file is not None:
-            self._file.flush()
-            self._file.close()
-            self._file = None
+            try:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            finally:
+                self._file.close()
+                self._file = None
+        self._closed = True
         self._blocks = None
 
     def _check_open(self) -> None:

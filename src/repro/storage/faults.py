@@ -319,6 +319,146 @@ class FaultInjector:
         return extra
 
 
+class SimulatedCrash(FaultError):
+    """The saving process "dies" at an injected point.
+
+    Raised by :class:`CrashInjector` to model a crash mid-save: no cleanup
+    code runs past it (``abort()`` handlers deliberately re-raise it), so
+    whatever debris the commit protocol left at that instant is exactly what
+    a recovering process finds on disk.
+    """
+
+
+@dataclass(frozen=True)
+class WriteFaultSpec:
+    """Where and how a save dies (the write-path analogue of FaultSpec).
+
+    Attributes:
+        crash_op: Index into the save's operation sequence (as recorded by a
+            disarmed :class:`CrashInjector`) at which the fault fires; ``None``
+            records ops without ever crashing.
+        mode: ``"crash"`` dies immediately *before* the target op executes;
+            ``"torn"`` (write ops only) persists a prefix of the payload and
+            then dies; ``"lost_durability"`` (fsync ops only) silently skips
+            the fsync, lets the commit finish, then drops the unsynced bytes —
+            the classic missed-fsync-plus-power-loss, detectable only through
+            manifest digests.
+        torn_fraction: Fraction of the payload that reaches disk in ``torn``
+            mode (the exact byte offset is drawn deterministically from
+            ``seed`` within that prefix bound).
+        seed: Seeds the torn-offset draw; same spec → same torn bytes.
+    """
+
+    crash_op: int | None = None
+    mode: str = "crash"
+    torn_fraction: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("crash", "torn", "lost_durability"):
+            raise ValueError(f"unknown write-fault mode {self.mode!r}")
+        if not 0.0 <= self.torn_fraction <= 1.0:
+            raise ValueError("torn_fraction must be in [0, 1]")
+
+
+class CrashInjector:
+    """Deterministic write-path fault injection for atomic saves.
+
+    The persistence commit protocol reports every filesystem mutation —
+    file writes, fsyncs, the generation rename, the manifest replace — as a
+    labelled operation.  A disarmed injector (``spec=None`` or
+    ``crash_op=None``) just records the sequence in :attr:`ops`; an armed one
+    kills the save at exactly one operation, in one of three ways (see
+    :class:`WriteFaultSpec`).  Enumerating ``range(len(ops))`` therefore
+    crashes a save at *every* boundary, which is what the crash-consistency
+    harness does.
+    """
+
+    def __init__(self, spec: WriteFaultSpec | None = None) -> None:
+        self.spec = spec
+        self.ops: list[str] = []
+        self.crashed = False
+        self._rng = random.Random(spec.seed if spec else 0)
+        self._torn_pending: str | None = None
+        self._unsynced: list[str] = []
+
+    # -- enumeration helpers ----------------------------------------------
+
+    def write_op_indices(self) -> list[int]:
+        """Indices of ops eligible for ``torn`` mode."""
+        return [i for i, op in enumerate(self.ops) if op.startswith("write:")]
+
+    def fsync_op_indices(self) -> list[int]:
+        """Indices of ops eligible for ``lost_durability`` mode."""
+        return [i for i, op in enumerate(self.ops) if op.startswith("fsync:")]
+
+    # -- hooks called by the commit protocol ------------------------------
+
+    def _armed_at(self, index: int, mode: str) -> bool:
+        return (
+            self.spec is not None
+            and self.spec.crash_op == index
+            and self.spec.mode == mode
+        )
+
+    def checkpoint(self, label: str) -> None:
+        """Record one operation boundary; dies here in ``crash`` mode."""
+        self.ops.append(label)
+        if self._armed_at(len(self.ops) - 1, "crash"):
+            self.crashed = True
+            raise SimulatedCrash(
+                f"crash before op {len(self.ops) - 1} ({label})"
+            )
+
+    def filter_write(self, name: str, data: bytes) -> bytes:
+        """Possibly shorten the payload about to be written (torn write)."""
+        if self._armed_at(len(self.ops) - 1, "torn"):
+            bound = int(len(data) * self.spec.torn_fraction)
+            keep = self._rng.randint(0, bound) if bound > 0 else 0
+            self._torn_pending = name
+            return data[:keep]
+        return data
+
+    def after_write(self, name: str) -> None:
+        """A torn write is a crash mid-write: die once the prefix landed."""
+        if self._torn_pending == name:
+            self._torn_pending = None
+            self.crashed = True
+            raise SimulatedCrash(f"torn write of {name}")
+
+    def skip_fsync(self, name: str) -> bool:
+        """``lost_durability`` mode: pretend to fsync, remember the debt."""
+        if self._armed_at(len(self.ops) - 1, "lost_durability"):
+            self._unsynced.append(name)
+            return True
+        return False
+
+    def drop_unsynced(self, gen_dir, root) -> None:
+        """Model the power loss that makes a missed fsync matter.
+
+        Called after the pointer commit: every file whose fsync was skipped
+        loses the second half of its bytes (page cache that never reached
+        the media), then the process dies.  The directory now holds a
+        *committed* generation whose digests do not match — the case only
+        load-time verification and fsck can catch.
+        """
+        if not self._unsynced:
+            return
+        from pathlib import Path
+
+        for name in self._unsynced:
+            path = (
+                Path(root) / name if name == "MANIFEST.json"
+                else Path(gen_dir) / name
+            )
+            if path.is_file():
+                data = path.read_bytes()
+                path.write_bytes(data[: len(data) // 2])
+        self._unsynced = []
+        self.crashed = True
+        raise SimulatedCrash("power loss dropped unsynced writes")
+
+
 def base_disk_graph(disk_graph):
     """Unwrap cache layers down to the physical DiskGraph."""
     while hasattr(disk_graph, "inner"):

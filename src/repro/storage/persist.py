@@ -1,4 +1,4 @@
-"""Save and load built segment indexes.
+"""Save and load built segment indexes, crash-consistently.
 
 A built Starling index is expensive (graph construction dominates, Fig. 8),
 so production deployments build once and serve many times.  This module
@@ -11,6 +11,18 @@ persists everything a :class:`~repro.core.segment.StarlingIndex` or
     pq.npz         PQ codebook + short codes
     nav.npz        navigation graph (Starling) — sample, edges, entry point
     cache.npz      hot-vertex cache (DiskANN), if present
+
+Saves are atomic: the files above are staged, fsynced, and committed into a
+``gen-NNNNNN`` generation directory behind a ``MANIFEST.json`` pointer with
+per-file digests (see :mod:`repro.storage.manifest`); the previous generation
+is kept for rollback and a crash at any point leaves either the old or the
+new generation loadable — never a hybrid.  Loads verify the manifest digests
+before touching a byte of index data and raise typed
+:class:`IndexLoadError` subclasses on damage; ``repro-starling fsck`` (backed
+by :mod:`repro.storage.repair`) rolls back or re-derives what it can.
+
+Directories written by pre-manifest releases (files directly in the index
+directory, no ``MANIFEST.json``) still load through the legacy path.
 
 Loading never re-runs construction; the restored index answers queries with
 identical results and identical I/O counts.
@@ -33,33 +45,94 @@ from ..vectors.metrics import get_metric
 from .codec import VertexFormat
 from .device import BlockDevice, DiskSpec
 from .disk_graph import DiskGraph
+from .faults import CrashInjector, SimulatedCrash
+from .manifest import (
+    CommitTransaction,
+    DigestMismatchError,
+    IndexLoadError,
+    ManifestError,
+    npz_bytes,
+    read_manifest,
+    verify_generation,
+)
 
 _FORMAT_VERSION = 1
 
+__all__ = [
+    "IndexLoadError",
+    "index_files_dir",
+    "load_diskann",
+    "load_starling",
+    "load_updatable",
+    "read_index_meta",
+    "save_diskann",
+    "save_starling",
+    "save_updatable",
+]
 
-class IndexLoadError(ValueError):
-    """A persisted index directory is missing, truncated, or corrupt.
 
-    Subclasses :class:`ValueError` so callers that predate the typed error
-    keep working; new code should catch this instead of raw numpy/JSON
-    exceptions.
+def index_files_dir(directory: str | os.PathLike) -> Path:
+    """Resolve where an index directory's files live (no digest checks).
+
+    Manifest layouts resolve to the current generation directory; legacy
+    flat layouts resolve to the directory itself.  Raises
+    :class:`IndexLoadError`/:class:`ManifestError` when there is no index or
+    the pointer is corrupt or stale.
     """
+    return _resolve_files_dir(Path(directory), verify=False)
 
 
-def _read_meta(directory: Path, expected_kind: str) -> dict:
-    """Validate and parse ``meta.json``, raising :class:`IndexLoadError`."""
+def _resolve_files_dir(
+    directory: Path, *, verify: bool = True, strict: bool = False
+) -> Path:
     if not directory.is_dir():
         raise IndexLoadError(f"{directory} is not an index directory")
-    meta_path = directory / "meta.json"
+    manifest = read_manifest(directory)  # ManifestError if corrupt
+    if manifest is None:
+        if (directory / "meta.json").is_file():
+            return directory  # legacy flat layout, no digests to verify
+        raise IndexLoadError(
+            f"{directory} has no meta.json or MANIFEST.json"
+        )
+    gen_dir = directory / manifest.directory
+    if not gen_dir.is_dir():
+        raise ManifestError(
+            f"stale manifest in {directory}: generation directory "
+            f"{manifest.directory} is missing"
+        )
+    if verify:
+        problems = verify_generation(gen_dir, manifest, strict=strict)
+        if problems:
+            raise DigestMismatchError(
+                f"index directory {directory} fails manifest verification: "
+                + "; ".join(problems)
+            )
+    return gen_dir
+
+
+def read_index_meta(directory: str | os.PathLike) -> dict:
+    """Read ``meta.json`` from either layout (for tooling like ``info``)."""
+    files_dir = index_files_dir(directory)
+    try:
+        return json.loads((files_dir / "meta.json").read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IndexLoadError(
+            f"unreadable meta.json in {files_dir}: {exc}"
+        ) from exc
+
+
+def _read_meta(files_dir: Path, expected_kind: str) -> dict:
+    """Validate and parse ``meta.json``, raising :class:`IndexLoadError`."""
+    meta_path = files_dir / "meta.json"
     if not meta_path.is_file():
-        raise IndexLoadError(f"{directory} has no meta.json")
+        raise IndexLoadError(f"{files_dir} has no meta.json")
     try:
         meta = json.loads(meta_path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
-        raise IndexLoadError(f"unreadable meta.json in {directory}: {exc}") from exc
+        raise IndexLoadError(f"unreadable meta.json in {files_dir}: {exc}") from exc
     if meta.get("kind") != expected_kind:
         raise IndexLoadError(
-            f"{directory} does not hold a "
+            f"{files_dir} does not hold a "
             f"{'Starling' if expected_kind == 'starling' else 'DiskANN'} index"
         )
     if meta.get("format_version") != _FORMAT_VERSION:
@@ -73,7 +146,7 @@ def _read_meta(directory: Path, expected_kind: str) -> dict:
     ]
     if missing:
         raise IndexLoadError(
-            f"meta.json in {directory} is missing keys: {', '.join(missing)}"
+            f"meta.json in {files_dir} is missing keys: {', '.join(missing)}"
         )
     return meta
 
@@ -105,21 +178,43 @@ def _unpack_ragged(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
     ]
 
 
-def _save_common(index, directory: Path) -> dict:
-    """Write the pieces shared by both index flavours; returns meta dict."""
+def _atomic_commit(
+    directory: str | os.PathLike,
+    kind: str,
+    files: dict[str, bytes],
+    injector: CrashInjector | None,
+) -> None:
+    """Commit serialized files as one new generation; all-or-nothing.
+
+    An ordinary exception aborts the transaction and leaves the destination
+    exactly as it was (no partial files leak into the live directory); a
+    :class:`SimulatedCrash` re-raises *without* cleanup, because debris is
+    precisely what the crash-consistency harness wants to find.
+    """
+    txn = CommitTransaction(Path(directory), kind, injector=injector)
+    try:
+        for name, data in files.items():
+            txn.write_file(name, data)
+        txn.commit()
+    except SimulatedCrash:
+        raise
+    except BaseException:
+        txn.abort()
+        raise
+
+
+def _common_files(index) -> tuple[dict[str, bytes], dict]:
+    """Serialize the pieces shared by both index flavours.
+
+    Returns ``(files, meta)`` — everything stays in memory so the atomic
+    commit can digest the intended bytes before a single write happens.
+    """
     dg: DiskGraph = index.disk_graph
-    # Disk payload: copy every block verbatim.
-    with open(directory / "disk.bin", "wb") as f:
-        for block_id in range(dg.num_blocks):
-            f.write(dg.device._fetch(block_id))
+    payload = b"".join(
+        dg.device._fetch(block_id) for block_id in range(dg.num_blocks)
+    )
     flat, offsets = _pack_ragged(
         [dg.vertices_in_block(b) for b in range(dg.num_blocks)]
-    )
-    np.savez(
-        directory / "layout.npz",
-        vertex_to_block=dg.vertex_to_block,
-        block_ids_flat=flat,
-        block_ids_offsets=offsets,
     )
     pq: ProductQuantizer = index.pq
     if not isinstance(pq, ProductQuantizer):
@@ -127,15 +222,22 @@ def _save_common(index, directory: Path) -> dict:
             "persistence currently supports the default PQ router only; "
             f"got {type(pq).__name__}"
         )
-    np.savez(
-        directory / "pq.npz",
-        centroids=pq.codebook.centroids,
-        codes=pq.codes,
-        dim=np.asarray([pq.codebook.dim]),
-        pad=np.asarray([pq.codebook.pad]),
-    )
+    files = {
+        "disk.bin": payload,
+        "layout.npz": npz_bytes(
+            vertex_to_block=dg.vertex_to_block,
+            block_ids_flat=flat,
+            block_ids_offsets=offsets,
+        ),
+        "pq.npz": npz_bytes(
+            centroids=pq.codebook.centroids,
+            codes=pq.codes,
+            dim=np.asarray([pq.codebook.dim]),
+            pad=np.asarray([pq.codebook.pad]),
+        ),
+    }
     fmt = dg.fmt
-    return {
+    meta = {
         "format_version": _FORMAT_VERSION,
         "metric": index.metric.name,
         "vertex_format": {
@@ -154,6 +256,7 @@ def _save_common(index, directory: Path) -> dict:
         "disk_spec": asdict(index.disk_spec),
         "compute_spec": asdict(index.compute_spec),
     }
+    return files, meta
 
 
 def _restore_chaos_fields(cfg_dict: dict) -> dict:
@@ -172,9 +275,9 @@ def _restore_chaos_fields(cfg_dict: dict) -> dict:
     return cfg_dict
 
 
-def _load_common(directory: Path, meta: dict):
+def _load_common(files_dir: Path, meta: dict):
     """Restore the disk graph and PQ shared by both index flavours."""
-    _require_files(directory, ("disk.bin", "layout.npz", "pq.npz"))
+    _require_files(files_dir, ("disk.bin", "layout.npz", "pq.npz"))
     try:
         vf = meta["vertex_format"]
         fmt = VertexFormat(
@@ -184,69 +287,79 @@ def _load_common(directory: Path, meta: dict):
         spec = DiskSpec(**meta["disk_spec"])
     except (KeyError, TypeError, ValueError) as exc:
         raise IndexLoadError(
-            f"invalid vertex_format/disk_spec in {directory}: {exc}"
+            f"invalid vertex_format/disk_spec in {files_dir}: {exc}"
         ) from exc
     device = BlockDevice(fmt.block_bytes, meta["num_blocks"], spec=spec)
-    payload = (directory / "disk.bin").read_bytes()
-    expected = fmt.block_bytes * meta["num_blocks"]
-    if len(payload) != expected:
-        raise IndexLoadError(
-            f"truncated or corrupt disk.bin: holds {len(payload)} bytes; "
-            f"expected {expected}"
-        )
-    for block_id in range(meta["num_blocks"]):
-        off = block_id * fmt.block_bytes
-        device.write_block(block_id, payload[off: off + fmt.block_bytes])
-    device.reset_counters()
-
     try:
-        layout = np.load(directory / "layout.npz")
-        block_ids = _unpack_ragged(
-            layout["block_ids_flat"], layout["block_ids_offsets"]
-        )
-        vertex_to_block = layout["vertex_to_block"].astype(np.uint32)
-    except (OSError, KeyError, ValueError) as exc:
-        raise IndexLoadError(
-            f"unreadable layout.npz in {directory}: {exc}"
-        ) from exc
-    if len(block_ids) != meta["num_blocks"]:
-        raise IndexLoadError(
-            f"layout.npz describes {len(block_ids)} blocks; meta.json "
-            f"says {meta['num_blocks']}"
-        )
-    disk_graph = DiskGraph(device, fmt, vertex_to_block, block_ids)
+        payload = (files_dir / "disk.bin").read_bytes()
+        expected = fmt.block_bytes * meta["num_blocks"]
+        if len(payload) != expected:
+            raise IndexLoadError(
+                f"truncated or corrupt disk.bin: holds {len(payload)} bytes; "
+                f"expected {expected}"
+            )
+        for block_id in range(meta["num_blocks"]):
+            off = block_id * fmt.block_bytes
+            device.write_block(block_id, payload[off: off + fmt.block_bytes])
+        device.reset_counters()
 
-    metric = get_metric(meta["metric"])
-    try:
-        pq_npz = np.load(directory / "pq.npz")
-        pq = ProductQuantizer(
-            meta["pq"]["num_subspaces"], meta["pq"]["num_centroids"], metric
-        )
-        pq.codebook = PQCodebook(
-            centroids=pq_npz["centroids"],
-            dim=int(pq_npz["dim"][0]),
-            pad=int(pq_npz["pad"][0]),
-        )
-        pq.codes = pq_npz["codes"]
-    except (OSError, KeyError, ValueError) as exc:
-        raise IndexLoadError(f"unreadable pq.npz in {directory}: {exc}") from exc
+        try:
+            layout = np.load(files_dir / "layout.npz")
+            block_ids = _unpack_ragged(
+                layout["block_ids_flat"], layout["block_ids_offsets"]
+            )
+            vertex_to_block = layout["vertex_to_block"].astype(np.uint32)
+        except (OSError, KeyError, ValueError) as exc:
+            raise IndexLoadError(
+                f"unreadable layout.npz in {files_dir}: {exc}"
+            ) from exc
+        if len(block_ids) != meta["num_blocks"]:
+            raise IndexLoadError(
+                f"layout.npz describes {len(block_ids)} blocks; meta.json "
+                f"says {meta['num_blocks']}"
+            )
+        disk_graph = DiskGraph(device, fmt, vertex_to_block, block_ids)
+
+        metric = get_metric(meta["metric"])
+        try:
+            pq_npz = np.load(files_dir / "pq.npz")
+            pq = ProductQuantizer(
+                meta["pq"]["num_subspaces"], meta["pq"]["num_centroids"], metric
+            )
+            pq.codebook = PQCodebook(
+                centroids=pq_npz["centroids"],
+                dim=int(pq_npz["dim"][0]),
+                pad=int(pq_npz["pad"][0]),
+            )
+            pq.codes = pq_npz["codes"]
+        except (OSError, KeyError, ValueError) as exc:
+            raise IndexLoadError(
+                f"unreadable pq.npz in {files_dir}: {exc}"
+            ) from exc
+    except BaseException:
+        # the device never escapes a failed load half-populated
+        device.close()
+        raise
     return disk_graph, pq, metric
 
 
-def save_starling(index, directory: str | os.PathLike) -> None:
-    """Persist a StarlingIndex to a directory (created if missing).
+def save_starling(
+    index,
+    directory: str | os.PathLike,
+    *,
+    injector: CrashInjector | None = None,
+) -> None:
+    """Persist a StarlingIndex atomically (directory created if missing).
 
     HNSW-upper-layer navigation (Starling-HNSW) is not yet serializable;
     save such indexes after converting to a sampled navigation graph, or
-    rebuild them.
+    rebuild them.  ``injector`` arms write-path fault injection (tests).
     """
     from ..core.segment import StarlingIndex
 
     if not isinstance(index, StarlingIndex):
         raise TypeError(f"expected StarlingIndex, got {type(index).__name__}")
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    meta = _save_common(index, directory)
+    files, meta = _common_files(index)
     meta["kind"] = "starling"
     meta["config"] = asdict(index.config)
     meta["layout_or"] = index.layout_or
@@ -254,8 +367,7 @@ def save_starling(index, directory: str | os.PathLike) -> None:
     provider = index.entry_provider
     if isinstance(provider, NavigationGraph):
         flat, offsets = _pack_ragged(provider.graph.neighbor_lists())
-        np.savez(
-            directory / "nav.npz",
+        files["nav.npz"] = npz_bytes(
             sample_ids=provider.sample_ids,
             sample_vectors=provider.sample_vectors,
             edges_flat=flat,
@@ -273,18 +385,24 @@ def save_starling(index, directory: str | os.PathLike) -> None:
             f"cannot persist entry provider {type(provider).__name__}; "
             "only NavigationGraph and FixedEntryPoint are supported"
         )
-    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    files["meta.json"] = json.dumps(meta, indent=2).encode()
+    _atomic_commit(directory, "starling", files, injector)
 
 
-def load_starling(directory: str | os.PathLike):
-    """Load a StarlingIndex saved by :func:`save_starling`."""
+def load_starling(directory: str | os.PathLike, *, strict: bool = False):
+    """Load a StarlingIndex saved by :func:`save_starling`.
+
+    Manifest digests (CRC32; SHA-256 too under ``strict``) are verified
+    before any index data is interpreted; damage raises a typed
+    :class:`IndexLoadError` subclass instead of producing wrong neighbors.
+    """
     from ..core.config import StarlingConfig, GraphConfig, NavigationConfig, PQConfig
     from ..core.segment import BuildTimings, MemoryFootprint, StarlingIndex
     from ..engine.cost import ComputeSpec
 
-    directory = Path(directory)
-    meta = _read_meta(directory, "starling")
-    disk_graph, pq, metric = _load_common(directory, meta)
+    files_dir = _resolve_files_dir(Path(directory), strict=strict)
+    meta = _read_meta(files_dir, "starling")
+    disk_graph, pq, metric = _load_common(files_dir, meta)
 
     cfg_dict = dict(meta["config"])
     cfg = StarlingConfig(
@@ -299,8 +417,8 @@ def load_starling(directory: str | os.PathLike):
         disk_graph = CachedDiskGraph(disk_graph, cfg.block_cache_blocks)
 
     if meta["entry_provider"] == "navigation_graph":
-        _require_files(directory, ("nav.npz",))
-        nav_npz = np.load(directory / "nav.npz")
+        _require_files(files_dir, ("nav.npz",))
+        nav_npz = np.load(files_dir / "nav.npz")
         edges = _unpack_ragged(nav_npz["edges_flat"], nav_npz["edges_offsets"])
         graph = AdjacencyGraph(
             len(edges), int(nav_npz["max_degree"][0])
@@ -328,15 +446,18 @@ def load_starling(directory: str | os.PathLike):
     )
 
 
-def save_diskann(index, directory: str | os.PathLike) -> None:
-    """Persist a DiskANNIndex to a directory (created if missing)."""
+def save_diskann(
+    index,
+    directory: str | os.PathLike,
+    *,
+    injector: CrashInjector | None = None,
+) -> None:
+    """Persist a DiskANNIndex atomically (directory created if missing)."""
     from ..core.segment import DiskANNIndex
 
     if not isinstance(index, DiskANNIndex):
         raise TypeError(f"expected DiskANNIndex, got {type(index).__name__}")
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    meta = _save_common(index, directory)
+    files, meta = _common_files(index)
     meta["kind"] = "diskann"
     meta["config"] = asdict(index.config)
     if not isinstance(index.entry_provider, FixedEntryPoint):
@@ -349,25 +470,25 @@ def save_diskann(index, directory: str | os.PathLike) -> None:
         vectors = np.stack([index.cache._entries[int(v)][0] for v in ids])
         lists = [index.cache._entries[int(v)][1] for v in ids]
         flat, offsets = _pack_ragged(lists)
-        np.savez(
-            directory / "cache.npz",
+        files["cache.npz"] = npz_bytes(
             ids=ids, vectors=vectors, edges_flat=flat, edges_offsets=offsets,
         )
         meta["has_cache"] = True
     else:
         meta["has_cache"] = False
-    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    files["meta.json"] = json.dumps(meta, indent=2).encode()
+    _atomic_commit(directory, "diskann", files, injector)
 
 
-def load_diskann(directory: str | os.PathLike):
+def load_diskann(directory: str | os.PathLike, *, strict: bool = False):
     """Load a DiskANNIndex saved by :func:`save_diskann`."""
     from ..core.config import DiskANNConfig, GraphConfig, PQConfig
     from ..core.segment import BuildTimings, DiskANNIndex, MemoryFootprint
     from ..engine.cost import ComputeSpec
 
-    directory = Path(directory)
-    meta = _read_meta(directory, "diskann")
-    disk_graph, pq, metric = _load_common(directory, meta)
+    files_dir = _resolve_files_dir(Path(directory), strict=strict)
+    meta = _read_meta(files_dir, "diskann")
+    disk_graph, pq, metric = _load_common(files_dir, meta)
 
     cfg_dict = dict(meta["config"])
     cfg = DiskANNConfig(
@@ -377,8 +498,8 @@ def load_diskann(directory: str | os.PathLike):
     )
     cache = None
     if meta["has_cache"]:
-        _require_files(directory, ("cache.npz",))
-        npz = np.load(directory / "cache.npz")
+        _require_files(files_dir, ("cache.npz",))
+        npz = np.load(files_dir / "cache.npz")
         lists = _unpack_ragged(npz["edges_flat"], npz["edges_offsets"])
         cache = HotVertexCache(npz["ids"], npz["vectors"], lists)
     return DiskANNIndex(
@@ -388,3 +509,126 @@ def load_diskann(directory: str | os.PathLike):
         disk_spec=DiskSpec(**meta["disk_spec"]),
         compute_spec=ComputeSpec(**meta["compute_spec"]),
     )
+
+
+# -- updatable segments ------------------------------------------------------
+
+_UPDATABLE_VERSION = 1
+
+
+def save_updatable(
+    segment,
+    directory: str | os.PathLike,
+    *,
+    injector: CrashInjector | None = None,
+) -> None:
+    """Persist an :class:`~repro.core.updates.UpdatableSegment` atomically.
+
+    The static index commits into ``<directory>/static`` (its own manifest
+    and generations), then the update-layer state — dynamic vectors, the
+    deletion bitset, id bookkeeping — commits at ``<directory>`` level.  The
+    static commit happens first so a crash between the two leaves the
+    previous, mutually consistent (static, state) pair current.
+    """
+    from ..core.segment import DiskANNIndex, StarlingIndex
+    from ..core.updates import UpdatableSegment
+
+    if not isinstance(segment, UpdatableSegment):
+        raise TypeError(
+            f"expected UpdatableSegment, got {type(segment).__name__}"
+        )
+    directory = Path(directory)
+    static = segment.static_index
+    if isinstance(static, StarlingIndex):
+        static_kind = "starling"
+        save_starling(static, directory / "static")
+    elif isinstance(static, DiskANNIndex):
+        static_kind = "diskann"
+        save_diskann(static, directory / "static")
+    else:
+        raise NotImplementedError(
+            f"cannot persist static index {type(static).__name__}"
+        )
+
+    meta = {
+        "kind": "updatable",
+        "format_version": _UPDATABLE_VERSION,
+        "name": segment._name,
+        "metric": segment.metric.name,
+        "default_radius": (
+            None if segment._default_radius is None
+            else float(segment._default_radius)
+        ),
+        "static_kind": static_kind,
+        "next_id": segment._next_id,
+        "merges": segment.merges,
+    }
+    files = {
+        "state.npz": npz_bytes(
+            static_vectors=segment._static_vectors,
+            static_ids=segment._static_ids,
+            queries=segment._queries,
+            dynamic_vectors=segment.dynamic.vectors(),
+            dynamic_ids=np.asarray(segment._dynamic_ids, dtype=np.int64),
+            deleted=np.asarray(sorted(segment._deleted), dtype=np.int64),
+        ),
+        "meta.json": json.dumps(meta, indent=2).encode(),
+    }
+    _atomic_commit(directory, "updatable", files, injector)
+
+
+def load_updatable(directory: str | os.PathLike, rebuild, *, strict: bool = False):
+    """Load an :class:`~repro.core.updates.UpdatableSegment`.
+
+    Args:
+        directory: Directory written by :func:`save_updatable`.
+        rebuild: Callback ``(VectorDataset) -> static index`` used by future
+            merges (callables cannot be persisted; supply the same closure
+            the segment was constructed with).
+        strict: Also verify SHA-256 digests.
+    """
+    from ..core.updates import UpdatableSegment
+    from ..vectors.dataset import VectorDataset
+
+    directory = Path(directory)
+    files_dir = _resolve_files_dir(directory, strict=strict)
+    try:
+        meta = json.loads((files_dir / "meta.json").read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IndexLoadError(
+            f"unreadable meta.json in {files_dir}: {exc}"
+        ) from exc
+    if meta.get("kind") != "updatable":
+        raise IndexLoadError(f"{directory} does not hold an updatable segment")
+    if meta.get("format_version") != _UPDATABLE_VERSION:
+        raise IndexLoadError(
+            f"unsupported updatable format version {meta.get('format_version')}"
+        )
+    _require_files(files_dir, ("state.npz",))
+    if meta.get("static_kind") == "starling":
+        static = load_starling(directory / "static", strict=strict)
+    else:
+        static = load_diskann(directory / "static", strict=strict)
+    try:
+        state = np.load(files_dir / "state.npz")
+        dataset = VectorDataset(
+            name=meta["name"],
+            vectors=state["static_vectors"],
+            queries=state["queries"],
+            metric=get_metric(meta["metric"]),
+            default_radius=meta["default_radius"],
+        )
+        segment = UpdatableSegment(static, dataset, rebuild)
+        segment._static_ids = state["static_ids"].astype(np.int64)
+        dynamic = state["dynamic_vectors"]
+        if dynamic.shape[0]:
+            segment.dynamic.add(dynamic)
+        segment._dynamic_ids = state["dynamic_ids"].astype(np.int64).tolist()
+        segment._deleted = set(state["deleted"].astype(np.int64).tolist())
+        segment._next_id = int(meta["next_id"])
+        segment.merges = int(meta["merges"])
+    except (OSError, KeyError, ValueError) as exc:
+        raise IndexLoadError(
+            f"unreadable state.npz in {files_dir}: {exc}"
+        ) from exc
+    return segment

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+from repro.storage import index_files_dir, read_manifest
 from repro.vectors import bigann_like, write_bin, write_vecs
 
 
@@ -34,9 +35,13 @@ class TestBuildAndSearch:
         return out
 
     def test_build_writes_index(self, built):
-        meta = json.loads((built / "meta.json").read_text())
+        files_dir = index_files_dir(built)
+        meta = json.loads((files_dir / "meta.json").read_text())
         assert meta["kind"] == "starling"
-        assert (built / "disk.bin").exists()
+        assert (files_dir / "disk.bin").exists()
+        # the atomic-commit layout: pointer + committed generation
+        assert (built / "MANIFEST.json").exists()
+        assert files_dir != built
 
     def test_info(self, built, capsys):
         assert main(["info", "--index", str(built)]) == 0
@@ -80,6 +85,75 @@ class TestBuildAndSearch:
         ]) == 0
 
 
+class TestFsckCommand:
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("fsck") / "idx"
+        assert main([
+            "build", "--synthetic", "deep:300", "--num-queries", "4",
+            "--out", str(out), "--max-degree", "12", "--build-ef", "24",
+        ]) == 0
+        return out
+
+    def test_clean_exit_zero(self, built, capsys):
+        assert main(["fsck", str(built)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_repairable_exit_one(self, built, tmp_path, capsys):
+        # a stray staging dir is crash debris fsck sweeps
+        stage = built / ".stage-000099"
+        stage.mkdir()
+        (stage / "junk").write_bytes(b"x")
+        assert main(["fsck", str(built)]) == 1
+        assert not stage.exists()
+        assert main(["fsck", str(built)]) == 0
+
+    def test_no_repair_reports_without_touching(self, built):
+        stage = built / ".stage-000098"
+        stage.mkdir()
+        assert main(["fsck", str(built), "--no-repair"]) == 1
+        assert stage.exists()  # nothing changed on disk
+        assert main(["fsck", str(built)]) == 1  # real run sweeps it
+
+    def test_unrecoverable_exit_two(self, built, capsys):
+        gen = built / read_manifest(built).directory
+        payload = (gen / "disk.bin").read_bytes()
+        try:
+            (gen / "disk.bin").write_bytes(payload[:64])
+            assert main(["fsck", str(built), "--no-repair"]) == 2
+        finally:
+            (gen / "disk.bin").write_bytes(payload)
+        assert main(["fsck", str(built)]) == 0
+
+    def test_json_report(self, built, tmp_path, capsys):
+        report = tmp_path / "fsck.json"
+        assert main([
+            "fsck", str(built), "--json", "--report", str(report),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "clean"
+        assert json.loads(report.read_text())["exit_code"] == 0
+
+    def test_search_damaged_index_exits_two(self, built, capsys):
+        gen = built / read_manifest(built).directory
+        payload = (gen / "pq.npz").read_bytes()
+        try:
+            (gen / "pq.npz").write_bytes(payload[:-7])
+            with pytest.raises(SystemExit) as excinfo:
+                main([
+                    "search", "--index", str(built),
+                    "--synthetic", "deep:300", "--num-queries", "2",
+                ])
+            assert excinfo.value.code == 2
+            assert "error:" in capsys.readouterr().err
+        finally:
+            (gen / "pq.npz").write_bytes(payload)
+
+    def test_info_missing_index_exits_two(self, tmp_path, capsys):
+        assert main(["info", "--index", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestBenchCommand:
     def test_bench_writes_markdown_report(self, tmp_path, capsys):
         out = tmp_path / "report.md"
@@ -105,7 +179,7 @@ class TestFileInputs:
             "build", "--data", str(data), "--out", str(out),
             "--max-degree", "12", "--build-ef", "24", "--num-queries", "4",
         ]) == 0
-        assert (out / "meta.json").exists()
+        assert (index_files_dir(out) / "meta.json").exists()
 
     def test_build_from_u8bin(self, tmp_path):
         ds = bigann_like(300, 5)

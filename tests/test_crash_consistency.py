@@ -1,0 +1,317 @@
+"""Crash-consistency property harness for atomic index persistence.
+
+The invariant under test (the tentpole acceptance criterion): crash a save
+at *every* injection point the commit protocol exposes, and a subsequent
+load must return either the previous generation or the new one — verified
+bit-identical via manifest digests — and never a hybrid, never an unhandled
+traceback.
+
+Two differently-seeded Starling indexes over the same dataset play "old"
+and "new": their ``disk.bin`` payloads differ byte-for-byte (different
+shuffle seeds), so which generation survived is decidable from raw bytes,
+not just from search behaviour.
+
+Environment hooks for the CI ``crash-smoke`` job:
+
+- ``REPRO_CRASH_SEED``  — offsets the fault-schedule seeds (seed matrix).
+- ``REPRO_CRASH_REPORT`` — write a JSON fsck/outcome report to this path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import StarlingConfig, build_starling
+from repro.storage import (
+    CrashInjector,
+    IndexLoadError,
+    SimulatedCrash,
+    WriteFaultSpec,
+    fsck,
+    load_starling,
+    read_manifest,
+    save_starling,
+)
+from repro.storage.manifest import verify_generation
+
+CRASH_SEED = int(os.environ.get("REPRO_CRASH_SEED", "0"))
+
+#: recorded outcomes, written to REPRO_CRASH_REPORT at module teardown
+_OUTCOMES: list[dict] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def crash_report():
+    yield
+    path = os.environ.get("REPRO_CRASH_REPORT")
+    if path:
+        Path(path).write_text(json.dumps({
+            "seed": CRASH_SEED,
+            "cases": len(_OUTCOMES),
+            "outcomes": _OUTCOMES,
+        }, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def index_b(small_dataset):
+    """A second index over the same data, distinguishable byte-for-byte.
+
+    A different *graph* seed changes the edges and hence every block of
+    ``disk.bin`` — which generation survived a crash is then decidable from
+    raw bytes, not just from search behaviour.
+    """
+    from repro.core import GraphConfig
+
+    index = build_starling(
+        small_dataset,
+        StarlingConfig(
+            graph=GraphConfig(max_degree=16, build_ef=32, seed=9), seed=7
+        ),
+    )
+    return index
+
+
+@pytest.fixture(scope="module")
+def save_ops(starling_index, tmp_path_factory):
+    """The commit protocol's operation sequence, recorded by a dry run."""
+    recorder = CrashInjector()
+    d = tmp_path_factory.mktemp("ops") / "idx"
+    save_starling(starling_index, d, injector=recorder)
+    return recorder.ops
+
+
+def _payload_of(index) -> bytes:
+    dg = index.disk_graph
+    return b"".join(dg.device._fetch(b) for b in range(dg.num_blocks))
+
+
+def _probe(index, queries):
+    return [tuple(index.search(q, 5, 48).ids.tolist()) for q in queries]
+
+
+def _assert_old_or_new(directory, idx_a, idx_b, old_digests, queries):
+    """The core invariant: the directory holds exactly A or exactly B."""
+    loaded = load_starling(directory)  # never a traceback
+    manifest = read_manifest(directory)
+    gen_dir = directory / manifest.directory
+    assert not verify_generation(gen_dir, manifest), "committed gen corrupt"
+
+    disk = (gen_dir / "disk.bin").read_bytes()
+    payload_a, payload_b = _payload_of(idx_a), _payload_of(idx_b)
+    assert disk in (payload_a, payload_b), "disk.bin is neither A nor B"
+    if disk == payload_a:
+        # bit-identical old generation: every digest unchanged
+        cur = {n: e.crc32 for n, e in manifest.files.items()}
+        assert cur == old_digests, "old generation mutated by a failed save"
+        assert _probe(loaded, queries) == _probe(idx_a, queries)
+        return "old"
+    assert _probe(loaded, queries) == _probe(idx_b, queries)
+    return "new"
+
+
+def _crash_case(tmp_path, idx_a, idx_b, spec, queries):
+    """Save A cleanly, crash a save of B per ``spec``, check the invariant."""
+    d = tmp_path / "idx"
+    save_starling(idx_a, d)
+    old = {n: e.crc32 for n, e in read_manifest(d).files.items()}
+    injector = CrashInjector(spec)
+    crashed = False
+    try:
+        save_starling(idx_b, d, injector=injector)
+    except SimulatedCrash:
+        crashed = True
+    outcome = _assert_old_or_new(d, idx_a, idx_b, old, queries)
+    report = fsck(d)
+    assert report.exit_code in (0, 1), report.to_dict()
+    _assert_old_or_new(d, idx_a, idx_b, old, queries)
+    _OUTCOMES.append({
+        "mode": spec.mode, "crash_op": spec.crash_op,
+        "crashed": crashed, "survivor": outcome, "fsck": report.status,
+    })
+    return outcome
+
+
+class TestExhaustiveCrashSweep:
+    """Kill the save at every op boundary; the invariant must hold at all."""
+
+    def test_every_injection_point(self, tmp_path, starling_index, index_b,
+                                   save_ops, small_dataset):
+        queries = small_dataset.queries[:4]
+        # the classifier relies on A and B being byte-distinguishable
+        assert _payload_of(starling_index) != _payload_of(index_b)
+        survivors = {}
+        for op in range(len(save_ops)):
+            case_dir = tmp_path / f"op{op:02d}"
+            case_dir.mkdir()
+            survivors[op] = _crash_case(
+                case_dir, starling_index, index_b,
+                WriteFaultSpec(crash_op=op, seed=CRASH_SEED), queries,
+            )
+        # sanity on the sweep itself: crashes before the pointer replace
+        # keep the old generation, crashes after it serve the new one
+        replace_op = save_ops.index("replace:MANIFEST.json")
+        assert all(
+            s == "old" for op, s in survivors.items() if op <= replace_op
+        )
+        assert survivors[len(save_ops) - 1] == "new"
+        assert "new" in survivors.values() and "old" in survivors.values()
+
+    def test_torn_write_at_every_file(self, tmp_path, starling_index, index_b,
+                                      save_ops, small_dataset):
+        queries = small_dataset.queries[:4]
+        write_ops = [
+            i for i, op in enumerate(save_ops) if op.startswith("write:")
+        ]
+        for op in write_ops:
+            case_dir = tmp_path / f"torn{op:02d}"
+            case_dir.mkdir()
+            _crash_case(
+                case_dir, starling_index, index_b,
+                WriteFaultSpec(
+                    crash_op=op, mode="torn", seed=CRASH_SEED + op
+                ),
+                queries,
+            )
+
+
+class TestLostDurability:
+    """A skipped fsync surfaces as post-commit corruption; fsck rolls back."""
+
+    def test_missed_fsync_detected_and_repaired(
+        self, tmp_path, starling_index, index_b, save_ops, small_dataset
+    ):
+        queries = small_dataset.queries[:4]
+        fsync_ops = [
+            i for i, op in enumerate(save_ops) if op.startswith("fsync:")
+        ]
+        for op in fsync_ops:
+            d = tmp_path / f"fs{op:02d}"
+            save_starling(starling_index, d)
+            injector = CrashInjector(
+                WriteFaultSpec(crash_op=op, mode="lost_durability")
+            )
+            with pytest.raises(SimulatedCrash):
+                save_starling(index_b, d, injector=injector)
+            # the pointer committed but bytes were lost: the load must
+            # REFUSE (typed error) rather than serve wrong neighbors
+            with pytest.raises(IndexLoadError):
+                load_starling(d)
+            report = fsck(d)
+            assert report.exit_code == 1, report.to_dict()
+            loaded = load_starling(d)  # rolled back to the old generation
+            assert _probe(loaded, queries) == _probe(starling_index, queries)
+            _OUTCOMES.append({
+                "mode": "lost_durability", "crash_op": op,
+                "crashed": True, "survivor": "old", "fsck": report.status,
+            })
+
+
+class TestFirstSaveCrash:
+    """With no previous generation there is nothing to fall back to — but
+    the failure must stay typed and fsck's verdict honest."""
+
+    def test_crash_during_first_save(self, tmp_path, starling_index,
+                                     save_ops):
+        for op in range(len(save_ops)):
+            d = tmp_path / f"first{op:02d}"
+            injector = CrashInjector(WriteFaultSpec(crash_op=op))
+            with pytest.raises(SimulatedCrash):
+                save_starling(starling_index, d, injector=injector)
+            try:
+                load_starling(d)
+                loadable = True
+            except IndexLoadError:
+                loadable = False
+            report = fsck(d)
+            if loadable:
+                assert report.exit_code in (0, 1)
+            else:
+                # either fsck adopts an orphaned-but-complete generation,
+                # or it honestly reports there is nothing to recover
+                if report.exit_code == 2:
+                    continue
+                load_starling(d)  # repaired: must load now
+
+
+class TestCrashProperty:
+    """Hypothesis drives (mode, op, seed) through the same invariant."""
+
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        op_choice=st.integers(min_value=0, max_value=10_000),
+        mode=st.sampled_from(["crash", "torn"]),
+        seed=st.integers(min_value=0, max_value=7),
+    )
+    def test_random_crash_point(self, tmp_path, starling_index, index_b,
+                                save_ops, small_dataset, op_choice, mode,
+                                seed):
+        if mode == "torn":
+            eligible = [
+                i for i, op in enumerate(save_ops) if op.startswith("write:")
+            ]
+        else:
+            eligible = list(range(len(save_ops)))
+        op = eligible[op_choice % len(eligible)]
+        case_dir = tmp_path / f"hyp-{mode}-{op}-{seed}"
+        case_dir.mkdir(exist_ok=True)
+        _crash_case(
+            case_dir, starling_index, index_b,
+            WriteFaultSpec(crash_op=op, mode=mode, seed=CRASH_SEED + seed),
+            small_dataset.queries[:2],
+        )
+
+
+class TestAbortLeavesNoPartialFiles:
+    """A non-crash failure mid-save must leave the destination untouched."""
+
+    def test_failed_save_aborts_stage(self, tmp_path, starling_index,
+                                      monkeypatch, small_dataset):
+        d = tmp_path / "idx"
+        save_starling(starling_index, d)
+        before = sorted(p.name for p in d.iterdir())
+        old = {n: e.crc32 for n, e in read_manifest(d).files.items()}
+
+        from repro.storage import manifest as manifest_mod
+
+        real_fsync = manifest_mod._fsync_file
+        calls = {"n": 0}
+
+        def flaky(path):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise OSError("disk full")
+            real_fsync(path)
+
+        monkeypatch.setattr(manifest_mod, "_fsync_file", flaky)
+        with pytest.raises(OSError, match="disk full"):
+            save_starling(starling_index, d)
+        monkeypatch.undo()
+
+        assert sorted(p.name for p in d.iterdir()) == before
+        cur = {n: e.crc32 for n, e in read_manifest(d).files.items()}
+        assert cur == old
+        load_starling(d)
+
+    def test_save_into_fresh_dir_failure_leaves_no_debris(
+        self, tmp_path, starling_index, monkeypatch
+    ):
+        from repro.storage import manifest as manifest_mod
+
+        def boom(path):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(manifest_mod, "_fsync_file", boom)
+        d = tmp_path / "idx"
+        with pytest.raises(OSError):
+            save_starling(starling_index, d)
+        monkeypatch.undo()
+        assert [p.name for p in d.iterdir()] == []

@@ -594,16 +594,21 @@ class TestPersistHardening:
             load_starling(d)
 
     def test_truncated_disk_bin(self, starling_index, tmp_path):
+        from repro.storage import index_files_dir
+
         d = tmp_path / "trunc"
         save_starling(starling_index, d)
-        payload = (d / "disk.bin").read_bytes()
-        (d / "disk.bin").write_bytes(payload[: len(payload) // 2])
+        disk = index_files_dir(d) / "disk.bin"
+        payload = disk.read_bytes()
+        disk.write_bytes(payload[: len(payload) // 2])
         with pytest.raises(IndexLoadError, match="truncated or corrupt"):
             load_starling(d)
 
     def test_missing_required_file(self, starling_index, tmp_path):
+        from repro.storage import index_files_dir
+
         d = tmp_path / "missing"
         save_starling(starling_index, d)
-        (d / "layout.npz").unlink()
+        (index_files_dir(d) / "layout.npz").unlink()
         with pytest.raises(IndexLoadError, match="layout.npz"):
             load_starling(d)

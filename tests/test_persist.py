@@ -1,12 +1,48 @@
 """Tests for index persistence (save/load with identical query behaviour)."""
 
 import json
+import shutil
 
 import numpy as np
 import pytest
 
 from repro.core import StarlingConfig, build_starling
-from repro.storage import load_diskann, load_starling, save_diskann, save_starling
+from repro.storage import (
+    DigestMismatchError,
+    IndexLoadError,
+    index_files_dir,
+    load_diskann,
+    load_starling,
+    read_manifest,
+    save_diskann,
+    save_starling,
+)
+from repro.storage.manifest import digest_entry, write_pointer
+
+
+def _resign(root):
+    """Recompute manifest digests after a test tampers with a gen file.
+
+    Lets a test damage content *legitimately* (as if the save had written
+    it that way) so checks deeper than digest verification are reachable.
+    """
+    manifest = read_manifest(root)
+    gen_dir = root / manifest.directory
+    manifest.files = {
+        name: digest_entry((gen_dir / name).read_bytes())
+        for name in manifest.files
+    }
+    write_pointer(root, manifest)
+
+
+def _flatten_to_legacy(root):
+    """Convert a manifest-layout directory to the pre-manifest flat layout."""
+    gen_dir = root / read_manifest(root).directory
+    for child in gen_dir.iterdir():
+        if child.name != "_manifest.json":
+            shutil.move(str(child), str(root / child.name))
+    shutil.rmtree(gen_dir)
+    (root / "MANIFEST.json").unlink()
 
 
 class TestStarlingPersistence:
@@ -79,19 +115,76 @@ class TestStarlingPersistence:
 
     def test_rejects_corrupt_disk_payload(self, starling_index, tmp_path):
         save_starling(starling_index, tmp_path / "idx")
-        disk = tmp_path / "idx" / "disk.bin"
+        disk = index_files_dir(tmp_path / "idx") / "disk.bin"
         disk.write_bytes(disk.read_bytes()[:-10])
         with pytest.raises(ValueError, match="expected"):
             load_starling(tmp_path / "idx")
 
+    def test_truncated_disk_bin_is_typed_digest_error(self, starling_index,
+                                                      tmp_path):
+        save_starling(starling_index, tmp_path / "idx")
+        disk = index_files_dir(tmp_path / "idx") / "disk.bin"
+        disk.write_bytes(disk.read_bytes()[:256])
+        with pytest.raises(DigestMismatchError, match="truncated or corrupt"):
+            load_starling(tmp_path / "idx")
+
+    def test_bit_flip_in_pq_detected_not_served(self, starling_index,
+                                                tmp_path):
+        save_starling(starling_index, tmp_path / "idx")
+        pq = index_files_dir(tmp_path / "idx") / "pq.npz"
+        blob = bytearray(pq.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # same size: only the CRC can catch it
+        pq.write_bytes(bytes(blob))
+        with pytest.raises(DigestMismatchError, match="CRC32"):
+            load_starling(tmp_path / "idx")
+
+    def test_missing_file_detected(self, starling_index, tmp_path):
+        save_starling(starling_index, tmp_path / "idx")
+        (index_files_dir(tmp_path / "idx") / "layout.npz").unlink()
+        with pytest.raises(IndexLoadError, match="layout.npz"):
+            load_starling(tmp_path / "idx")
+
     def test_rejects_future_format_version(self, starling_index, tmp_path):
         save_starling(starling_index, tmp_path / "idx")
-        meta_path = tmp_path / "idx" / "meta.json"
+        meta_path = index_files_dir(tmp_path / "idx") / "meta.json"
         meta = json.loads(meta_path.read_text())
         meta["format_version"] = 999
         meta_path.write_text(json.dumps(meta))
+        _resign(tmp_path / "idx")
         with pytest.raises(ValueError, match="format version"):
             load_starling(tmp_path / "idx")
+
+    def test_strict_mode_verifies_sha256(self, starling_index, small_dataset,
+                                         tmp_path):
+        save_starling(starling_index, tmp_path / "idx")
+        loaded = load_starling(tmp_path / "idx", strict=True)
+        q = small_dataset.queries[0]
+        assert np.array_equal(
+            starling_index.search(q, 10, 64).ids, loaded.search(q, 10, 64).ids
+        )
+
+    def test_legacy_flat_layout_still_loads(self, starling_index,
+                                            small_dataset, tmp_path):
+        save_starling(starling_index, tmp_path / "idx")
+        _flatten_to_legacy(tmp_path / "idx")
+        assert not (tmp_path / "idx" / "MANIFEST.json").exists()
+        loaded = load_starling(tmp_path / "idx")
+        q = small_dataset.queries[0]
+        assert np.array_equal(
+            starling_index.search(q, 10, 64).ids, loaded.search(q, 10, 64).ids
+        )
+
+    def test_resave_keeps_previous_generation(self, starling_index, tmp_path):
+        save_starling(starling_index, tmp_path / "idx")
+        save_starling(starling_index, tmp_path / "idx")
+        save_starling(starling_index, tmp_path / "idx")
+        gens = sorted(
+            p.name for p in (tmp_path / "idx").iterdir()
+            if p.name.startswith("gen-")
+        )
+        # current + one previous for rollback; older ones pruned
+        assert gens == ["gen-000002", "gen-000003"]
+        assert read_manifest(tmp_path / "idx").generation == 3
 
 
 class TestDiskANNPersistence:

@@ -10,6 +10,7 @@ from repro.core import (
     build_starling,
 )
 from repro.core.updates import DynamicIndex
+from repro.storage import load_updatable, save_updatable
 from repro.vectors import deep_like, get_metric
 
 
@@ -189,3 +190,50 @@ class TestMerge:
         seg.merge()
         assert seg.static_index is not old_static
         assert seg.static_index.num_vectors == ds.size + 5
+
+
+class TestUpdatablePersistence:
+    def test_full_lifecycle_roundtrip(self, segment, tmp_path):
+        seg, ds = segment
+        cfg = StarlingConfig(graph=GraphConfig(max_degree=12, build_ef=24))
+        rebuild = lambda d: build_starling(d, cfg)  # noqa: E731
+        new = ds.vectors[:4].astype(np.float32) + 0.002
+        new_ids = seg.insert(new)
+        seg.delete([1, 2, int(new_ids[0])])
+        save_updatable(seg, tmp_path / "seg")
+        loaded = load_updatable(tmp_path / "seg", rebuild)
+
+        assert loaded.num_live == seg.num_live
+        assert loaded.num_deleted == seg.num_deleted
+        assert loaded.pending_inserts == seg.pending_inserts
+        assert loaded._next_id == seg._next_id
+        assert loaded.merges == seg.merges
+        for q in ds.queries[:3]:
+            a, b = seg.search(q, 5), loaded.search(q, 5)
+            assert np.array_equal(a.ids, b.ids)
+            assert np.allclose(a.dists, b.dists)
+
+    def test_roundtrip_after_merge(self, segment, tmp_path):
+        seg, ds = segment
+        cfg = StarlingConfig(graph=GraphConfig(max_degree=12, build_ef=24))
+        rebuild = lambda d: build_starling(d, cfg)  # noqa: E731
+        seg.insert(ds.vectors[:2].astype(np.float32) + 0.003)
+        seg.delete([5])
+        seg.merge(persist_to=tmp_path / "seg")
+
+        loaded = load_updatable(tmp_path / "seg", rebuild)
+        assert loaded.merges == 1
+        assert loaded.pending_inserts == 0
+        assert loaded.num_live == seg.num_live
+        for q in ds.queries[:3]:
+            assert np.array_equal(seg.search(q, 5).ids, loaded.search(q, 5).ids)
+
+    def test_merge_persist_creates_new_generation(self, segment, tmp_path):
+        from repro.storage import read_manifest
+
+        seg, ds = segment
+        save_updatable(seg, tmp_path / "seg")
+        assert read_manifest(tmp_path / "seg").generation == 1
+        seg.insert(ds.vectors[0].astype(np.float32))
+        seg.merge(persist_to=tmp_path / "seg")
+        assert read_manifest(tmp_path / "seg").generation == 2
