@@ -160,7 +160,13 @@ def read_generation_manifest(gen_dir: Path) -> Manifest | None:
     path = Path(gen_dir) / GEN_MANIFEST_NAME
     if not path.is_file():
         return None
-    return Manifest.from_json(path.read_text())
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ManifestError(
+            f"unreadable {GEN_MANIFEST_NAME} in {gen_dir}: {exc}"
+        ) from exc
+    return Manifest.from_json(text)
 
 
 def list_generations(root: Path) -> list[tuple[int, Path]]:
@@ -279,10 +285,15 @@ class CommitTransaction:
             raise
     """
 
-    def __init__(self, root: Path, kind: str, injector=None) -> None:
+    def __init__(
+        self, root: Path, kind: str, injector=None, keep_generations=()
+    ) -> None:
         self.root = Path(root)
         self.kind = kind
         self.injector = injector
+        # Extra generations prune() must not touch — e.g. the static
+        # generation that an updatable segment's committed state still pins.
+        self._protected = frozenset(int(g) for g in keep_generations)
         self.root.mkdir(parents=True, exist_ok=True)
         try:
             pointer = read_manifest(self.root)
@@ -361,9 +372,21 @@ class CommitTransaction:
         return manifest
 
     def prune(self) -> None:
-        """Drop generations older than the one kept for rollback."""
-        keep = {self.generation, self.generation - 1}
-        for gen, path in list_generations(self.root):
+        """Drop old generations, keeping the rollback target and any pins.
+
+        The rollback target is the newest generation that actually *exists*
+        below the one just committed — not ``generation - 1`` by arithmetic:
+        a stale pointer can skip numbers, and deleting the only
+        self-verifying older generation would defeat fsck rollback.
+        """
+        existing = list_generations(self.root)
+        keep = {self.generation, *self._protected}
+        previous = max(
+            (g for g, _ in existing if g < self.generation), default=None
+        )
+        if previous is not None:
+            keep.add(previous)
+        for gen, path in existing:
             if gen not in keep:
                 shutil.rmtree(path, ignore_errors=True)
 

@@ -47,11 +47,15 @@ from .device import BlockDevice, DiskSpec
 from .disk_graph import DiskGraph
 from .faults import CrashInjector, SimulatedCrash
 from .manifest import (
+    GEN_MANIFEST_NAME,
     CommitTransaction,
     DigestMismatchError,
     IndexLoadError,
+    Manifest,
     ManifestError,
+    generation_name,
     npz_bytes,
+    read_generation_manifest,
     read_manifest,
     verify_generation,
 )
@@ -83,7 +87,11 @@ def index_files_dir(directory: str | os.PathLike) -> Path:
 
 
 def _resolve_files_dir(
-    directory: Path, *, verify: bool = True, strict: bool = False
+    directory: Path,
+    *,
+    verify: bool = True,
+    strict: bool = False,
+    generation: int | None = None,
 ) -> Path:
     if not directory.is_dir():
         raise IndexLoadError(f"{directory} is not an index directory")
@@ -94,6 +102,26 @@ def _resolve_files_dir(
         raise IndexLoadError(
             f"{directory} has no meta.json or MANIFEST.json"
         )
+    if generation is not None and generation != manifest.generation:
+        # The caller pins a specific committed generation (an updatable
+        # segment's state names the static generation it was saved with).
+        # A pointer that drifted ahead — crash between the static and state
+        # commits — must not be followed: resolve the pinned generation
+        # through its own self-describing manifest copy instead; the stray
+        # newer generation is fsck's to clean up.
+        gen_dir = directory / generation_name(generation)
+        if not gen_dir.is_dir():
+            raise ManifestError(
+                f"{directory}: pinned generation {generation} is missing "
+                f"(pointer is at generation {manifest.generation})"
+            )
+        pinned = read_generation_manifest(gen_dir)
+        if pinned is None:
+            raise ManifestError(
+                f"{directory}: pinned generation {generation} has no "
+                f"{GEN_MANIFEST_NAME}"
+            )
+        manifest = pinned
     gen_dir = directory / manifest.directory
     if not gen_dir.is_dir():
         raise ManifestError(
@@ -183,19 +211,24 @@ def _atomic_commit(
     kind: str,
     files: dict[str, bytes],
     injector: CrashInjector | None,
-) -> None:
+    keep_generations: tuple[int, ...] = (),
+) -> Manifest:
     """Commit serialized files as one new generation; all-or-nothing.
 
     An ordinary exception aborts the transaction and leaves the destination
     exactly as it was (no partial files leak into the live directory); a
     :class:`SimulatedCrash` re-raises *without* cleanup, because debris is
-    precisely what the crash-consistency harness wants to find.
+    precisely what the crash-consistency harness wants to find.  Returns the
+    committed :class:`Manifest`.
     """
-    txn = CommitTransaction(Path(directory), kind, injector=injector)
+    txn = CommitTransaction(
+        Path(directory), kind, injector=injector,
+        keep_generations=keep_generations,
+    )
     try:
         for name, data in files.items():
             txn.write_file(name, data)
-        txn.commit()
+        return txn.commit()
     except SimulatedCrash:
         raise
     except BaseException:
@@ -348,12 +381,16 @@ def save_starling(
     directory: str | os.PathLike,
     *,
     injector: CrashInjector | None = None,
-) -> None:
+    keep_generations: tuple[int, ...] = (),
+) -> Manifest:
     """Persist a StarlingIndex atomically (directory created if missing).
 
     HNSW-upper-layer navigation (Starling-HNSW) is not yet serializable;
     save such indexes after converting to a sampled navigation graph, or
-    rebuild them.  ``injector`` arms write-path fault injection (tests).
+    rebuild them.  ``injector`` arms write-path fault injection (tests);
+    ``keep_generations`` pins extra generations from pruning (used by
+    :func:`save_updatable` to protect the static generation the committed
+    state still references).  Returns the committed manifest.
     """
     from ..core.segment import StarlingIndex
 
@@ -386,21 +423,32 @@ def save_starling(
             "only NavigationGraph and FixedEntryPoint are supported"
         )
     files["meta.json"] = json.dumps(meta, indent=2).encode()
-    _atomic_commit(directory, "starling", files, injector)
+    return _atomic_commit(
+        directory, "starling", files, injector, keep_generations
+    )
 
 
-def load_starling(directory: str | os.PathLike, *, strict: bool = False):
+def load_starling(
+    directory: str | os.PathLike,
+    *,
+    strict: bool = False,
+    generation: int | None = None,
+):
     """Load a StarlingIndex saved by :func:`save_starling`.
 
     Manifest digests (CRC32; SHA-256 too under ``strict``) are verified
     before any index data is interpreted; damage raises a typed
     :class:`IndexLoadError` subclass instead of producing wrong neighbors.
+    ``generation`` pins a specific committed generation instead of the
+    pointer's current one (used by :func:`load_updatable`).
     """
     from ..core.config import StarlingConfig, GraphConfig, NavigationConfig, PQConfig
     from ..core.segment import BuildTimings, MemoryFootprint, StarlingIndex
     from ..engine.cost import ComputeSpec
 
-    files_dir = _resolve_files_dir(Path(directory), strict=strict)
+    files_dir = _resolve_files_dir(
+        Path(directory), strict=strict, generation=generation
+    )
     meta = _read_meta(files_dir, "starling")
     disk_graph, pq, metric = _load_common(files_dir, meta)
 
@@ -451,8 +499,13 @@ def save_diskann(
     directory: str | os.PathLike,
     *,
     injector: CrashInjector | None = None,
-) -> None:
-    """Persist a DiskANNIndex atomically (directory created if missing)."""
+    keep_generations: tuple[int, ...] = (),
+) -> Manifest:
+    """Persist a DiskANNIndex atomically (directory created if missing).
+
+    See :func:`save_starling` for ``injector``/``keep_generations``;
+    returns the committed manifest.
+    """
     from ..core.segment import DiskANNIndex
 
     if not isinstance(index, DiskANNIndex):
@@ -477,16 +530,25 @@ def save_diskann(
     else:
         meta["has_cache"] = False
     files["meta.json"] = json.dumps(meta, indent=2).encode()
-    _atomic_commit(directory, "diskann", files, injector)
+    return _atomic_commit(
+        directory, "diskann", files, injector, keep_generations
+    )
 
 
-def load_diskann(directory: str | os.PathLike, *, strict: bool = False):
+def load_diskann(
+    directory: str | os.PathLike,
+    *,
+    strict: bool = False,
+    generation: int | None = None,
+):
     """Load a DiskANNIndex saved by :func:`save_diskann`."""
     from ..core.config import DiskANNConfig, GraphConfig, PQConfig
     from ..core.segment import BuildTimings, DiskANNIndex, MemoryFootprint
     from ..engine.cost import ComputeSpec
 
-    files_dir = _resolve_files_dir(Path(directory), strict=strict)
+    files_dir = _resolve_files_dir(
+        Path(directory), strict=strict, generation=generation
+    )
     meta = _read_meta(files_dir, "diskann")
     disk_graph, pq, metric = _load_common(files_dir, meta)
 
@@ -516,6 +578,22 @@ def load_diskann(directory: str | os.PathLike, *, strict: bool = False):
 _UPDATABLE_VERSION = 1
 
 
+def _pinned_static_generation(directory: Path) -> int | None:
+    """Static generation pinned by the currently committed state, if any.
+
+    Best-effort on purpose: an absent, legacy, or damaged layout simply has
+    nothing to protect from pruning.
+    """
+    try:
+        files_dir = _resolve_files_dir(directory, verify=False)
+        meta = json.loads((files_dir / "meta.json").read_text())
+        pinned = meta.get("static_generation")
+        return None if pinned is None else int(pinned)
+    except (IndexLoadError, OSError, json.JSONDecodeError,
+            TypeError, ValueError):
+        return None
+
+
 def save_updatable(
     segment,
     directory: str | os.PathLike,
@@ -524,11 +602,20 @@ def save_updatable(
 ) -> None:
     """Persist an :class:`~repro.core.updates.UpdatableSegment` atomically.
 
-    The static index commits into ``<directory>/static`` (its own manifest
-    and generations), then the update-layer state — dynamic vectors, the
-    deletion bitset, id bookkeeping — commits at ``<directory>`` level.  The
-    static commit happens first so a crash between the two leaves the
-    previous, mutually consistent (static, state) pair current.
+    Two transactions, one consistent pair: the static index commits into
+    ``<directory>/static`` (its own manifest and generations) first, then
+    the update-layer state — dynamic vectors, the deletion bitset, id
+    bookkeeping — commits at ``<directory>`` level, recording the static
+    generation it belongs to as ``static_generation``.  A crash between the
+    two leaves the static pointer one generation ahead, but the committed
+    state still pins the previous static generation — which the static
+    commit protected from pruning — so :func:`load_updatable` always pairs
+    state with the exact static generation it was saved against, and
+    ``repro-starling fsck`` rolls the stray static pointer back.
+
+    ``injector`` is shared by both transactions, so enumerating its
+    recorded op sequence crashes the save at every boundary of either
+    commit *and* in the window between them.
     """
     from ..core.segment import DiskANNIndex, StarlingIndex
     from ..core.updates import UpdatableSegment
@@ -538,13 +625,21 @@ def save_updatable(
             f"expected UpdatableSegment, got {type(segment).__name__}"
         )
     directory = Path(directory)
+    pinned = _pinned_static_generation(directory)
+    protect = () if pinned is None else (pinned,)
     static = segment.static_index
     if isinstance(static, StarlingIndex):
         static_kind = "starling"
-        save_starling(static, directory / "static")
+        static_manifest = save_starling(
+            static, directory / "static",
+            injector=injector, keep_generations=protect,
+        )
     elif isinstance(static, DiskANNIndex):
         static_kind = "diskann"
-        save_diskann(static, directory / "static")
+        static_manifest = save_diskann(
+            static, directory / "static",
+            injector=injector, keep_generations=protect,
+        )
     else:
         raise NotImplementedError(
             f"cannot persist static index {type(static).__name__}"
@@ -560,6 +655,7 @@ def save_updatable(
             else float(segment._default_radius)
         ),
         "static_kind": static_kind,
+        "static_generation": static_manifest.generation,
         "next_id": segment._next_id,
         "merges": segment.merges,
     }
@@ -605,10 +701,20 @@ def load_updatable(directory: str | os.PathLike, rebuild, *, strict: bool = Fals
             f"unsupported updatable format version {meta.get('format_version')}"
         )
     _require_files(files_dir, ("state.npz",))
+    # Load the exact static generation this state was committed with (older
+    # saves predate the pin and fall back to the static pointer).  A static
+    # pointer that drifted ahead of the pin — crash between the static and
+    # state commits — is thereby ignored, never paired with older state.
+    pinned = meta.get("static_generation")
+    pinned = None if pinned is None else int(pinned)
     if meta.get("static_kind") == "starling":
-        static = load_starling(directory / "static", strict=strict)
+        static = load_starling(
+            directory / "static", strict=strict, generation=pinned
+        )
     else:
-        static = load_diskann(directory / "static", strict=strict)
+        static = load_diskann(
+            directory / "static", strict=strict, generation=pinned
+        )
     try:
         state = np.load(files_dir / "state.npz")
         dataset = VectorDataset(

@@ -209,3 +209,63 @@ class TestDiskANNPersistence:
     def test_rejects_wrong_type(self, starling_index, tmp_path):
         with pytest.raises(TypeError):
             save_diskann(starling_index, tmp_path / "idx")
+
+
+class TestManifestRobustness:
+    def test_prune_keeps_existing_rollback_target(self, starling_index,
+                                                  tmp_path):
+        """A stale pointer with skipped numbers must not trick prune into
+        deleting the only self-verifying older generation."""
+        from dataclasses import replace
+
+        from repro.storage import fsck
+        from repro.storage.manifest import generation_name
+
+        d = tmp_path / "idx"
+        save_starling(starling_index, d)  # gen 1 on disk
+        stale = replace(
+            read_manifest(d), generation=5, directory=generation_name(5)
+        )
+        write_pointer(d, stale)  # pointer gen 5, directory missing
+        save_starling(starling_index, d)  # commits gen 6
+        assert read_manifest(d).generation == 6
+        # gen 1 — the newest existing committed generation below 6 — is the
+        # only rollback target and must survive the prune
+        assert (d / generation_name(1)).is_dir()
+        # and fsck phase-3b rollback can still use it
+        bad = d / generation_name(6) / "disk.bin"
+        bad.write_bytes(b"\x00" + bad.read_bytes()[1:])
+        report = fsck(d)
+        assert report.exit_code == 1, report.to_dict()
+        assert report.generation == 1
+        load_starling(d)
+
+    def test_unreadable_generation_manifest_is_typed(self, starling_index,
+                                                     tmp_path, monkeypatch):
+        """I/O errors on a generation's manifest copy must surface as
+        ManifestError (so fsck treats the generation as non-verifying
+        instead of crashing)."""
+        import pathlib
+
+        from repro.storage.manifest import (
+            GEN_MANIFEST_NAME,
+            ManifestError,
+            read_generation_manifest,
+        )
+        from repro.storage.repair import _generation_self_verifies
+
+        d = tmp_path / "idx"
+        save_starling(starling_index, d)
+        gen_dir = d / read_manifest(d).directory
+
+        real_read_text = pathlib.Path.read_text
+
+        def flaky(self, *args, **kwargs):
+            if self.name == GEN_MANIFEST_NAME:
+                raise OSError("input/output error")
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "read_text", flaky)
+        with pytest.raises(ManifestError):
+            read_generation_manifest(gen_dir)
+        assert _generation_self_verifies(gen_dir) is None
