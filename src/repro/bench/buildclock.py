@@ -24,6 +24,7 @@ import numpy as np
 from ..buildspec import DEFAULT_WAVE_SIZE, BuildSpec
 from ..core.builder import build_starling
 from ..core.config import StarlingConfig
+from .envinfo import environment_metadata
 from ..graphs.nsg import NSGParams, build_nsg
 from ..graphs.vamana import VamanaParams, build_vamana
 from ..metrics import mean_recall_at_k
@@ -124,6 +125,7 @@ class BuildclockReport:
                 "first_hit": self.cache_first_hit,
                 "second_hit": self.cache_second_hit,
             },
+            "environment": environment_metadata(),
         }
 
     def write_json(self, path: str) -> str:

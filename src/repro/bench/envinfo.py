@@ -1,0 +1,32 @@
+"""Machine/environment metadata stamped into the measured bench reports.
+
+``BENCH_wallclock.json`` and ``BENCH_build.json`` are the only *measured*
+numbers the bench layer emits, so their trajectory across PRs is only
+interpretable alongside the interpreter, numpy build, and CPU budget they
+ran under.  Everything here is cheap to collect and deterministic for a
+given machine.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+import numpy as np
+
+
+def environment_metadata() -> dict:
+    """Interpreter/library/host facts for a measured-benchmark report."""
+    try:
+        usable_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        usable_cpus = os.cpu_count()
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpus,
+    }

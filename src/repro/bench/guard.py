@@ -1,0 +1,87 @@
+"""Perf regression guard: freshly measured speedups vs committed baselines.
+
+CI re-runs the measured benches into side files (``REPRO_BENCH_*_OUT``) and
+then compares their headline speedups against the ``BENCH_*.json`` baselines
+committed in the repository.  A fresh speedup more than ``tolerance`` below
+its baseline fails the job; *faster* is always fine.  Ratios — not absolute
+seconds — are compared, so the guard tolerates runner-to-runner machine
+variance as long as the serial-vs-batched relationship holds.
+
+Usage::
+
+    python -m repro.bench.guard wallclock FRESH.json BASELINE.json \
+                                [build FRESH.json BASELINE.json ...]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: headline speedup metrics per report kind: (label, path into the dict)
+METRICS: dict[str, list[tuple[str, tuple[str, ...]]]] = {
+    "wallclock": [
+        ("batched-vs-serial speedup", ("speedup",)),
+    ],
+    "build": [
+        ("end-to-end build speedup", ("phases", "total_speedup")),
+        ("graph build speedup", ("graph_build", "speedup")),
+    ],
+}
+
+#: maximum tolerated fractional regression before the guard fails
+DEFAULT_TOLERANCE = 0.20
+
+
+def _lookup(data: dict, path: tuple[str, ...]) -> float:
+    for key in path:
+        data = data[key]
+    return float(data)
+
+
+def check_report(
+    kind: str, fresh: dict, baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Compare one fresh report against its baseline; returns failures."""
+    if kind not in METRICS:
+        raise ValueError(f"unknown report kind {kind!r}")
+    failures = []
+    for label, path in METRICS[kind]:
+        base = _lookup(baseline, path)
+        new = _lookup(fresh, path)
+        floor = base * (1.0 - tolerance)
+        status = "OK" if new >= floor else "REGRESSION"
+        print(
+            f"[{kind}] {label}: baseline {base:.3f}x, fresh {new:.3f}x, "
+            f"floor {floor:.3f}x -> {status}"
+        )
+        if new < floor:
+            failures.append(
+                f"{kind}: {label} regressed more than "
+                f"{tolerance:.0%} (baseline {base:.3f}x, fresh {new:.3f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if not argv or len(argv) % 3 != 0:
+        print(__doc__)
+        return 2
+    failures: list[str] = []
+    for i in range(0, len(argv), 3):
+        kind, fresh_path, baseline_path = argv[i : i + 3]
+        with open(fresh_path) as fh:
+            fresh = json.load(fh)
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        failures.extend(check_report(kind, fresh, baseline))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CI entry point
+    raise SystemExit(main(sys.argv[1:]))

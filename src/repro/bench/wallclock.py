@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..engine.batch import BatchExecutor, ExecSpec
+from .envinfo import environment_metadata
 
 #: default query count — high enough that most blocks are touched by
 #: several queries, which is what the shared decode cache amortizes
@@ -104,6 +105,7 @@ class WallclockReport:
             "speedup": self.speedup,
             "results_identical": self.results_identical,
             "counters_identical": self.counters_identical,
+            "environment": environment_metadata(),
             "per_query_counters": self.counters,
         }
 

@@ -1,5 +1,6 @@
 """Disk search engines: cost model, candidate sets, beam & block search, RS."""
 
+from .arena import Arena, ArenaPool
 from .batch import EXEC_MODES, BatchExecutor, ExecSpec
 from .beam_search import BeamSearchEngine
 from .block_cache import CachedDiskGraph
@@ -19,6 +20,8 @@ from .results import RangeResult, SearchResult
 
 __all__ = [
     "EXEC_MODES",
+    "Arena",
+    "ArenaPool",
     "BatchExecutor",
     "BeamSearchEngine",
     "BlockSearchEngine",

@@ -9,7 +9,7 @@ clock) cost across the batch, guaranteed to return results bit-identical to
 the plain per-query loop — same ids, same distances, same
 :class:`~repro.engine.cost.QueryStats` counters.
 
-Three amortizations, each individually counter-neutral:
+Four amortizations, each individually counter-neutral:
 
 - **Shared ADC tables** — one batched
   :meth:`~repro.quantization.pq.ProductQuantizer.lookup_tables` build for
@@ -23,11 +23,24 @@ Three amortizations, each individually counter-neutral:
   *behind* the I/O accounting, skipping only the Python-side payload
   decode), so per-query I/O counters are untouched while the dominant
   decode cost is paid once per block instead of once per (query, block).
+- **Zero-copy data plane** — for the duration of the batch, the physical
+  disk graph decodes payloads into zero-copy strided views
+  (``decode_mode="view"``) and the engine's round kernels gather their
+  input through a reused :class:`~repro.engine.arena.ArenaPool` instead of
+  allocating per-round matrices.  View values equal copy values and the
+  gathered layout equals the allocated one, so results and counters are
+  bit-identical; the ``serial`` reference path keeps the legacy copying
+  decode (it is defined as "no amortization at all").
 - **Fan-out** — optional thread or process pools
   (:class:`concurrent.futures`) for genuinely parallel machines.  Thread
   mode serializes the entry-point walk (the navigation graph keeps per-walk
   trace state) and relies on the device's internal lock for exact counter
   totals; process mode forks workers that each search a contiguous shard.
+  Without ``fork`` (or with ``start_method="spawn"`` requested), workers
+  map the disk image, PQ tables, and query matrix through
+  ``multiprocessing.shared_memory`` (:mod:`repro.engine.shm`) instead of
+  receiving pickled copies; indexes with no export path fall back to
+  threads.
 
 Fault injection is order-sensitive — :class:`~repro.storage.faults.
 FaultInjector` draws from one sequential RNG, so the fault schedule depends
@@ -42,6 +55,7 @@ accounting is order-dependent and not thread-safe.
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -72,12 +86,26 @@ class ExecSpec:
             call up front.
         decode_cache: Install a shared decoded-block cache on the physical
             disk graph for the duration of the batch.
+        zero_copy: Install the zero-copy data plane (view-mode decode +
+            arena-backed round kernels) for the duration of the batch.
+        gc_pause: Pause the cyclic garbage collector for the span of the
+            batch (restored — and left to collect — afterwards).  The
+            zero-copy plane already removes the bulk of per-round
+            allocations; pausing the collector stops the remaining
+            transient churn from triggering generation scans mid-batch.
+            Purely a scheduling choice: it cannot affect results.
+        start_method: Multiprocessing start method for ``processes`` mode;
+            ``None`` prefers ``fork`` when available.  Non-fork methods use
+            the shared-memory export instead of pickled state.
     """
 
     mode: str = "batched"
     workers: int = 4
     share_tables: bool = True
     decode_cache: bool = True
+    zero_copy: bool = True
+    gc_pause: bool = True
+    start_method: str | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in EXEC_MODES:
@@ -86,6 +114,10 @@ class ExecSpec:
             )
         if self.workers <= 0:
             raise ValueError("workers must be positive")
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(
+                f"unknown start_method {self.start_method!r}"
+            )
 
 
 # Fork-inherited state for process mode: the index (with its open device)
@@ -106,6 +138,18 @@ def _forked_range(args: tuple[int, float, dict]) -> object:
     i, radius, kwargs = args
     table = tables[i] if tables is not None else None
     return index.range_search(queries[i], radius, table=table, **kwargs)
+
+
+def _shm_worker_init(image) -> None:
+    """Spawn-pool initializer: rebuild the index over shared mappings.
+
+    Reuses the ``_FORK_STATE`` slot so the same task functions serve both
+    process backends.
+    """
+    global _FORK_STATE
+    from .shm import build_worker_state
+
+    _FORK_STATE = build_worker_state(image)
 
 
 class BatchExecutor:
@@ -134,6 +178,12 @@ class BatchExecutor:
         )
         return isinstance(device, FaultInjector) and device.fault_spec.enabled
 
+    def _process_start_method(self) -> str:
+        if self.spec.start_method is not None:
+            return self.spec.start_method
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else "spawn"
+
     def effective_mode(self) -> str:
         """The mode actually used, after the determinism gates.
 
@@ -141,6 +191,8 @@ class BatchExecutor:
         injector's sequential RNG draws and an LRU block cache's hit
         pattern; both gates fall back to the in-order ``batched`` mode so
         results and counters stay bit-identical to the serial loop.
+        ``processes`` without ``fork`` needs the shared-memory export; an
+        index with no export path falls back to threads.
         """
         mode = self.spec.mode
         if getattr(self.engine, "disk_graph", None) is None:
@@ -152,10 +204,15 @@ class BatchExecutor:
                 return "batched"
             if hasattr(self.engine.disk_graph, "inner"):
                 return "batched"
-        if mode == "processes" and (
-            "fork" not in multiprocessing.get_all_start_methods()
-        ):
-            return "threads"
+        if mode == "processes":
+            method = self._process_start_method()
+            if method not in multiprocessing.get_all_start_methods():
+                return "threads"
+            if method != "fork":
+                from .shm import exportable
+
+                if not exportable(self.engine):
+                    return "threads"
         return mode
 
     # -- shared amortizations ----------------------------------------------
@@ -180,6 +237,54 @@ class BatchExecutor:
             yield
         finally:
             graph.decode_cache = previous
+
+    @contextmanager
+    def _zero_copy_plane(self, enabled: bool):
+        """Install view-mode decode and an arena pool for the batch.
+
+        The plane is an executor amortization like the shared decode cache:
+        the ``serial`` reference loop never sees it, and it is uninstalled
+        (legacy copying decode restored) when the batch ends.  Blocks that
+        outlive the batch in an LRU cache stay valid — their views keep the
+        immutable payload bytes alive.
+        """
+        graph = base_disk_graph(self.engine.disk_graph)
+        if (
+            not enabled
+            or not hasattr(graph, "decode_mode")
+            or not hasattr(self.engine, "arena_pool")
+        ):
+            yield
+            return
+        from .arena import ArenaPool
+
+        prev_mode = graph.decode_mode
+        prev_pool = self.engine.arena_pool
+        graph.decode_mode = "view"
+        self.engine.arena_pool = ArenaPool()
+        try:
+            yield
+        finally:
+            graph.decode_mode = prev_mode
+            self.engine.arena_pool = prev_pool
+
+    @contextmanager
+    def _gc_pause(self, enabled: bool):
+        """Hold off the cyclic collector while a batch runs.
+
+        Per-round garbage is flat (arena reuse, preallocated search state),
+        so mid-batch generation scans only add latency.  The collector is
+        re-enabled on exit if it was enabled before; anything deferred is
+        collected on its next pass.
+        """
+        if not enabled or not gc.isenabled():
+            yield
+            return
+        gc.disable()
+        try:
+            yield
+        finally:
+            gc.enable()
 
     @contextmanager
     def _seed_lock(self):
@@ -226,7 +331,9 @@ class BatchExecutor:
                 [(i, k, candidate_size) for i in range(len(queries))],
                 queries, tables,
             )
-        with self._shared_decode_cache(self.spec.decode_cache):
+        with self._shared_decode_cache(self.spec.decode_cache), \
+                self._zero_copy_plane(self.spec.zero_copy), \
+                self._gc_pause(self.spec.gc_pause):
             if mode == "batched":
                 return [one(i) for i in range(len(queries))]
             return self._run_threads(one, len(queries))
@@ -266,7 +373,9 @@ class BatchExecutor:
                 [(i, radius, kwargs) for i in range(len(queries))],
                 queries, tables,
             )
-        with self._shared_decode_cache(self.spec.decode_cache):
+        with self._shared_decode_cache(self.spec.decode_cache), \
+                self._zero_copy_plane(self.spec.zero_copy), \
+                self._gc_pause(self.spec.gc_pause):
             if mode == "batched":
                 return [one(i) for i in range(len(queries))]
             return self._run_threads(one, len(queries))
@@ -279,21 +388,55 @@ class BatchExecutor:
                 return list(pool.map(one, range(count)))
 
     def _run_processes(self, worker, tasks: list, queries, tables) -> list:
-        """Fork a pool that inherits the index, then map index positions.
+        """Run a process pool over index positions.
 
-        Workers accumulate device counters and decode caches in their own
-        address spaces; the per-query stats inside each returned result are
-        complete and identical, but the parent device's *running totals* do
-        not advance — process mode trades global counter visibility for
-        parallelism.
+        ``fork`` workers inherit the index (and the installed zero-copy
+        plane) by address-space copy; other start methods map the heavy
+        payloads through the shared-memory export and rebuild the index per
+        worker.  Workers accumulate device counters and decode caches in
+        their own address spaces; the per-query stats inside each returned
+        result are complete and identical, but the parent device's
+        *running totals* do not advance — process mode trades global
+        counter visibility for parallelism.
         """
+        method = self._process_start_method()
+        if method != "fork":
+            return self._run_processes_shm(worker, tasks, queries, tables)
         global _FORK_STATE
         _FORK_STATE = (self.index, queries, tables)
         try:
             context = multiprocessing.get_context("fork")
+            with self._zero_copy_plane(self.spec.zero_copy):
+                with ProcessPoolExecutor(
+                    max_workers=self.spec.workers, mp_context=context
+                ) as pool:
+                    return list(pool.map(worker, tasks))
+        finally:
+            _FORK_STATE = None
+
+    def _run_processes_shm(self, worker, tasks: list, queries, tables) -> list:
+        """Spawn-safe process pool: payloads travel via shared memory.
+
+        The parent owns every segment and unlinks them in ``finally`` —
+        including when a worker crashes mid-batch — so no ``/dev/shm``
+        entries outlive the call.
+        """
+        from .shm import export_index
+
+        image, export = export_index(
+            self.index, self.engine, queries, tables,
+            zero_copy=self.spec.zero_copy,
+        )
+        try:
+            context = multiprocessing.get_context(
+                self._process_start_method()
+            )
             with ProcessPoolExecutor(
-                max_workers=self.spec.workers, mp_context=context
+                max_workers=self.spec.workers,
+                mp_context=context,
+                initializer=_shm_worker_init,
+                initargs=(image,),
             ) as pool:
                 return list(pool.map(worker, tasks))
         finally:
-            _FORK_STATE = None
+            export.close()

@@ -77,6 +77,10 @@ class BeamSearchEngine:
         if early_termination is not None and early_termination < 1:
             raise ValueError("early_termination patience must be >= 1")
         self.early_termination = early_termination
+        #: optional :class:`~repro.engine.arena.ArenaPool` installed by the
+        #: batched executor's zero-copy plane; the beam's served vectors are
+        #: gathered into a reused arena instead of a per-round ``np.stack``.
+        self.arena_pool = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -141,7 +145,11 @@ class BeamSearchEngine:
         if trace is not None:
             # The navigation-graph walk is in-memory compute, not I/O.
             stats.exact_distances += trace.distance_computations
-        candidates = CandidateSet(candidate_size, track_kicked=True)
+        candidates = CandidateSet(
+            candidate_size,
+            track_kicked=True,
+            max_vertex_id=self.disk_graph.num_vertices - 1,
+        )
         results = ResultSet()
         ids = np.asarray(entries, dtype=np.int64)
         dists = self._routing_distances(query, table, ids, stats)
@@ -214,7 +222,7 @@ class BeamSearchEngine:
                         continue
                     pos = block.index_of(vid)
                     served.append(
-                        (vid, block.vectors[pos], block.neighbor_lists[pos])
+                        (vid, block.vectors[pos], block.neighbors_of(pos))
                     )
                     # The baseline discards every non-target vertex in a block.
                     stats.vertices_used += 1
@@ -223,8 +231,21 @@ class BeamSearchEngine:
                 continue
             # One batched exact-distance evaluation over the beam's served
             # vectors (mirrors block search's per-block kernel).
-            vecs = np.stack([vector for _, vector, _ in served])
-            dists = self.metric.distances(query, vecs)
+            pool = self.arena_pool
+            if pool is not None:
+                # Zero-copy plane: gather served rows into a reused arena —
+                # the row layout equals the stack below, so the kernel
+                # output is bit-identical.
+                arena = pool.acquire(self.disk_graph.fmt)
+                arena.ensure(len(served))
+                for i, (_, vector, _) in enumerate(served):
+                    arena.vectors[i] = vector
+                arena.filled = len(served)
+                dists = self.metric.distances(query, arena.rows())
+                pool.release(arena)
+            else:
+                vecs = np.stack([vector for _, vector, _ in served])
+                dists = self.metric.distances(query, vecs)
             stats.exact_distances += len(served)
             results.add_many(
                 np.asarray([vid for vid, _, _ in served], dtype=np.int64),

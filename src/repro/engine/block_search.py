@@ -86,6 +86,12 @@ class BlockSearchEngine:
         if early_termination is not None and early_termination < 1:
             raise ValueError("early_termination patience must be >= 1")
         self.early_termination = early_termination
+        #: optional :class:`~repro.engine.arena.ArenaPool` installed by the
+        #: batched executor's zero-copy plane.  When set, each round's exact-
+        #: distance kernel input is gathered into a reused arena instead of a
+        #: freshly allocated ``np.concatenate`` — same contiguous layout and
+        #: values, so the kernel output is bit-identical.
+        self.arena_pool = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -145,7 +151,11 @@ class BlockSearchEngine:
             trace = getattr(self.entry_provider, "last_trace", None)
         if trace is not None:
             stats.exact_distances += trace.distance_computations
-        candidates = CandidateSet(candidate_size, track_kicked=True)
+        candidates = CandidateSet(
+            candidate_size,
+            track_kicked=True,
+            max_vertex_id=self.disk_graph.num_vertices - 1,
+        )
         results = ResultSet()
         ids = np.asarray(entries, dtype=np.int64)
         dists = self._routing_distances(query, table, ids, stats)
@@ -188,94 +198,181 @@ class BlockSearchEngine:
         stopper: AdaptiveEarlyStopper | None = None,
     ) -> None:
         """Drain the candidate set (shared with the range-search driver)."""
-        while candidates.has_unvisited():
-            if stopper is not None and stopper.update(results):
-                break
-            batch = candidates.pop_unvisited(self.beam_width)
-            stats.hops += len(batch)
-            blocks = counted_read_blocks_of(
-                self.disk_graph, batch, stats, self.resilience
+        pool = self.arena_pool
+        arena = pool.acquire(self.disk_graph.fmt) if pool is not None else None
+        try:
+            self._drain(
+                query, candidates, results, table, stats,
+                stopper=stopper, arena=arena,
             )
-            by_block = {b.block_id: b for b in blocks}
-            targets_by_block: dict[int, list[int]] = {}
-            for vid in batch:
-                targets_by_block.setdefault(
-                    self.disk_graph.block_of(vid), []
-                ).append(vid)
-            for block_id, targets in targets_by_block.items():
-                if block_id not in by_block:
-                    # Unreadable after retries: skip these targets, keep
-                    # draining the rest of the frontier.
-                    stats.fault.vertices_abandoned += len(targets)
+        finally:
+            if pool is not None:
+                pool.release(arena)
 
-            explore_parts: list[np.ndarray] = []
-            keep_quota = math.ceil(
-                (self.disk_graph.fmt.vertices_per_block - 1)
-                * self.pruning_ratio
-            )
-            # Exact distances to every vertex of every block in the round —
-            # the I/O is already paid, the computation is what block pruning
-            # bounds.  One fused kernel call for the whole round; the L2
-            # kernel is row-wise consistent, so the per-block slices equal
-            # what per-block calls would produce.
-            round_blocks = list(by_block.values())
-            if round_blocks:
-                all_dists = self.metric.distances(
-                    query,
-                    np.concatenate([b.vectors for b in round_blocks])
-                    if len(round_blocks) > 1 else round_blocks[0].vectors,
-                ).tolist()
-            offset = 0
-            for block in round_blocks:
-                size = len(block)
-                stats.vertices_loaded += size
-                stats.exact_distances += size
-                targets = targets_by_block[block.block_id]
-                # Per-block work is ε-sized (~a dozen vertices), where plain
-                # Python lists beat numpy call overhead, so everything below
-                # runs on the ``tolist()`` views.
-                dists = all_dists[offset:offset + size]
-                offset += size
-                ids = block.ids_list()
-                nbrs = block.neighbor_lists
-
-                if len(targets) == 1:
-                    target_pos = [block.index_of(targets[0])]
+    def _drain(
+        self,
+        query: np.ndarray,
+        candidates: CandidateSet,
+        results: ResultSet,
+        table: np.ndarray | None,
+        stats: QueryStats,
+        *,
+        stopper: AdaptiveEarlyStopper | None,
+        arena,
+    ) -> None:
+        dg = self.disk_graph
+        beam_width = self.beam_width
+        keep_quota = math.ceil(
+            (dg.fmt.vertices_per_block - 1) * self.pruning_ratio
+        )
+        # Fused fast path for the plain disk graph: one vertex→block
+        # gather serves both the deduplicated read batch and the target
+        # grouping (the generic helper and the per-vertex ``block_of``
+        # loop each redo the lookup).  Read order and accounting match
+        # ``counted_read_blocks_of`` exactly: first-occurrence block
+        # order, one round-trip, zero cache hits — and plain reads raise
+        # on failure, so no block can be missing.
+        fast = self.resilience is None and type(dg) is DiskGraph
+        if fast:
+            vertex_to_block = dg.vertex_to_block
+            read_blocks = dg.read_blocks
+            round_trip_append = stats.round_trip_blocks.append
+        metric_kernel = self.metric.distances_kernel(query)
+        # Per-round counter updates accumulate in locals and flush to
+        # ``stats`` in the ``finally`` — one attribute store per drain
+        # instead of several per block, with accurate counts even when a
+        # fault aborts the drain mid-round.
+        hops = vertices_loaded = exact_distances = vertices_used = 0
+        try:
+            while candidates.has_unvisited():
+                if stopper is not None and stopper.update(results):
+                    break
+                batch = candidates.pop_unvisited(beam_width)
+                hops += len(batch)
+                targets_by_block: dict[int, list[int]] = {}
+                if fast:
+                    bids = vertex_to_block[batch].tolist()
+                    round_blocks = read_blocks(list(dict.fromkeys(bids)))
+                    round_trip_append(len(round_blocks))
+                    for vid, bid in zip(batch, bids):
+                        targets_by_block.setdefault(bid, []).append(vid)
                 else:
-                    target_pos = sorted({block.index_of(v) for v in targets})
-                for pos in target_pos:
-                    results.add(ids[pos], dists[pos])
-                    explore_parts.append(nbrs[pos])
+                    blocks = counted_read_blocks_of(
+                        dg, batch, stats, self.resilience
+                    )
+                    for vid in batch:
+                        targets_by_block.setdefault(
+                            dg.block_of(vid), []
+                        ).append(vid)
+                    by_block = {b.block_id: b for b in blocks}
+                    for block_id, targets in targets_by_block.items():
+                        if block_id not in by_block:
+                            # Unreadable after retries: skip these targets,
+                            # keep draining the rest of the frontier.
+                            stats.fault.vertices_abandoned += len(targets)
+                    round_blocks = blocks
 
-                # Block pruning: examine only the top-((ε−1)·σ) non-target
-                # vertices; distant co-located vertices are discarded early.
-                rest = list(range(size))
-                for pos in reversed(target_pos):
-                    del rest[pos]
-                keep = min(keep_quota, len(rest))
-                stats.vertices_used += len(target_pos) + keep
-                if keep:
-                    # Stable sort by distance == stable argsort: ties keep
-                    # their in-block order.
-                    rest.sort(key=dists.__getitem__)
-                    chosen = rest[:keep]
-                    vids = [ids[i] for i in chosen]
-                    dvals = [dists[i] for i in chosen]
-                    results.add_many(vids, dvals)
+                explore_parts: list[np.ndarray] = []
+                # Exact distances to every vertex of every block in the
+                # round — the I/O is already paid, the computation is what
+                # block pruning bounds.  One fused kernel call for the whole
+                # round; the L2 kernel is row-wise consistent, so the
+                # per-block slices equal what per-block calls would produce.
+                if round_blocks:
+                    if arena is not None:
+                        # Zero-copy plane: gather the round's vectors into a
+                        # reused arena (no per-round matrix allocation; the
+                        # arena is held for the whole drain and reset each
+                        # round) and run the kernel against the arena's
+                        # scratch workspace, so the steady-state round makes
+                        # no data allocations at all.  The rows are the
+                        # blocks' kernel-dtype matrices — the same promotion
+                        # the metric applies to the concatenate below — so
+                        # the fused kernel sees identical input either way.
+                        rows = arena.load_rows(
+                            [b.kernel_vectors() for b in round_blocks]
+                        )
+                        all_dists = metric_kernel(
+                            rows, arena.scratch_rows(rows.shape[0])
+                        ).tolist()
+                    else:
+                        all_dists = metric_kernel(
+                            np.concatenate([b.vectors for b in round_blocks])
+                            if len(round_blocks) > 1
+                            else round_blocks[0].vectors,
+                        ).tolist()
+                # Per-block work is ε-sized (~a dozen vertices), where plain
+                # Python lists beat numpy call overhead, so the selection
+                # loops below run on the ``tolist()`` views; the result-set
+                # fold and the visited-push are deferred to one bulk call
+                # per round (min-merge is order-independent and the pushed
+                # ids are unique across the round, so the per-block and
+                # per-round folds are outcome-identical).
+                res_ids: list[int] = []
+                res_dists: list[float] = []
+                keep_ids: list[int] = []
+                keep_dists: list[float] = []
+                offset = 0
+                for block in round_blocks:
+                    size = len(block)
+                    vertices_loaded += size
+                    exact_distances += size
+                    targets = targets_by_block[block.block_id]
+                    dists = all_dists[offset:offset + size]
+                    offset += size
+                    ids = block.ids_list()
+                    nbrs = block.neighbor_lists
+
+                    if len(targets) == 1:
+                        target_pos = [block.index_of(targets[0])]
+                    else:
+                        target_pos = sorted(
+                            {block.index_of(v) for v in targets}
+                        )
+                    for pos in target_pos:
+                        res_ids.append(ids[pos])
+                        res_dists.append(dists[pos])
+                        explore_parts.append(nbrs[pos])
+
+                    # Block pruning: examine only the top-((ε−1)·σ)
+                    # non-target vertices; distant co-located vertices are
+                    # discarded early.
+                    rest = list(range(size))
+                    for pos in reversed(target_pos):
+                        del rest[pos]
+                    keep = min(keep_quota, len(rest))
+                    vertices_used += len(target_pos) + keep
+                    if keep:
+                        # Stable sort by distance == stable argsort: ties
+                        # keep their in-block order.
+                        rest.sort(key=dists.__getitem__)
+                        chosen = rest[:keep]
+                        keep_ids.extend([ids[i] for i in chosen])
+                        keep_dists.extend([dists[i] for i in chosen])
+                        explore_parts.extend([nbrs[i] for i in chosen])
+                if keep_ids:
+                    res_ids.extend(keep_ids)
+                    res_dists.extend(keep_dists)
                     # They are in memory now; never fetch them again.
-                    candidates.push_visited_many(vids, dvals)
-                    explore_parts.extend(nbrs[i] for i in chosen)
+                    candidates.push_visited_many(keep_ids, keep_dists)
+                if res_ids:
+                    results.add_many(res_ids, res_dists)
 
-            if not explore_parts:
-                continue
-            explore = np.concatenate(explore_parts)
-            # One vectorized freshness mask, then insertion-ordered dedup
-            # shared with beam search (one helper, one order).  Filtering
-            # first shrinks the dedup input; a duplicate's seen-status is
-            # the same at every occurrence, so the order of the two steps
-            # does not change the output.
-            fresh = explore[candidates.unseen(explore)]
-            if fresh.size:
-                ids = ordered_unique(fresh).astype(np.int64)
-                route = self._routing_distances(query, table, ids, stats)
-                candidates.push_many(ids, route)
+                if not explore_parts:
+                    continue
+                explore = np.concatenate(explore_parts)
+                # One vectorized freshness mask, then insertion-ordered
+                # dedup shared with beam search (one helper, one order).
+                # Filtering first shrinks the dedup input; a duplicate's
+                # seen-status is the same at every occurrence, so the order
+                # of the two steps does not change the output.
+                fresh = explore[candidates.unseen(explore)]
+                if fresh.size:
+                    ids = ordered_unique(fresh).astype(np.int64)
+                    route = self._routing_distances(query, table, ids, stats)
+                    candidates.push_many(ids, route)
+        finally:
+            stats.hops += hops
+            stats.vertices_loaded += vertices_loaded
+            stats.exact_distances += exact_distances
+            stats.vertices_used += vertices_used

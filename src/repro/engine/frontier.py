@@ -7,20 +7,21 @@ search terminates.  The range-search algorithm additionally records the
 vertices kicked out of the candidate set (the set P of §5.3) so a resumed
 search with a doubled candidate set loses nothing.
 
-The candidate set is array-backed: membership and visited flags live in
-auto-grown boolean arrays indexed by vertex id (so the engines' "is this
-neighbour new?" filter is one vectorized mask instead of per-id dict/set
-probes), and the bulk :meth:`CandidateSet.push_many` used on the frontier
-expansion path replaces hundreds of sequential ordered inserts per hop with
-one stable merge.  The sequential :meth:`CandidateSet.push` remains for the
-small seed/readmit paths, and the two are outcome-identical by construction
-(see the stability argument in ``push_many``).
+The candidate set is flat-array-backed end to end: the sorted entry list is
+a pair of preallocated ``(dist, id)`` arrays plus a fill count (no per-entry
+tuple objects, no heap), membership and visited flags live in auto-grown
+boolean arrays indexed by vertex id (so the engines' "is this neighbour
+new?" filter is one vectorized mask instead of per-id dict/set probes), and
+ordered insertion shifts the tail through a preallocated scratch buffer —
+steady-state pushes allocate nothing.  The bulk
+:meth:`CandidateSet.push_many` used on the frontier expansion path disposes
+of the non-entering bulk with one vectorized mask, and the sequential
+:meth:`CandidateSet.push` remains for the small seed/readmit paths; the two
+are outcome-identical by construction (see the stability argument in
+``push_many``).
 """
 
 from __future__ import annotations
-
-from bisect import bisect_left, insort
-from heapq import heappop, heappush
 
 import numpy as np
 
@@ -41,32 +42,62 @@ def ordered_unique(ids: np.ndarray) -> np.ndarray:
 
 
 class CandidateSet:
-    """Fixed-capacity set ordered by ascending distance with visited flags."""
+    """Fixed-capacity set ordered by ascending distance with visited flags.
+
+    Entries live in two parallel preallocated arrays sorted by ``(dist,
+    id)``; ``_size`` counts the filled prefix.  Tail shifts on ordered
+    insert/delete go through a same-sized scratch buffer (numpy copies an
+    overlapping slice assignment through a temporary — the scratch makes the
+    move explicitly allocation-free).  ``_unvis_count`` tracks how many
+    in-set entries are still unvisited, so ``has_unvisited`` is O(1) and
+    ``pop_unvisited`` is one vectorized scan of the sorted prefix — which
+    yields the same vertices in the same order as the old lazy-deletion
+    min-heap, because the prefix is sorted by exactly the heap's key.
+    """
 
     #: initial size of the id-indexed flag arrays
     _MIN_FLAGS = 1024
 
-    def __init__(self, capacity: int, *, track_kicked: bool = False) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        track_kicked: bool = False,
+        max_vertex_id: int | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._entries: list[tuple[float, int]] = []  # sorted by (dist, id)
-        # id-indexed state, grown on demand to cover the largest id seen
-        self._in_set = np.zeros(self._MIN_FLAGS, dtype=bool)
-        self._vis = np.zeros(self._MIN_FLAGS, dtype=bool)
-        self._key = np.zeros(self._MIN_FLAGS, dtype=np.float64)
+        # sorted-by-(dist, id) entry storage; [:_size] is the live prefix
+        self._ids = np.empty(capacity, dtype=np.int64)
+        self._dists = np.empty(capacity, dtype=np.float64)
+        self._scratch_i = np.empty(capacity, dtype=np.int64)
+        self._scratch_d = np.empty(capacity, dtype=np.float64)
+        self._size = 0
+        # id-indexed state, grown on demand to cover the largest id seen.
+        # Callers that know the id space up front (the engines pass the
+        # graph's vertex count) preallocate it, which lets every bulk path
+        # skip its per-call max-scan + growth check.
+        if max_vertex_id is not None:
+            flags = max(max_vertex_id + 1, 1)
+            self._complete = True
+        else:
+            flags = self._MIN_FLAGS
+            self._complete = False
+        self._in_set = np.zeros(flags, dtype=bool)
+        self._vis = np.zeros(flags, dtype=bool)
+        # fused ``in_set | vis`` flag, maintained incrementally so the hot
+        # ``unseen`` mask is one fancy-index instead of two plus an OR
+        self._seen = np.zeros(flags, dtype=bool)
+        self._key = np.zeros(flags, dtype=np.float64)
         self._num_visited = 0
-        # Lazy-deletion min-heap over the unvisited in-set entries, so
-        # pop_unvisited/has_unvisited don't rescan the (mostly visited)
-        # entry list.  An item is live iff its vertex is in the set,
-        # unvisited, and the recorded distance still matches ``_key``;
-        # anything else is stale and skipped on pop.
-        self._unvis: list[tuple[float, int]] = []
+        #: in-set entries whose visited flag is still False
+        self._unvis_count = 0
         self.track_kicked = track_kicked
         self.kicked: list[tuple[float, int]] = []
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._size
 
     def __contains__(self, vertex_id: int) -> bool:
         vid = int(vertex_id)
@@ -77,13 +108,104 @@ class CandidateSet:
         if max_id < size:
             return
         new = max(size * 2, max_id + 1)
-        for name in ("_in_set", "_vis"):
+        for name in ("_in_set", "_vis", "_seen"):
             grown = np.zeros(new, dtype=bool)
             grown[:size] = getattr(self, name)
             setattr(self, name, grown)
         key = np.zeros(new, dtype=np.float64)
         key[:size] = self._key
         self._key = key
+
+    # -- sorted-prefix plumbing ----------------------------------------------
+
+    def _insert(self, vid: int, d: float) -> None:
+        """Ordered insert into the ``(dist, id)``-sorted prefix."""
+        n = self._size
+        ids, dists = self._ids, self._dists
+        pos = int(dists[:n].searchsorted(d))
+        while pos < n and dists[pos] == d and ids[pos] < vid:
+            pos += 1
+        m = n - pos
+        if m:
+            self._scratch_i[:m] = ids[pos:n]
+            ids[pos + 1 : n + 1] = self._scratch_i[:m]
+            self._scratch_d[:m] = dists[pos:n]
+            dists[pos + 1 : n + 1] = self._scratch_d[:m]
+        ids[pos] = vid
+        dists[pos] = d
+        self._size = n + 1
+
+    def _delete(self, vid: int, d: float) -> None:
+        """Remove the entry ``(d, vid)`` (must exist) from the prefix."""
+        n = self._size
+        ids, dists = self._ids, self._dists
+        pos = int(dists[:n].searchsorted(d))
+        while ids[pos] != vid:
+            pos += 1
+        m = n - pos - 1
+        if m:
+            self._scratch_i[:m] = ids[pos + 1 : n]
+            ids[pos : n - 1] = self._scratch_i[:m]
+            self._scratch_d[:m] = dists[pos + 1 : n]
+            dists[pos : n - 1] = self._scratch_d[:m]
+        self._size = n - 1
+
+    def _enter(self, vid: int, d: float) -> None:
+        """Insert a new member and update every id-indexed flag."""
+        self._insert(vid, d)
+        self._in_set[vid] = True
+        self._seen[vid] = True
+        self._key[vid] = d
+        if not self._vis[vid]:
+            self._unvis_count += 1
+
+    def _bulk_enter(self, ids: np.ndarray, dists: np.ndarray) -> None:
+        """Merge a batch of new members into the sorted prefix in one shot.
+
+        Preconditions: ids are unique, none is currently in the set, and the
+        batch fits under ``capacity``.  A stable ``lexsort`` keyed exactly
+        like the prefix order — ``(dist, id)`` ascending — produces the same
+        array one :meth:`_enter` per element would, without the per-element
+        shift cost (this is the fill-phase fast path: a fresh search pours
+        ~capacity entries through here before the set ever evicts).
+        """
+        n = self._size
+        k = int(ids.size)
+        tot_i = np.concatenate((self._ids[:n], ids))
+        tot_d = np.concatenate((self._dists[:n], dists))
+        order = np.lexsort((tot_i, tot_d))
+        m = n + k
+        self._ids[:m] = tot_i[order]
+        self._dists[:m] = tot_d[order]
+        self._size = m
+        self._in_set[ids] = True
+        self._seen[ids] = True
+        self._key[ids] = dists
+        self._unvis_count += k - int(np.count_nonzero(self._vis[ids]))
+
+    def _bulk_visit(self, ids: np.ndarray) -> None:
+        """Mark a batch of unique ids visited with three vectorized writes."""
+        fresh = ids[~self._vis[ids]]
+        if fresh.size:
+            self._vis[fresh] = True
+            self._seen[fresh] = True
+            self._num_visited += int(fresh.size)
+            self._unvis_count -= int(np.count_nonzero(self._in_set[fresh]))
+
+    def _push_new(self, vid: int, d: float) -> None:
+        """Full-set insert of a vertex known to be new and below the worst
+        held distance (the bulk paths' pre-screened survivors) — the
+        membership/threshold checks of :meth:`push` are already settled."""
+        n = self._size
+        worst_id = int(self._ids[n - 1])
+        self._size = n - 1
+        self._in_set[worst_id] = False
+        if not self._vis[worst_id]:
+            self._seen[worst_id] = False
+            self._unvis_count -= 1
+            if self.track_kicked:
+                self.kicked.append((float(self._dists[n - 1]), worst_id))
+        self._enter(vid, d)
 
     # -- updates ---------------------------------------------------------------
 
@@ -99,33 +221,31 @@ class CandidateSet:
         """
         vid = int(vertex_id)
         d = float(distance)
-        self._ensure(vid)
+        if vid >= self._in_set.size:
+            self._ensure(vid)
         if self._in_set[vid]:
             old = float(self._key[vid])
             if d < old:
-                del self._entries[bisect_left(self._entries, (old, vid))]
-                insort(self._entries, (d, vid))
+                self._delete(vid, old)
+                self._insert(vid, d)
                 self._key[vid] = d
-                if not self._vis[vid]:
-                    # Old heap item goes stale via the key mismatch.
-                    heappush(self._unvis, (d, vid))
             return False
-        entries = self._entries
-        if len(entries) >= self.capacity:
-            worst_dist, worst_id = entries[-1]
+        n = self._size
+        if n >= self.capacity:
+            worst_dist = float(self._dists[n - 1])
             if d >= worst_dist:
                 if self.track_kicked and not self._vis[vid]:
                     self.kicked.append((d, vid))
                 return False
-            entries.pop()
+            worst_id = int(self._ids[n - 1])
+            self._size = n - 1
             self._in_set[worst_id] = False
-            if self.track_kicked and not self._vis[worst_id]:
-                self.kicked.append((worst_dist, worst_id))
-        insort(entries, (d, vid))
-        self._in_set[vid] = True
-        self._key[vid] = d
-        if not self._vis[vid]:
-            heappush(self._unvis, (d, vid))
+            if not self._vis[worst_id]:
+                self._seen[worst_id] = False
+                self._unvis_count -= 1
+                if self.track_kicked:
+                    self.kicked.append((worst_dist, worst_id))
+        self._enter(vid, d)
         return True
 
     def push_many(self, ids: np.ndarray, dists: np.ndarray) -> None:
@@ -145,21 +265,16 @@ class CandidateSet:
         dists = np.asarray(dists, dtype=np.float64)
         if ids.size == 0:
             return
-        self._ensure(int(ids.max()))
-        entries = self._entries
-        fill = self.capacity - len(entries)
+        if not self._complete:
+            self._ensure(int(ids.max()))
+        fill = self.capacity - self._size
         if fill > 0:
             k = min(fill, int(ids.size))
-            for vid, d in zip(ids[:k].tolist(), dists[:k].tolist()):
-                insort(entries, (d, vid))
-                self._in_set[vid] = True
-                self._key[vid] = d
-                if not self._vis[vid]:
-                    heappush(self._unvis, (d, vid))
+            self._bulk_enter(ids[:k], dists[:k])
             ids, dists = ids[k:], dists[k:]
             if ids.size == 0:
                 return
-        enter = dists < entries[-1][0]
+        enter = dists < self._dists[self._size - 1]
         if self.track_kicked:
             rejected = ~enter & ~self._vis[ids]
             if rejected.any():
@@ -167,51 +282,134 @@ class CandidateSet:
                     zip(dists[rejected].tolist(), ids[rejected].tolist())
                 )
         if enter.any():
+            # Survivors are new ids (precondition), so each one either fails
+            # the (by-now tighter) threshold — settled inline without a call
+            # — or takes the pre-screened evict-and-enter fast path.  The
+            # flag arrays were grown above and the entry arrays never
+            # reallocate at fixed capacity, so the local bindings stay live.
+            dists_arr = self._dists
+            last = self.capacity - 1
+            vis = self._vis
+            track = self.track_kicked
+            kicked = self.kicked
+            worst = dists_arr[last]
             for vid, d in zip(ids[enter].tolist(), dists[enter].tolist()):
-                self.push(vid, d)
+                if d >= worst:
+                    if track and not vis[vid]:
+                        kicked.append((d, vid))
+                else:
+                    self._push_new(vid, d)
+                    worst = dists_arr[last]
 
     def push_visited_many(self, ids, dists) -> None:
         """Push each vertex and immediately mark it visited (block search's
         co-located vertices: in memory now, never fetched again).
 
-        Sequential on purpose — whether an evicted vertex lands in the
-        kicked set depends on its visited flag *at eviction time*, so the
-        push/mark interleaving is semantic.  Accepts arrays or plain lists.
+        Outcome-identical to a sequential push/mark loop (ids are unique —
+        each vertex lives in exactly one block).  Below capacity nothing
+        evicts, so item order is irrelevant: the batch prefix that fits is
+        split into new ids (one bulk merge) and in-set ids (the
+        keep-smaller path), then bulk-marked visited.  At capacity the
+        push_many prefilter argument applies — the eviction threshold only
+        decreases, so an out-of-set item at or past it now is rejected at
+        its sequential turn too, and being out of the set it cannot be
+        evicted later either, so its kick/visit can be settled here in one
+        vectorized pass.  Only the few survivors take the sequential
+        push/mark path, whose eviction-time visited-flag interleaving is
+        semantic.
         """
-        if isinstance(ids, np.ndarray):
-            ids = ids.tolist()
-        if isinstance(dists, np.ndarray):
-            dists = dists.tolist()
-        if len(self._entries) >= self.capacity:
-            # Same prefilter argument as push_many: the eviction threshold
-            # only decreases, so an item at or past it now is rejected at
-            # its sequential turn too.  Restricted to ids not currently in
-            # the set (an in-set id could still take the keep-smaller
-            # path), which also means the rejected ids cannot be evicted
-            # later in the batch — their kick/visit can be settled here.
-            worst = self._entries[-1][0]
-            in_set, vis, size = self._in_set, self._vis, self._in_set.size
-            survivors_ids: list[int] = []
-            survivors_dists: list[float] = []
-            for vid, d in zip(ids, dists):
-                if d >= worst and (vid >= size or not in_set[vid]):
-                    if self.track_kicked and not (vid < size and vis[vid]):
-                        self.kicked.append((d, vid))
-                    self.mark_visited(vid)
-                else:
-                    survivors_ids.append(vid)
-                    survivors_dists.append(d)
-            ids, dists = survivors_ids, survivors_dists
-        for vid, d in zip(ids, dists):
-            self.push(vid, d)
-            self.mark_visited(vid)
+        ids = np.asarray(ids, dtype=np.int64)
+        dists = np.asarray(dists, dtype=np.float64)
+        if ids.size == 0:
+            return
+        if not self._complete:
+            self._ensure(int(ids.max()))
+        if self._size < self.capacity:
+            new_mask = ~self._in_set[ids]
+            fill = self.capacity - self._size
+            ncum = np.cumsum(new_mask)
+            if int(ncum[-1]) <= fill:
+                cut = int(ids.size)
+            else:
+                # include items through the fill-th new id; the rest face
+                # full-set semantics in order
+                cut = int(np.searchsorted(ncum, fill)) + 1
+            pre_ids, pre_d = ids[:cut], dists[:cut]
+            pre_new = new_mask[:cut]
+            bulk_ids = pre_ids[pre_new]
+            if bulk_ids.size:
+                self._bulk_enter(bulk_ids, pre_d[pre_new])
+            if bulk_ids.size != cut:
+                old = ~pre_new
+                for vid, d in zip(
+                    pre_ids[old].tolist(), pre_d[old].tolist()
+                ):
+                    self.push(vid, d)
+            self._bulk_visit(pre_ids)
+            ids, dists = ids[cut:], dists[cut:]
+            if ids.size == 0:
+                return
+        worst = float(self._dists[self._size - 1])
+        reject = (dists >= worst) & ~self._in_set[ids]
+        if reject.any():
+            r_ids, r_d = ids[reject], dists[reject]
+            if self.track_kicked:
+                unvis = ~self._vis[r_ids]
+                if unvis.any():
+                    self.kicked.extend(
+                        zip(r_d[unvis].tolist(), r_ids[unvis].tolist())
+                    )
+            self._bulk_visit(r_ids)
+            keep = ~reject
+            ids, dists = ids[keep], dists[keep]
+        # Survivors: in-set items take the keep-smaller path through
+        # :meth:`push`; the rest were under the threshold at the prefilter
+        # but re-check against the live worst (it only tightens), exactly as
+        # their sequential turn would.  The worst is re-read after *every*
+        # mutating path — a keep-smaller update of the tail vertex itself
+        # shifts the tail to the previous runner-up, so a stale threshold
+        # would admit items a sequential push rejects.  The visited-mark is
+        # inlined (ids can repeat across rounds, so the already-visited
+        # check stays) with the counters accumulated locally.
+        in_set = self._in_set
+        vis = self._vis
+        seen = self._seen
+        track = self.track_kicked
+        kicked = self.kicked
+        dists_arr = self._dists
+        last = self.capacity - 1
+        worst = dists_arr[last]
+        newly_visited = 0
+        unvis_drop = 0
+        for vid, d in zip(ids.tolist(), dists.tolist()):
+            if in_set[vid]:
+                self.push(vid, d)
+                worst = dists_arr[last]
+            elif d >= worst:
+                if track and not vis[vid]:
+                    kicked.append((d, vid))
+            else:
+                self._push_new(vid, d)
+                worst = dists_arr[last]
+            if not vis[vid]:
+                vis[vid] = True
+                seen[vid] = True
+                newly_visited += 1
+                if in_set[vid]:
+                    unvis_drop += 1
+        self._num_visited += newly_visited
+        self._unvis_count -= unvis_drop
 
     def mark_visited(self, vertex_id: int) -> None:
         vid = int(vertex_id)
-        self._ensure(vid)
+        if vid >= self._vis.size:
+            self._ensure(vid)
         if not self._vis[vid]:
             self._vis[vid] = True
+            self._seen[vid] = True
             self._num_visited += 1
+            if self._in_set[vid]:
+                self._unvis_count -= 1
 
     def is_visited(self, vertex_id: int) -> bool:
         vid = int(vertex_id)
@@ -227,51 +425,48 @@ class CandidateSet:
         ids = np.asarray(ids)
         if ids.size == 0:
             return np.zeros(0, dtype=bool)
-        self._ensure(int(ids.max()))
-        return ~(self._in_set[ids] | self._vis[ids])
+        if not self._complete:
+            self._ensure(int(ids.max()))
+        return ~self._seen[ids]
 
     def pop_unvisited(self, count: int = 1) -> list[int]:
         """The ``count`` closest unvisited candidates, marked visited.
 
         "Popped" vertices stay in the set (they may still be results); only
         their visited flag changes — this mirrors the search-list semantics
-        of DiskANN/Starling.  The entry list is sorted by ``(dist, id)`` and
-        live heap items carry exactly those pairs, so draining the heap
-        yields the same vertices, in the same order, as a front-to-back
-        scan of the entries.
+        of DiskANN/Starling.  The entry prefix is sorted by ``(dist, id)``,
+        so the first ``count`` unvisited positions *are* the closest
+        unvisited candidates in ascending order.
         """
-        out: list[int] = []
-        heap = self._unvis
-        while heap and len(out) < count:
-            d, vid = heap[0]
-            if (
-                self._in_set[vid]
-                and not self._vis[vid]
-                and self._key[vid] == d
-            ):
-                out.append(vid)
-                self._vis[vid] = True
-                self._num_visited += 1
-            heappop(heap)
-        return out
+        if self._unvis_count <= 0 or count <= 0:
+            return []
+        ids = self._ids[: self._size]
+        live = np.flatnonzero(~self._vis[ids])
+        if count < live.size:
+            live = live[:count]
+        out = ids[live]
+        self._vis[out] = True
+        took = int(out.size)
+        self._num_visited += took
+        self._unvis_count -= took
+        return out.tolist()
 
     def has_unvisited(self) -> bool:
-        heap = self._unvis
-        while heap:
-            d, vid = heap[0]
-            if (
-                self._in_set[vid]
-                and not self._vis[vid]
-                and self._key[vid] == d
-            ):
-                return True
-            heappop(heap)
-        return False
+        return self._unvis_count > 0
 
     def grow(self, new_capacity: int) -> None:
         """Raise the capacity (range search doubles C, §5.3)."""
         if new_capacity < self.capacity:
             raise ValueError("capacity can only grow")
+        if new_capacity > self._ids.size:
+            n = self._size
+            ids = np.empty(new_capacity, dtype=np.int64)
+            dists = np.empty(new_capacity, dtype=np.float64)
+            ids[:n] = self._ids[:n]
+            dists[:n] = self._dists[:n]
+            self._ids, self._dists = ids, dists
+            self._scratch_i = np.empty(new_capacity, dtype=np.int64)
+            self._scratch_d = np.empty(new_capacity, dtype=np.float64)
         self.capacity = new_capacity
 
     def readmit(self, entries: list[tuple[float, int]]) -> int:
@@ -283,7 +478,8 @@ class CandidateSet:
         return added
 
     def entries(self) -> list[tuple[float, int]]:
-        return list(self._entries)
+        n = self._size
+        return list(zip(self._dists[:n].tolist(), self._ids[:n].tolist()))
 
     @property
     def num_visited(self) -> int:
@@ -291,21 +487,57 @@ class CandidateSet:
 
 
 class ResultSet:
-    """Unbounded id → exact distance map, sorted only on demand (§5.2)."""
+    """Unbounded id → exact distance map, sorted only on demand (§5.2).
+
+    Additions are buffered in two flat lists (a pair of C-speed ``extend``
+    calls per round) and minimum-merged into the map lazily, with one
+    vectorized group-by-id pass, the first time the set is read.  Every
+    reader drains the buffer first, so the observable contents are always
+    exactly those of an eager per-item min-merge.
+    """
 
     def __init__(self) -> None:
         self._dists: dict[int, float] = {}
+        self._pending_ids: list[int] = []
+        self._pending_dists: list[float] = []
+
+    def _materialize(self) -> None:
+        if not self._pending_ids:
+            return
+        ids = np.asarray(self._pending_ids, dtype=np.int64)
+        dists = np.asarray(self._pending_dists, dtype=np.float64)
+        self._pending_ids = []
+        self._pending_dists = []
+        # Group by id, keeping each id's minimum distance: sort by
+        # (id, dist) and take the first row of every id run.  Equal
+        # distances collapse to the same value either way, so this matches
+        # the eager per-item merge exactly.
+        order = np.lexsort((dists, ids))
+        ids = ids[order]
+        dists = dists[order]
+        first = np.empty(ids.shape, dtype=bool)
+        first[0] = True
+        np.not_equal(ids[1:], ids[:-1], out=first[1:])
+        store = self._dists
+        if store:
+            for vid, d in zip(ids[first].tolist(), dists[first].tolist()):
+                prev = store.get(vid)
+                if prev is None or d < prev:
+                    store[vid] = d
+        else:
+            self._dists = dict(zip(ids[first].tolist(), dists[first].tolist()))
 
     def __len__(self) -> int:
+        self._materialize()
         return len(self._dists)
 
     def __contains__(self, vertex_id: int) -> bool:
+        self._materialize()
         return vertex_id in self._dists
 
     def add(self, vertex_id: int, distance: float) -> None:
-        prev = self._dists.get(vertex_id)
-        if prev is None or distance < prev:
-            self._dists[vertex_id] = distance
+        self._pending_ids.append(vertex_id)
+        self._pending_dists.append(distance)
 
     def add_many(self, ids, dists) -> None:
         """Minimum-merge a batch of (id, exact distance) pairs.
@@ -316,14 +548,12 @@ class ResultSet:
             ids = ids.tolist()
         if isinstance(dists, np.ndarray):
             dists = dists.tolist()
-        store = self._dists
-        for vid, d in zip(ids, dists):
-            prev = store.get(vid)
-            if prev is None or d < prev:
-                store[vid] = d
+        self._pending_ids.extend(ids)
+        self._pending_dists.extend(dists)
 
     def top_k(self, k: int) -> tuple[np.ndarray, np.ndarray]:
         """Final sort by exact distance; ties broken by id."""
+        self._materialize()
         items = sorted(self._dists.items(), key=lambda kv: (kv[1], kv[0]))[:k]
         ids = np.asarray([vid for vid, _ in items], dtype=np.int64)
         dists = np.asarray([d for _, d in items], dtype=np.float64)
@@ -331,6 +561,7 @@ class ResultSet:
 
     def within(self, radius: float) -> tuple[np.ndarray, np.ndarray]:
         """All results with distance ≤ radius, sorted ascending."""
+        self._materialize()
         items = sorted(
             ((vid, d) for vid, d in self._dists.items() if d <= radius),
             key=lambda kv: (kv[1], kv[0]),

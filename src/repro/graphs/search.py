@@ -58,7 +58,10 @@ def greedy_search(
     entries = list(dict.fromkeys(int(e) for e in entry_points))
     if not entries:
         raise ValueError("entry_points must be non-empty")
-    dists = metric.distances(query, vectors[entries])
+    # One bound closure for every distance call of the walk: same ops as
+    # ``metric.distances``, minus the per-hop dispatch.
+    kernel = metric.distances_kernel(query)
+    dists = kernel(vectors[entries])
     trace.distance_computations += len(entries)
 
     # pool: max-heap of (-dist, id) capped at ef; candidates: min-heap.
@@ -75,21 +78,25 @@ def greedy_search(
     while len(pool) > ef:
         heapq.heappop(pool)
 
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    neighbors = graph.neighbors
+    hops = 0
     while candidates:
-        d_u, u = heapq.heappop(candidates)
+        d_u, u = heappop(candidates)
         # Termination: the closest unexpanded candidate is worse than the
         # worst pooled result and the pool is full.
         if len(pool) >= ef and d_u > -pool[0][0]:
             break
-        trace.hops += 1
-        raw = graph.neighbors(u)
+        hops += 1
+        raw = neighbors(u)
         nbrs = raw[~visited[raw]]
         if nbrs.size == 0:
             continue
         visited[nbrs] = True
         if collect_visited:
             trace.visited.extend(nbrs.tolist())
-        nd = metric.distances(query, vectors[nbrs])
+        nd = kernel(vectors[nbrs])
         trace.distance_computations += int(nbrs.size)
         threshold = -pool[0][0] if pool else np.inf
         if len(pool) >= ef:
@@ -103,11 +110,12 @@ def greedy_search(
                     continue
         for vid, d in zip(nbrs.tolist(), nd.tolist()):
             if len(pool) < ef or d < threshold:
-                heapq.heappush(pool, (-d, vid))
-                heapq.heappush(candidates, (d, vid))
+                heappush(pool, (-d, vid))
+                heappush(candidates, (d, vid))
                 if len(pool) > ef:
-                    heapq.heappop(pool)
+                    heappop(pool)
                 threshold = -pool[0][0]
+    trace.hops = hops
 
     ranked = sorted(((-nd, vid) for nd, vid in pool))
     ids = np.asarray([vid for _, vid in ranked[:k]], dtype=np.int64)

@@ -27,9 +27,11 @@ def block_checksum(payload: bytes | memoryview) -> int:
     Stored out-of-band per block (4 B each, charged to the mapping memory)
     so the on-disk record format — and therefore ε and every layout — is
     unchanged; verification detects silent corruption before a decoded
-    vector can poison distance computations.
+    vector can poison distance computations.  ``zlib.crc32`` consumes any
+    buffer directly, so memoryview payloads are checksummed without an
+    intermediate ``bytes`` copy.
     """
-    return zlib.crc32(bytes(payload)) & 0xFFFFFFFF
+    return zlib.crc32(payload) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -155,3 +157,69 @@ class VertexFormat:
             vectors[i] = vec
             neighbor_lists.append(nbrs)
         return vectors, neighbor_lists
+
+    def split_block_views(
+        self, block: bytes | memoryview, count: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy strided views of the first ``count`` records of a block.
+
+        Returns ``(vectors, degrees, neighbor_ids)`` where ``vectors`` is a
+        ``(count, dim)`` view, ``degrees`` a ``(count,)`` int64 array (the
+        λ words — materialized, they must be validated and are 4 B each),
+        and ``neighbor_ids`` the ``(count, Λ)`` padded ID matrix view.  The
+        views alias ``block``: no record bytes are copied, and they are
+        read-only whenever the payload is.  Rows of both matrix views are
+        contiguous (the record fields are laid out contiguously), so
+        per-row consumers see ordinary contiguous 1-D arrays.
+
+        Raises the same errors as :meth:`decode_block` for short blocks,
+        out-of-range counts, and corrupt degree words, so torn or truncated
+        payloads cannot silently decode.
+        """
+        block = memoryview(block)
+        if len(block) != self.block_bytes:
+            raise ValueError(f"block of {len(block)} B; expected {self.block_bytes} B")
+        if not 0 <= count <= self.vertices_per_block:
+            raise ValueError(f"count {count} out of range 0..{self.vertices_per_block}")
+        rb, vb = self.record_bytes, self.vector_bytes
+        raw = np.frombuffer(block, dtype=np.uint8, count=count * rb)
+        raw = raw.reshape(count, rb)
+        vectors = raw[:, :vb].view(self.dtype)
+        degrees = raw[:, vb : vb + ID_BYTES].view(ID_DTYPE).astype(np.int64)
+        degrees = degrees.reshape(count)
+        if count and int(degrees.max()) > self.max_degree:
+            bad = int(degrees.max())
+            raise ValueError(f"corrupt record: degree {bad} > Λ={self.max_degree}")
+        neighbor_ids = raw[:, vb + ID_BYTES :].view(ID_DTYPE)
+        return vectors, degrees, neighbor_ids
+
+    def decode_block_into(
+        self, block: bytes | memoryview, count: int, arena, offset: int = 0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Parse a block directly into a caller-owned arena.
+
+        ``arena`` is a :class:`~repro.engine.arena.Arena` (or anything with
+        ``vectors`` / ``nbr_counts`` / ``nbr_ids`` arrays of compatible
+        shapes).  Records ``[0, count)`` land in arena rows
+        ``[offset, offset + count)`` via three bulk strided copies — no
+        per-vertex work — and the returned ``(vectors, degrees,
+        neighbor_ids)`` are zero-copy views of those arena rows.  Element
+        values are identical to :meth:`decode_block`'s copies; error
+        behaviour matches :meth:`split_block_views` (a corrupt block writes
+        nothing into the arena).
+        """
+        vec_v, deg_v, ids_v = self.split_block_views(block, count)
+        end = offset + count
+        if not 0 <= offset <= end <= arena.vectors.shape[0]:
+            raise ValueError(
+                f"records [{offset}, {end}) overrun arena of "
+                f"{arena.vectors.shape[0]} rows"
+            )
+        arena.vectors[offset:end] = vec_v
+        arena.nbr_counts[offset:end] = deg_v
+        arena.nbr_ids[offset:end] = ids_v
+        return (
+            arena.vectors[offset:end],
+            arena.nbr_counts[offset:end],
+            arena.nbr_ids[offset:end],
+        )

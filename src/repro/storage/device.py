@@ -89,11 +89,14 @@ class BlockDevice:
         *,
         path: str | os.PathLike | None = None,
         spec: DiskSpec | None = None,
+        buffer: memoryview | bytearray | None = None,
     ) -> None:
         if block_bytes <= 0:
             raise ValueError("block_bytes must be positive")
         if num_blocks < 0:
             raise ValueError("num_blocks must be non-negative")
+        if path is not None and buffer is not None:
+            raise ValueError("path and buffer are mutually exclusive")
         self.block_bytes = block_bytes
         self.num_blocks = num_blocks
         self.spec = spec or DiskSpec()
@@ -103,7 +106,18 @@ class BlockDevice:
         self._lock = threading.Lock()
         self._path = os.fspath(path) if path is not None else None
         self._closed = False
-        if self._path is None:
+        if buffer is not None:
+            # Externally owned storage (e.g. a multiprocessing shared-memory
+            # mapping): the device reads/writes it in place and never frees
+            # it — the owner controls the mapping's lifetime.
+            if len(buffer) < block_bytes * num_blocks:
+                raise ValueError(
+                    f"buffer of {len(buffer)} B cannot hold "
+                    f"{num_blocks} x {block_bytes} B blocks"
+                )
+            self._file = None
+            self._blocks = buffer
+        elif self._path is None:
             self._file = None
             self._blocks = bytearray(block_bytes * num_blocks)
         else:
@@ -196,7 +210,12 @@ class BlockDevice:
             self._file.seek(block_id * self.block_bytes)
             return self._file.read(self.block_bytes)
         off = block_id * self.block_bytes
-        return bytes(self._blocks[off : off + self.block_bytes])
+        # bytes(memoryview) copies once; slicing the bytearray first would
+        # copy twice (slice → bytes).  The payload stays immutable ``bytes``
+        # so callers can hold zero-copy numpy views over it without racing
+        # a later write_block.
+        with memoryview(self._blocks) as mv:
+            return bytes(mv[off : off + self.block_bytes])
 
     # -- counted reads -----------------------------------------------------
 
@@ -223,6 +242,20 @@ class BlockDevice:
             self.counters.blocks_read += len(ids)
             self.counters.round_trips += 1
             return [self._fetch(bid) for bid in ids]
+
+    def charge_batched_read(self, num_blocks: int) -> None:
+        """Account one batched round-trip without touching the media.
+
+        Exists for callers that can prove the payload bytes are redundant
+        (e.g. the disk graph's decode cache holds every block of the batch)
+        but must keep the I/O ledger byte-identical to an uncached run.
+        """
+        if num_blocks <= 0:
+            return
+        self._check_open()
+        with self._lock:
+            self.counters.blocks_read += num_blocks
+            self.counters.round_trips += 1
 
     def read_sequential(self, first_block: int, num_blocks: int) -> list[bytes]:
         """Sequential streaming read of ``num_blocks`` contiguous blocks."""

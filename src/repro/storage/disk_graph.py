@@ -11,33 +11,107 @@ explicit mapping, whose memory footprint is charged in the paper's Fig. 8(b).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from ..vectors.metrics import _as_float
 from .codec import VertexFormat, block_checksum
 from .device import BlockDevice, DiskSpec
 from .faults import KIND_CHECKSUM, ChecksumError, ReadFaultError
 
 
-@dataclass
 class DiskBlock:
-    """One decoded block: the vertices it stores and their adjacency lists."""
+    """One decoded block: the vertices it stores and their adjacency lists.
 
-    block_id: int
-    vertex_ids: np.ndarray  # shape (c,), uint32
-    vectors: np.ndarray  # shape (c, dim)
-    neighbor_lists: list[np.ndarray]
-    #: lazily built id→position map; O(1) lookups instead of a linear scan
-    _pos: dict[int, int] | None = None
-    #: lazily built Python-int view of ``vertex_ids`` for the engines' small
-    #: per-block loops (a block holds ~ε vertices — list indexing beats
-    #: numpy scalar extraction at that size)
-    _ids_list: list[int] | None = None
+    Two interchangeable adjacency representations back the same API:
+
+    - **copy mode** — ``neighbor_lists`` holds one trimmed per-vertex array
+      copy (the legacy ``decode_block`` output);
+    - **view mode** — ``nbr_counts``/``nbr_ids`` hold the CSR-style degree
+      vector and padded ID matrix as zero-copy views of the block payload
+      (``split_block_views``), and ``neighbor_lists`` is derived lazily.
+
+    Engines read adjacency through :meth:`neighbors_of`, which serves
+    whichever representation was materialized, so the decode mode is
+    invisible to them except in speed.
+    """
+
+    __slots__ = (
+        "block_id", "vertex_ids", "vectors",
+        "nbr_counts", "nbr_ids", "_neighbor_lists", "_pos", "_ids_list",
+        "_kernel_vectors",
+    )
+
+    def __init__(
+        self,
+        block_id: int,
+        vertex_ids: np.ndarray,  # shape (c,), uint32
+        vectors: np.ndarray,  # shape (c, dim)
+        neighbor_lists: list[np.ndarray] | None = None,
+        *,
+        nbr_counts: np.ndarray | None = None,  # shape (c,), int64
+        nbr_ids: np.ndarray | None = None,  # shape (c, Λ), uint32
+    ) -> None:
+        if neighbor_lists is None and (nbr_counts is None or nbr_ids is None):
+            raise ValueError(
+                "DiskBlock needs neighbor_lists or nbr_counts + nbr_ids"
+            )
+        self.block_id = block_id
+        self.vertex_ids = vertex_ids
+        self.vectors = vectors
+        self.nbr_counts = nbr_counts
+        self.nbr_ids = nbr_ids
+        self._neighbor_lists = neighbor_lists
+        #: lazily built id→position map; O(1) lookups instead of a linear scan
+        self._pos: dict[int, int] | None = None
+        #: lazily built Python-int view of ``vertex_ids`` for the engines'
+        #: small per-block loops (a block holds ~ε vertices — list indexing
+        #: beats numpy scalar extraction at that size)
+        self._ids_list: list[int] | None = None
+        #: lazily cached copy of ``vectors`` in the distance kernel's
+        #: compute dtype (see :meth:`kernel_vectors`)
+        self._kernel_vectors: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.vertex_ids)
+
+    def neighbors_of(self, pos: int) -> np.ndarray:
+        """Adjacency IDs of the vertex at block position ``pos``.
+
+        View mode returns a zero-copy slice of the padded ID matrix; it
+        aliases the decoded payload and must not be written.
+        """
+        if self.nbr_ids is not None:
+            return self.nbr_ids[pos, : self.nbr_counts[pos]]
+        return self._neighbor_lists[pos]
+
+    @property
+    def neighbor_lists(self) -> list[np.ndarray]:
+        """Per-vertex adjacency arrays (built lazily in view mode)."""
+        if self._neighbor_lists is None:
+            counts = self.nbr_counts.tolist()
+            self._neighbor_lists = [
+                self.nbr_ids[i, :c] for i, c in enumerate(counts)
+            ]
+        return self._neighbor_lists
+
+    def kernel_vectors(self) -> np.ndarray:
+        """``vectors`` pre-promoted to the distance kernel's compute dtype.
+
+        Applies exactly the input promotion the metrics module performs
+        (float dtypes pass through, integer dtypes cast to float32 —
+        lossless for every storage dtype the codec supports), cached on the
+        block.  Under the batched executor's decode cache the cast runs once
+        per block lifetime instead of once per search round, and the arena
+        gather becomes a same-dtype memcpy; the kernel input values are
+        bit-identical to casting at call time.
+        """
+        kv = self._kernel_vectors
+        if kv is None:
+            kv = _as_float(self.vectors)
+            self._kernel_vectors = kv
+        return kv
 
     def ids_list(self) -> list[int]:
         """``vertex_ids`` as a cached list of Python ints."""
@@ -86,6 +160,12 @@ class DiskGraph:
         #: cache amortizes only the Python-side decode, so I/O counters stay
         #: byte-identical to uncached execution.
         self.decode_cache: dict[int, DiskBlock] | None = None
+        #: how :meth:`_decode` parses payloads.  ``"copy"`` (default) is the
+        #: legacy per-vertex materializing decode; ``"view"`` builds blocks
+        #: of zero-copy strided views over the payload (the executor's
+        #: zero-copy data plane).  Element values are identical either way —
+        #: the equivalence suites exercise exactly this swap.
+        self.decode_mode: str = "copy"
 
     # -- shape ---------------------------------------------------------------
 
@@ -159,8 +239,16 @@ class DiskGraph:
             if hit is not None:
                 return hit
         ids = self._block_ids[block_id]
-        vectors, neighbor_lists = self.fmt.decode_block(payload, len(ids))
-        block = DiskBlock(block_id, ids, vectors, neighbor_lists)
+        if self.decode_mode == "view":
+            vectors, degrees, nbr_ids = self.fmt.split_block_views(
+                payload, len(ids)
+            )
+            block = DiskBlock(
+                block_id, ids, vectors, nbr_counts=degrees, nbr_ids=nbr_ids
+            )
+        else:
+            vectors, neighbor_lists = self.fmt.decode_block(payload, len(ids))
+            block = DiskBlock(block_id, ids, vectors, neighbor_lists)
         if cache is not None:
             cache[block_id] = block
         return block
@@ -174,6 +262,23 @@ class DiskGraph:
 
     def read_blocks(self, block_ids: Sequence[int]) -> list[DiskBlock]:
         """Read a batch of blocks in one round-trip."""
+        cache = self.decode_cache
+        if (
+            cache is not None
+            and not self.verify_checksums
+            and type(self.device) is BlockDevice
+        ):
+            # Full-batch cache hit: the payload bytes would be thrown away
+            # (every block decodes from the cache), so skip the media fetch
+            # and charge the round-trip directly — counters stay identical.
+            # Gated on the exact device type because subclasses (fault
+            # injectors) draw per-read randomness the fetch must trigger,
+            # and on checksum verification, which needs the raw payload.
+            blocks = [cache.get(bid) for bid in block_ids]
+            if None not in blocks:
+                if blocks:
+                    self.device.charge_batched_read(len(blocks))
+                return blocks
         payloads = self.device.read_blocks(block_ids)
         for bid, payload in zip(block_ids, payloads):
             if not self._payload_ok(bid, payload):

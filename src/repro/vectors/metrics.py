@@ -21,6 +21,16 @@ MetricName = Literal["l2", "ip"]
 #: Metrics supported by every index in this package.
 SUPPORTED_METRICS: tuple[str, ...] = ("l2", "ip")
 
+# ``np.einsum`` without ``optimize=`` delegates straight to the C kernel;
+# binding the kernel skips the Python wrapper's dispatch and argument
+# normalization on the per-hop hot path.  The output is the same object the
+# wrapper would return, so results are bit-identical; fall back to the
+# wrapper if the private location ever moves.
+try:  # pragma: no cover - depends on numpy internals
+    from numpy._core._multiarray_umath import c_einsum as _einsum
+except ImportError:  # pragma: no cover
+    _einsum = np.einsum
+
 
 def _as_float(x: np.ndarray) -> np.ndarray:
     if x.dtype in (np.float32, np.float64):
@@ -106,8 +116,40 @@ class Metric:
         x = _as_float(base)
         if self.name == "l2":
             diff = x - q
-            return np.einsum("ij,ij->i", diff, diff)
+            return _einsum("ij,ij->i", diff, diff)
         return -(x @ q)
+
+    def distances_kernel(self, query: np.ndarray):
+        """One-query closure over :meth:`distances`.
+
+        Binds the promoted query once, so the per-round calls on a
+        traversal's hot path skip the method dispatch and the repeated
+        query promotion.  The closure performs the same operations in the
+        same order as :meth:`distances`, so its outputs are bit-identical.
+
+        The optional ``scratch`` argument is a preallocated ``(>= len(base),
+        dim)`` array in the kernel compute dtype; when given, the L2
+        intermediate is written into it instead of a fresh per-call array
+        (same subtraction, same values — only the destination differs).
+        """
+        q = _as_float(query)
+        if self.name == "l2":
+            def kernel(
+                base: np.ndarray, scratch: np.ndarray | None = None
+            ) -> np.ndarray:
+                if scratch is None:
+                    diff = _as_float(base) - q
+                else:
+                    diff = np.subtract(
+                        base, q, out=scratch[: base.shape[0]]
+                    )
+                return _einsum("ij,ij->i", diff, diff)
+        else:
+            def kernel(
+                base: np.ndarray, scratch: np.ndarray | None = None
+            ) -> np.ndarray:
+                return -(_as_float(base) @ q)
+        return kernel
 
     def rowwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Row-paired distances ``d(a[i], b[i])`` (1-D result).
@@ -122,8 +164,8 @@ class Metric:
         y = _as_float(b)
         if self.name == "l2":
             diff = x - y
-            return np.einsum("ij,ij->i", diff, diff)
-        return -np.einsum("ij,ij->i", x, y)
+            return _einsum("ij,ij->i", diff, diff)
+        return -_einsum("ij,ij->i", x, y)
 
     def pairwise(self, queries: np.ndarray, base: np.ndarray) -> np.ndarray:
         """Full distance matrix of shape ``(len(queries), len(base))``."""

@@ -91,3 +91,73 @@ class TestSweepEdgeCases:
 
         with pytest.raises(ValueError):
             summarize("x", starling_index, [], 1.0)
+
+
+class TestPerfGuard:
+    """The CI regression guard: fresh speedups vs committed baselines."""
+
+    WALLCLOCK = {"speedup": 2.0}
+    BUILD = {
+        "phases": {"total_speedup": 1.4},
+        "graph_build": {"speedup": 3.5},
+    }
+
+    def test_identical_reports_pass(self):
+        from repro.bench.guard import check_report
+
+        assert check_report("wallclock", self.WALLCLOCK, self.WALLCLOCK) == []
+        assert check_report("build", self.BUILD, self.BUILD) == []
+
+    def test_within_tolerance_passes(self):
+        from repro.bench.guard import check_report
+
+        fresh = {"speedup": 2.0 * 0.85}  # 15% down, under the 20% gate
+        assert check_report("wallclock", fresh, self.WALLCLOCK) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        from repro.bench.guard import check_report
+
+        fresh = {"speedup": 2.0 * 0.7}
+        failures = check_report("wallclock", fresh, self.WALLCLOCK)
+        assert len(failures) == 1
+        assert "batched-vs-serial speedup" in failures[0]
+
+    def test_faster_than_baseline_passes(self):
+        from repro.bench.guard import check_report
+
+        fresh = {"speedup": 4.0}
+        assert check_report("wallclock", fresh, self.WALLCLOCK) == []
+
+    def test_build_metrics_checked_independently(self):
+        from repro.bench.guard import check_report
+
+        fresh = {
+            "phases": {"total_speedup": 1.5},
+            "graph_build": {"speedup": 3.5 * 0.5},
+        }
+        failures = check_report("build", fresh, self.BUILD)
+        assert len(failures) == 1
+        assert "graph build speedup" in failures[0]
+
+    def test_unknown_kind_rejected(self):
+        from repro.bench.guard import check_report
+
+        with pytest.raises(ValueError):
+            check_report("nope", {}, {})
+
+    def test_main_exit_codes(self, tmp_path):
+        import json
+
+        from repro.bench.guard import main
+
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(self.WALLCLOCK))
+        ok = tmp_path / "ok.json"
+        ok.write_text(json.dumps({"speedup": 2.1}))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"speedup": 1.0}))
+
+        assert main(["wallclock", str(ok), str(base)]) == 0
+        assert main(["wallclock", str(bad), str(base)]) == 1
+        assert main([]) == 2
+        assert main(["wallclock", str(ok)]) == 2

@@ -128,6 +128,65 @@ class TestKickedTracking:
             c.grow(2)
 
 
+class TestBulkPushEquivalence:
+    def test_visited_many_refreshes_worst_after_keep_smaller(self):
+        """Regression: a keep-smaller update of the tail vertex shifts the
+        tail to the previous runner-up, so the eviction threshold must be
+        re-read before the next batch item (a stale one admits vertices a
+        sequential push rejects)."""
+        def build():
+            c = CandidateSet(3, max_vertex_id=20)
+            for vid, d in ((1, 1.0), (2, 2.0), (3, 5.0)):
+                c.push(vid, d)
+            return c
+
+        bulk = build()
+        bulk.push_visited_many([3, 9], [4.0, 4.5])
+
+        seq = build()
+        for vid, d in ((3, 4.0), (9, 4.5)):
+            seq.push(vid, d)
+            seq.mark_visited(vid)
+
+        assert bulk.entries() == seq.entries()
+        assert 9 not in bulk
+
+    def test_visited_many_matches_sequential_loop(self):
+        rng = np.random.default_rng(7)
+        for cap in (1, 2, 5, 8):
+            bulk = CandidateSet(cap, track_kicked=True, max_vertex_id=40)
+            seq = CandidateSet(cap, track_kicked=True, max_vertex_id=40)
+            for _ in range(6):
+                n = int(rng.integers(1, 8))
+                ids = rng.choice(40, size=n, replace=False).tolist()
+                dists = rng.integers(0, 6, size=n).astype(float).tolist()
+                bulk.push_visited_many(ids, dists)
+                for vid, d in zip(ids, dists):
+                    seq.push(vid, d)
+                    seq.mark_visited(vid)
+                assert bulk.entries() == seq.entries()
+                assert bulk.num_visited == seq.num_visited
+                assert bulk.has_unvisited() == seq.has_unvisited()
+                assert sorted(bulk.kicked) == sorted(seq.kicked)
+
+    def test_push_many_matches_sequential_loop(self):
+        rng = np.random.default_rng(11)
+        for cap in (1, 3, 6):
+            bulk = CandidateSet(cap, track_kicked=True, max_vertex_id=200)
+            seq = CandidateSet(cap, track_kicked=True, max_vertex_id=200)
+            next_id = 0
+            for _ in range(6):
+                n = int(rng.integers(1, 9))
+                ids = np.arange(next_id, next_id + n, dtype=np.int64)
+                next_id += n
+                dists = rng.integers(0, 6, size=n).astype(np.float64)
+                bulk.push_many(ids, dists)
+                for vid, d in zip(ids.tolist(), dists.tolist()):
+                    seq.push(vid, d)
+                assert bulk.entries() == seq.entries()
+                assert sorted(bulk.kicked) == sorted(seq.kicked)
+
+
 class TestResultSet:
     def test_topk_sorted(self):
         r = ResultSet()

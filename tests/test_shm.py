@@ -1,0 +1,130 @@
+"""Shared-memory fan-out: segment lifecycle and spawn-path equivalence.
+
+The contract of :mod:`repro.engine.shm` is twofold: (1) the parent owns
+every named segment and no ``/dev/shm`` entry outlives the batch — even
+when a worker dies mid-batch — and (2) a spawn-context pool rebuilt from
+the shared-memory image returns results bit-identical to the fork path and
+the serial loop.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchExecutor, ExecSpec
+from repro.engine.shm import (
+    ShmExport,
+    attach_array,
+    export_index,
+    exportable,
+)
+
+SHM_DIR = "/dev/shm"
+
+needs_shm_fs = pytest.mark.skipif(
+    not os.path.isdir(SHM_DIR), reason="platform has no /dev/shm"
+)
+
+
+def _shm_names() -> set[str]:
+    return set(os.listdir(SHM_DIR))
+
+
+def _crash_worker(task) -> None:
+    """A worker that dies without cleanup — a hard crash, not an exception."""
+    os._exit(13)
+
+
+def _same_results(a, b) -> None:
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert np.array_equal(x.ids, y.ids)
+        assert np.array_equal(x.dists, y.dists)
+        assert x.stats.__dict__ == y.stats.__dict__
+
+
+class TestShmExportLifecycle:
+    def test_share_and_attach_roundtrip(self):
+        export = ShmExport()
+        try:
+            arr = np.arange(24, dtype=np.float32).reshape(4, 6)
+            spec = export.share_array(arr)
+            view, shm = attach_array(spec)
+            assert np.array_equal(view, arr)
+            del view
+            shm.close()
+        finally:
+            export.close()
+
+    @needs_shm_fs
+    def test_close_unlinks_every_segment(self):
+        before = _shm_names()
+        export = ShmExport()
+        export.share_array(np.zeros(64, dtype=np.uint8))
+        export.share_array(np.ones((8, 8), dtype=np.float64))
+        assert export.num_segments == 2
+        assert len(_shm_names() - before) == 2
+        export.close()
+        assert _shm_names() - before == set()
+        export.close()  # idempotent
+
+    @needs_shm_fs
+    def test_finalizer_backstop_on_dropped_export(self):
+        before = _shm_names()
+        export = ShmExport()
+        export.share_array(np.zeros(128, dtype=np.uint8))
+        assert len(_shm_names() - before) == 1
+        del export
+        gc.collect()
+        assert _shm_names() - before == set()
+
+    @needs_shm_fs
+    def test_export_index_cleanup_on_executor_crash(
+        self, starling_index, small_dataset
+    ):
+        """A worker killed mid-batch must not leak segments: the pool
+        raises, and the executor's ``finally`` unlinks everything."""
+        queries = np.asarray(small_dataset.queries, dtype=np.float32)[:4]
+        executor = BatchExecutor(
+            starling_index,
+            ExecSpec(mode="processes", start_method="spawn", workers=2),
+        )
+        assert exportable(executor.engine)
+        before = _shm_names()
+        with pytest.raises(Exception):
+            executor._run_processes_shm(
+                _crash_worker, list(range(4)), queries, None
+            )
+        assert _shm_names() - before == set()
+
+
+class TestSpawnEquivalence:
+    def test_spawn_results_identical_to_fork_and_serial(
+        self, starling_index, small_dataset
+    ):
+        queries = np.asarray(small_dataset.queries, dtype=np.float32)[:6]
+        serial = BatchExecutor(
+            starling_index, ExecSpec(mode="serial")
+        ).search_batch(queries, 10, 48)
+
+        spawn_exec = BatchExecutor(
+            starling_index,
+            ExecSpec(mode="processes", start_method="spawn", workers=2),
+        )
+        # The fixture index must actually take the shared-memory path —
+        # otherwise this test silently compares a fallback mode.
+        assert spawn_exec.effective_mode() == "processes"
+        assert exportable(spawn_exec.engine)
+        spawn = spawn_exec.search_batch(queries, 10, 48)
+        _same_results(serial, spawn)
+
+        fork_exec = BatchExecutor(
+            starling_index,
+            ExecSpec(mode="processes", start_method="fork", workers=2),
+        )
+        fork = fork_exec.search_batch(queries, 10, 48)
+        _same_results(fork, spawn)
