@@ -1,0 +1,91 @@
+"""Open-loop serving benchmark: the offered-load sweep must be *shaped* right.
+
+Every number here is simulated time (deterministic, machine-independent), so
+the assertions can be strict about the service's overload behavior:
+
+- tail latency stays bounded by the deadline at every offered load — no
+  timeout collapse, no unbounded queue growth;
+- backpressure rises monotonically past saturation: the reject rate and the
+  degraded fraction (anything below full-quality on-time service) never
+  decrease as offered load increases;
+- with shedding and deadlines off, measured saturation throughput matches
+  the analytical ``workers / mean_latency`` model (the one
+  ``examples/throughput_simulation.py`` starts from) within tolerance.
+
+The report is written to ``BENCH_serve.json`` (CI uploads it as an artifact
+and guards its headline numbers against the committed baseline).
+"""
+
+import json
+import os
+
+from repro.bench.serveclock import run_serveclock
+
+OUT_PATH = os.environ.get("REPRO_BENCH_SERVE_OUT", "BENCH_serve.json")
+
+#: slack for rate monotonicity — Poisson traces are finite, so adjacent
+#: sweep points can jitter by a few arrivals
+MONOTONE_EPS = 0.02
+
+
+def test_serve_open_loop_sweep():
+    report = run_serveclock()
+    path = report.write_json(OUT_PATH)
+    data = report.to_dict()
+
+    print(
+        f"\nserve [{report.family} n={report.num_vectors} "
+        f"arrivals={report.arrivals_per_point}/point]: "
+        f"analytical {data['profile']['analytical_qps']:.0f} QPS, "
+        f"validation ratio {data['validation']['qps_ratio']:.3f}, "
+        f"max-load p99 {data['max_load']['p99_ms']:.2f} ms, "
+        f"reject {data['max_load']['reject_rate']:.2f} -> {path}"
+    )
+
+    sweep = data["sweep"]
+    assert len(sweep) >= 3
+    deadline_ms = data["profile"]["deadline_us"] / 1e3
+
+    # Deadlines must actually bound the tail at *every* offered load.  The
+    # factor-of-two headroom covers the documented overshoot sources: the
+    # round in flight when a budget expires, and in-batch serialization
+    # (budgets are fixed at dispatch time, so a query's micro-batch
+    # predecessors still consume clock its stopper cannot see).  What must
+    # never appear is collapse — p99 growing without bound as load rises.
+    for point in sweep:
+        assert point["p99_ms"] <= 2.0 * deadline_ms, point
+
+    # Backpressure must rise monotonically with offered load: reject rate,
+    # and the strict-service-level complement (shed, truncated, missed,
+    # rejected, expired all count against it).
+    rejects = [p["reject_rate"] for p in sweep]
+    degraded = [p["degraded_fraction"] for p in sweep]
+    unserved = [
+        p["reject_rate"] + p["expired_rate"] + p["shed_rate"] for p in sweep
+    ]
+    for series in (rejects, degraded, unserved):
+        for a, b in zip(series, series[1:]):
+            assert b >= a - MONOTONE_EPS, series
+
+    # Deep in overload the service must actually be shedding or rejecting —
+    # graceful degradation engaged, not silent queue growth.
+    assert degraded[-1] > 0.3
+
+    # Saturation throughput vs the analytical model (shedding off).
+    validation = data["validation"]
+    assert validation["within_tolerance"], validation
+    assert (
+        abs(validation["qps_ratio"] - 1.0) <= validation["tolerance"]
+    )
+
+    # Everything is simulated time: a second run of the same sweep must
+    # reproduce the report except for the environment stamp.
+    repeat = run_serveclock().to_dict()
+    for key in ("profile", "sweep", "validation", "max_load"):
+        assert repeat[key] == data[key], key
+
+    # The file must round-trip for the CI artifact consumer and the guard.
+    with open(path) as fh:
+        loaded = json.load(fh)
+    assert loaded["validation"]["qps_ratio"] == validation["qps_ratio"]
+    assert loaded["max_load"]["p99_ms"] == data["max_load"]["p99_ms"]

@@ -1,16 +1,19 @@
 """Perf regression guard: freshly measured speedups vs committed baselines.
 
 CI re-runs the measured benches into side files (``REPRO_BENCH_*_OUT``) and
-then compares their headline speedups against the ``BENCH_*.json`` baselines
-committed in the repository.  A fresh speedup more than ``tolerance`` below
-its baseline fails the job; *faster* is always fine.  Ratios — not absolute
-seconds — are compared, so the guard tolerates runner-to-runner machine
-variance as long as the serial-vs-batched relationship holds.
+then compares their headline metrics against the ``BENCH_*.json`` baselines
+committed in the repository.  Each metric declares a direction:
+``higher``-is-better metrics (speedups, model agreement) fail when the fresh
+value drops more than ``tolerance`` below baseline; ``lower``-is-better
+metrics (tail latency, reject rates) fail when it rises more than
+``tolerance`` above.  Moving in the good direction is always fine.  Ratios —
+not absolute seconds — are compared wherever possible, so the guard
+tolerates runner-to-runner machine variance.
 
 Usage::
 
     python -m repro.bench.guard wallclock FRESH.json BASELINE.json \
-                                [build FRESH.json BASELINE.json ...]
+                                [serve FRESH.json BASELINE.json ...]
 """
 
 from __future__ import annotations
@@ -18,14 +21,34 @@ from __future__ import annotations
 import json
 import sys
 
-#: headline speedup metrics per report kind: (label, path into the dict)
-METRICS: dict[str, list[tuple[str, tuple[str, ...]]]] = {
+#: headline metrics per report kind: (label, path into the dict, direction)
+METRICS: dict[str, list[tuple[str, tuple[str, ...], str]]] = {
     "wallclock": [
-        ("batched-vs-serial speedup", ("speedup",)),
+        ("batched-vs-serial speedup", ("speedup",), "higher"),
     ],
     "build": [
-        ("end-to-end build speedup", ("phases", "total_speedup")),
-        ("graph build speedup", ("graph_build", "speedup")),
+        ("end-to-end build speedup", ("phases", "total_speedup"), "higher"),
+        ("graph build speedup", ("graph_build", "speedup"), "higher"),
+    ],
+    # The serving metrics are all dimensionless (ratios of simulated time or
+    # of arrival counts), so they are insensitive to the workload sizing the
+    # run happened to use.
+    "serve": [
+        (
+            "saturation vs analytical model (QPS ratio)",
+            ("validation", "qps_ratio"),
+            "higher",
+        ),
+        (
+            "p99 sojourn / deadline at max offered load",
+            ("max_load", "p99_over_deadline"),
+            "lower",
+        ),
+        (
+            "reject rate at max offered load",
+            ("max_load", "reject_rate"),
+            "lower",
+        ),
     ],
 }
 
@@ -47,19 +70,26 @@ def check_report(
     if kind not in METRICS:
         raise ValueError(f"unknown report kind {kind!r}")
     failures = []
-    for label, path in METRICS[kind]:
+    for label, path, direction in METRICS[kind]:
         base = _lookup(baseline, path)
         new = _lookup(fresh, path)
-        floor = base * (1.0 - tolerance)
-        status = "OK" if new >= floor else "REGRESSION"
+        if direction == "higher":
+            bound = base * (1.0 - tolerance)
+            ok = new >= bound
+            bound_name = "floor"
+        else:
+            bound = base * (1.0 + tolerance)
+            ok = new <= bound
+            bound_name = "ceiling"
+        status = "OK" if ok else "REGRESSION"
         print(
-            f"[{kind}] {label}: baseline {base:.3f}x, fresh {new:.3f}x, "
-            f"floor {floor:.3f}x -> {status}"
+            f"[{kind}] {label}: baseline {base:.3f}, fresh {new:.3f}, "
+            f"{bound_name} {bound:.3f} -> {status}"
         )
-        if new < floor:
+        if not ok:
             failures.append(
                 f"{kind}: {label} regressed more than "
-                f"{tolerance:.0%} (baseline {base:.3f}x, fresh {new:.3f}x)"
+                f"{tolerance:.0%} (baseline {base:.3f}, fresh {new:.3f})"
             )
     return failures
 

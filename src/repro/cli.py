@@ -330,6 +330,124 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _serve_spec_from_args(args):
+    """ServeSpec from ``--config`` (if given) with flag overrides on top."""
+    from .engine import ServeSpec
+
+    if args.config:
+        with open(args.config) as fh:
+            spec = ServeSpec.from_dict(json.load(fh))
+    else:
+        spec = ServeSpec()
+    overrides = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.queue_depth is not None:
+        overrides["queue_depth"] = args.queue_depth
+    if args.deadline_ms is not None:
+        overrides["deadline_us"] = args.deadline_ms * 1e3
+    if args.shed_tiers is not None:
+        overrides["shed_tiers"] = tuple(
+            int(t) for t in args.shed_tiers.split(",") if t.strip()
+        )
+    if args.max_batch is not None:
+        overrides["max_batch"] = args.max_batch
+    return spec.with_(**overrides) if overrides else spec
+
+
+def _cmd_serve(args) -> int:
+    """Drive the online serving layer with an open-loop arrival trace."""
+    from .engine import SearchService, poisson_arrivals_us
+
+    spec = _serve_spec_from_args(args)
+    if args.save_config:
+        with open(args.save_config, "w") as fh:
+            json.dump(spec.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.save_config}")
+        if not args.index:
+            return 0
+    if not args.index:
+        raise SystemExit("--index is required (unless only --save-config)")
+    index = _load_index_or_exit(args)
+    dataset = _dataset_from_args(args)
+    _apply_chaos(index, args)
+    queries = np.asarray(dataset.queries, dtype=np.float32)
+    service = SearchService(index, spec)
+
+    offered = args.offered_qps
+    if offered is None:
+        # Profile a handful of queries at full quality and offer 1.5x the
+        # analytical saturation rate — overload behavior is the point.
+        sample = queries[: min(16, len(queries))]
+        probe = service.coordinator.search_batch(
+            sample, args.k, spec.shed_tiers[0]
+        )
+        mean_us = sum(r.parallel_latency_us for r in probe) / len(probe)
+        if mean_us > 0:
+            offered = 1.5 * spec.workers / (mean_us / 1e6)
+        else:
+            # degenerate profile (e.g. every segment failing under chaos):
+            # fall back to a fixed rate so the trace still exercises policy
+            offered = 1_000.0
+
+    if args.threads:
+        # Live-mode smoke: wall-clock worker threads, submissions as fast
+        # as the front end accepts them (floods the queue on purpose).
+        service.start()
+        for i in range(args.arrivals):
+            service.submit(queries[i % len(queries)], k=args.k)
+        report = service.stop()
+    else:
+        trace = poisson_arrivals_us(offered, args.arrivals, seed=args.seed)
+        report = service.run_trace(trace, queries, k=args.k)
+
+    s = report.summary()
+    deadline_ms = (spec.deadline_us or 0.0) / 1e3
+    print(
+        f"served {s['arrivals']} arrivals "
+        f"[{'threads' if args.threads else 'virtual clock'}, "
+        f"offered {offered:.0f} QPS]: "
+        f"completed={s['completed']}, rejected={s['rejected']}, "
+        f"expired={s['expired']}, sustained {s['sustained_qps']:.0f} QPS"
+    )
+    print(
+        f"  sojourn p50/p95/p99 = {s['p50_ms']:.2f}/{s['p95_ms']:.2f}/"
+        f"{s['p99_ms']:.2f} ms"
+        + (f" (deadline {deadline_ms:.2f} ms)" if deadline_ms else "")
+    )
+    print(
+        f"  shed_rate={s['shed_rate']:.3f}, "
+        f"deadline_miss_rate={s['deadline_miss_rate']:.3f}, "
+        f"degraded_fraction={s['degraded_fraction']:.3f}"
+    )
+    breaker_events = [d for d in report.decisions if d[0] == "breaker"]
+    if breaker_events:
+        print(f"  breaker events: {len(breaker_events)} "
+              f"(last: {breaker_events[-1]})")
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    """Open-loop offered-load sweep -> BENCH_serve.json."""
+    from .bench.serveclock import run_serveclock
+
+    report = run_serveclock(
+        args.family, k=args.k, arrivals=args.arrivals, seed=args.seed
+    )
+    path = report.write_json(args.out)
+    data = report.to_dict()
+    print(
+        f"serve [{report.family} n={report.num_vectors} "
+        f"arrivals={report.arrivals_per_point}/point]: "
+        f"analytical {data['profile']['analytical_qps']:.0f} QPS, "
+        f"validation ratio {data['validation']['qps_ratio']:.3f}, "
+        f"max-load p99 {data['max_load']['p99_ms']:.2f} ms, "
+        f"reject {data['max_load']['reject_rate']:.2f} -> {path}"
+    )
+    return 0
+
+
 def _cmd_bench_wallclock(args) -> int:
     """Measure the batched executor against the serial loop (wall clock)."""
     from .bench.wallclock import DEFAULT_CANDIDATE_SIZE, run_wallclock
@@ -519,6 +637,58 @@ def build_parser() -> argparse.ArgumentParser:
     _add_load_args(p)
     _add_chaos_args(p)
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser(
+        "serve",
+        help="drive the online serving layer with open-loop arrivals",
+    )
+    _add_dataset_args(p)
+    p.add_argument("--index", default=None,
+                   help="index directory (optional with --save-config)")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--workers", type=int, default=None,
+                   help="service worker count (default: spec/config)")
+    p.add_argument("--queue-depth", type=int, default=None,
+                   help="admission queue bound; arrivals beyond it are "
+                        "rejected, never blocked")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-query deadline budget (queue wait + service)")
+    p.add_argument("--shed-tiers", default=None, metavar="G0,G1,...",
+                   help="candidate-size tiers, full quality first, "
+                        "e.g. 64,32,16")
+    p.add_argument("--max-batch", type=int, default=None,
+                   help="micro-batch size per worker dispatch")
+    p.add_argument("--offered-qps", type=float, default=None,
+                   help="open-loop arrival rate (default: 1.5x the "
+                        "profiled analytical saturation)")
+    p.add_argument("--arrivals", type=int, default=200,
+                   help="number of arrivals in the trace")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the Poisson arrival trace")
+    p.add_argument("--threads", action="store_true",
+                   help="use the wall-clock threaded front end instead of "
+                        "the deterministic virtual clock")
+    p.add_argument("--config", default=None,
+                   help="ServeSpec JSON file; explicit flags override it")
+    p.add_argument("--save-config", default=None,
+                   help="write the effective ServeSpec JSON to this file")
+    _add_load_args(p)
+    _add_chaos_args(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="open-loop offered-load sweep -> BENCH_serve.json",
+    )
+    p.add_argument("--family", default="bigann",
+                   choices=("bigann", "deep", "ssnpp", "text2image"))
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--arrivals", type=int, default=None,
+                   help="arrivals per sweep point "
+                        "(default: REPRO_BENCH_SERVE_ARRIVALS)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="BENCH_serve.json")
+    p.set_defaults(func=_cmd_bench_serve)
 
     p = sub.add_parser(
         "bench-wallclock",

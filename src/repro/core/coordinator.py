@@ -229,6 +229,76 @@ class SegmentCoordinator:
             quarantined_segments=skipped,
         )
 
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        candidate_size: int = 64,
+        *,
+        exec_spec=None,
+        stoppers=None,
+    ) -> list[CoordinatedResult]:
+        """Answer a micro-batch of queries across the healthy segments.
+
+        Each healthy segment serves the whole batch through a
+        :class:`~repro.engine.batch.BatchExecutor` (shared ADC tables,
+        shared decode cache), then results are merged per query exactly
+        like :meth:`search`.  Failure granularity is the segment × batch:
+        a fault anywhere in a segment's batch costs that segment one error
+        count and drops its contribution for the *whole* batch — the same
+        all-or-nothing contract a single coordinated query has.
+
+        ``stoppers`` optionally carries one early-stop object per query
+        (the serving layer's deadline budgets); they are forwarded only to
+        disk-graph segments, whose cost model the stoppers price.
+        """
+        from ..engine.batch import BatchExecutor
+
+        queries = np.asarray(queries, dtype=np.float32)
+        n = len(queries)
+        if stoppers is not None and len(stoppers) != n:
+            raise ValueError(f"{len(stoppers)} stoppers for {n} queries")
+
+        def run_segment(segment):
+            executor = BatchExecutor(segment, exec_spec)
+            seg_stoppers = stoppers
+            if seg_stoppers is not None:
+                engine = getattr(segment, "engine", segment)
+                if getattr(engine, "disk_graph", None) is None:
+                    seg_stoppers = None
+            return executor.search_batch(
+                queries, k, candidate_size, stoppers=seg_stoppers
+            )
+
+        outcomes, failed, skipped = self._fan_out(run_segment)
+        out: list[CoordinatedResult] = []
+        for q in range(n):
+            merged: list[tuple[float, int]] = []
+            total = QueryStats()
+            latencies: list[float] = []
+            degraded = False
+            for _, segment, offset, results in outcomes:
+                result = results[q]
+                total.merge(result.stats)
+                latencies.append(segment.latency_us(result))
+                degraded |= bool(getattr(result, "degraded", False))
+                merged.extend(
+                    (float(d), int(vid) + offset)
+                    for d, vid in zip(result.dists, result.ids)
+                )
+            merged.sort()
+            top = merged[:k]
+            out.append(CoordinatedResult(
+                ids=np.asarray([vid for _, vid in top], dtype=np.int64),
+                dists=np.asarray([d for d, _ in top], dtype=np.float64),
+                stats=total,
+                per_segment_latency_us=latencies,
+                degraded=degraded or bool(failed) or bool(skipped),
+                failed_segments=list(failed),
+                quarantined_segments=list(skipped),
+            ))
+        return out
+
     def range_search(self, query: np.ndarray, radius: float) -> CoordinatedResult:
         """RS across the healthy segments; the union is exact per-segment."""
         ids: list[int] = []

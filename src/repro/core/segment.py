@@ -185,15 +185,26 @@ class StarlingIndex(_SegmentIndexBase):
 
     def search(
         self, query: np.ndarray, k: int = 10, candidate_size: int = 64,
-        *, table: np.ndarray | None = None,
+        *, table: np.ndarray | None = None, stopper=None,
     ) -> SearchResult:
         """Approximate k-nearest-neighbour search (Algorithm 2).
 
         ``table`` is an optional precomputed ADC table (one row of the
         batched executor's shared :meth:`ProductQuantizer.lookup_tables`
-        build) — bit-identical to the table built per query.
+        build) — bit-identical to the table built per query.  ``stopper``
+        overrides the engine's early termination; stoppers exposing
+        ``bind_costs`` (the serving layer's deadline budgets) get this
+        segment's cost model attached so their clock prices I/O and
+        compute exactly like :meth:`latency_us`.
         """
-        return self.engine.search(query, k, candidate_size, table=table)
+        if stopper is not None and hasattr(stopper, "bind_costs"):
+            stopper.bind_costs(
+                self.disk_spec, self.compute_spec, self.dim,
+                self.pq.num_subspaces,
+            )
+        return self.engine.search(
+            query, k, candidate_size, table=table, stopper=stopper
+        )
 
     def range_search(
         self,
@@ -250,10 +261,17 @@ class DiskANNIndex(_SegmentIndexBase):
 
     def search(
         self, query: np.ndarray, k: int = 10, candidate_size: int = 64,
-        *, table: np.ndarray | None = None,
+        *, table: np.ndarray | None = None, stopper=None,
     ) -> SearchResult:
         """Approximate k-nearest-neighbour search (vertex beam search)."""
-        return self.engine.search(query, k, candidate_size, table=table)
+        if stopper is not None and hasattr(stopper, "bind_costs"):
+            stopper.bind_costs(
+                self.disk_spec, self.compute_spec, self.dim,
+                self.pq.num_subspaces,
+            )
+        return self.engine.search(
+            query, k, candidate_size, table=table, stopper=stopper
+        )
 
     def range_search(
         self,

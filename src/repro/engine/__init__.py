@@ -3,7 +3,7 @@
 from .arena import Arena, ArenaPool
 from .batch import EXEC_MODES, BatchExecutor, ExecSpec
 from .beam_search import BeamSearchEngine
-from .block_cache import CachedDiskGraph
+from .block_cache import CachedDiskGraph, DecodeCache
 from .block_search import BlockSearchEngine
 from .cache import HotVertexCache, build_hot_vertex_cache
 from .concurrency import (
@@ -13,13 +13,25 @@ from .concurrency import (
     schedule_from_stats,
 )
 from .cost import ComputeSpec, FaultStats, QueryStats
+from .early_stop import AdaptiveEarlyStopper, DeadlineStopper
 from .frontier import CandidateSet, ResultSet, ordered_unique
 from .range_search import incremental_range_search, repeated_anns_range_search
 from .resilience import RetryPolicy, resilient_read_blocks_of
 from .results import RangeResult, SearchResult
+from .serve import (
+    CircuitBreaker,
+    Overloaded,
+    SearchService,
+    ServeReport,
+    ServeSpec,
+    ServedQuery,
+    Ticket,
+    poisson_arrivals_us,
+)
 
 __all__ = [
     "EXEC_MODES",
+    "AdaptiveEarlyStopper",
     "Arena",
     "ArenaPool",
     "BatchExecutor",
@@ -27,22 +39,32 @@ __all__ = [
     "BlockSearchEngine",
     "CachedDiskGraph",
     "CandidateSet",
+    "CircuitBreaker",
     "ComputeSpec",
+    "DeadlineStopper",
+    "DecodeCache",
     "ExecSpec",
     "FaultStats",
     "HotVertexCache",
+    "Overloaded",
     "QueryStats",
     "RangeResult",
     "ResultSet",
     "RetryPolicy",
     "SearchResult",
+    "SearchService",
+    "ServeReport",
+    "ServeSpec",
+    "ServedQuery",
     "SimulatedQuery",
     "SimulationReport",
     "ThroughputSimulator",
+    "Ticket",
     "schedule_from_stats",
     "build_hot_vertex_cache",
     "incremental_range_search",
     "ordered_unique",
+    "poisson_arrivals_us",
     "repeated_anns_range_search",
     "resilient_read_blocks_of",
 ]

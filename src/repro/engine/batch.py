@@ -231,6 +231,12 @@ class BatchExecutor:
         if not enabled or not hasattr(graph, "decode_cache"):
             yield
             return
+        if graph.decode_cache is not None:
+            # A long-lived cache is already installed (the serving layer's
+            # persistent plane).  Leave it: concurrent batches must share
+            # one cache, not tear down each other's installs.
+            yield
+            return
         previous = graph.decode_cache
         graph.decode_cache = {}
         try:
@@ -254,6 +260,12 @@ class BatchExecutor:
             or not hasattr(graph, "decode_mode")
             or not hasattr(self.engine, "arena_pool")
         ):
+            yield
+            return
+        if graph.decode_mode == "view" and self.engine.arena_pool is not None:
+            # The plane is already installed by a long-lived owner (the
+            # serving layer); reuse it rather than swapping pools out from
+            # under concurrent batches.
             yield
             return
         from .arena import ArenaPool
@@ -289,6 +301,11 @@ class BatchExecutor:
     @contextmanager
     def _seed_lock(self):
         previous = getattr(self.engine, "seed_lock", None)
+        if previous is not None:
+            # A long-lived lock is already installed; keep it so every
+            # concurrent batch serializes entry walks through one lock.
+            yield
+            return
         self.engine.seed_lock = threading.Lock()
         try:
             yield
@@ -302,27 +319,51 @@ class BatchExecutor:
         queries: np.ndarray | Sequence[np.ndarray],
         k: int = 10,
         candidate_size: int = 64,
+        *,
+        stoppers: Sequence | None = None,
     ) -> list:
         """Answer one ANNS query per row of ``queries``.
 
         Returns the per-query :class:`~repro.engine.results.SearchResult`
         list in query order, bit-identical to
         ``[index.search(q, k, candidate_size) for q in queries]``.
+
+        ``stoppers`` optionally supplies one early-stop object per query
+        (the serving layer's per-query deadline budgets).  Stoppers carry
+        per-search state that must observe the queries in submission order,
+        so fan-out modes degrade to the in-order ``batched`` mode when they
+        are given.
         """
         queries = np.asarray(queries, dtype=np.float32)
         if queries.size == 0:
             return []
+        if stoppers is not None and len(stoppers) != len(queries):
+            raise ValueError(
+                f"{len(stoppers)} stoppers for {len(queries)} queries"
+            )
         mode = self.effective_mode()
+        if stoppers is not None and mode in ("threads", "processes"):
+            mode = "batched"
         if mode == "serial":
+            if stoppers is None:
+                return [
+                    self.index.search(q, k, candidate_size) for q in queries
+                ]
             return [
-                self.index.search(q, k, candidate_size) for q in queries
+                self.index.search(q, k, candidate_size, stopper=s)
+                for q, s in zip(queries, stoppers)
             ]
         tables = self._tables(queries)
 
         def one(i: int):
             table = tables[i] if tables is not None else None
+            if stoppers is None:
+                return self.index.search(
+                    queries[i], k, candidate_size, table=table
+                )
             return self.index.search(
-                queries[i], k, candidate_size, table=table
+                queries[i], k, candidate_size, table=table,
+                stopper=stoppers[i],
             )
 
         if mode == "processes":

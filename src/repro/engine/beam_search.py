@@ -166,17 +166,25 @@ class BeamSearchEngine:
         candidate_size: int,
         *,
         table: np.ndarray | None = None,
+        stopper=None,
     ) -> SearchResult:
-        """Answer one ANNS query; ``candidate_size`` is the paper's Γ."""
+        """Answer one ANNS query; ``candidate_size`` is the paper's Γ.
+
+        ``stopper`` overrides the engine's own adaptive early termination
+        (see :class:`~repro.engine.early_stop.DeadlineStopper`).
+        """
         query = np.asarray(query, dtype=np.float32)
         stats = QueryStats()
         candidates, results, table = self._seed(
             query, candidate_size, stats, table=table
         )
-        stopper = (
-            AdaptiveEarlyStopper(k, self.early_termination)
-            if self.early_termination is not None else None
-        )
+        if stopper is None:
+            stopper = (
+                AdaptiveEarlyStopper(k, self.early_termination)
+                if self.early_termination is not None else None
+            )
+        elif hasattr(stopper, "bind"):
+            stopper.bind(stats)
         self._run(query, candidates, results, table, stats, stopper=stopper)
         ids, dists = results.top_k(k)
         return SearchResult(ids, dists, stats, degraded=stats.fault.degraded)

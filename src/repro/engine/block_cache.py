@@ -13,10 +13,54 @@ invisible in mean-I/O numbers — exactly how a page cache behaves under
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Sequence
 
 from ..storage.disk_graph import DiskBlock, DiskGraph
+
+
+class DecodeCache:
+    """Bounded, thread-safe decoded-block cache for long-lived installs.
+
+    Exposes the mapping surface :class:`DiskGraph` expects of its
+    ``decode_cache`` slot (``get`` / item assignment), so the serving layer
+    can install one instance for the life of a service instead of the
+    executor's per-batch plain dict.  Every operation holds one lock;
+    eviction is FIFO by insertion order.  Like the per-batch dict, the cache
+    sits *behind* the I/O accounting — hits and evictions change only decode
+    work, never a counter — so capacity is purely a memory bound.
+
+    Args:
+        capacity_blocks: Maximum decoded blocks held (must be positive; use
+            ``None`` for the ``decode_cache`` slot to disable caching).
+    """
+
+    def __init__(self, capacity_blocks: int) -> None:
+        if capacity_blocks <= 0:
+            raise ValueError("capacity_blocks must be positive")
+        self.capacity_blocks = capacity_blocks
+        self._lock = threading.Lock()
+        self._blocks: OrderedDict[int, DiskBlock] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+    def get(self, block_id: int, default: DiskBlock | None = None):
+        with self._lock:
+            return self._blocks.get(block_id, default)
+
+    def __setitem__(self, block_id: int, block: DiskBlock) -> None:
+        with self._lock:
+            if block_id not in self._blocks:
+                while len(self._blocks) >= self.capacity_blocks:
+                    self._blocks.popitem(last=False)
+            self._blocks[block_id] = block
+
+    def clear(self) -> None:
+        with self._lock:
+            self._blocks.clear()
 
 
 class CachedDiskGraph:

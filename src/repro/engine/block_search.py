@@ -172,17 +172,27 @@ class BlockSearchEngine:
         candidate_size: int,
         *,
         table: np.ndarray | None = None,
+        stopper=None,
     ) -> SearchResult:
-        """Answer one ANNS query per Algorithm 2."""
+        """Answer one ANNS query per Algorithm 2.
+
+        ``stopper`` overrides the engine's own adaptive early termination;
+        the serving layer passes a :class:`DeadlineStopper` here.  Stoppers
+        exposing ``bind`` get the live per-query stats attached before the
+        walk starts.
+        """
         query = np.asarray(query, dtype=np.float32)
         stats = QueryStats(pipelined=self.pipeline)
         candidates, results, table = self._seed(
             query, candidate_size, stats, table=table
         )
-        stopper = (
-            AdaptiveEarlyStopper(k, self.early_termination)
-            if self.early_termination is not None else None
-        )
+        if stopper is None:
+            stopper = (
+                AdaptiveEarlyStopper(k, self.early_termination)
+                if self.early_termination is not None else None
+            )
+        elif hasattr(stopper, "bind"):
+            stopper.bind(stats)
         self._run(query, candidates, results, table, stats, stopper=stopper)
         ids, dists = results.top_k(k)
         return SearchResult(ids, dists, stats, degraded=stats.fault.degraded)

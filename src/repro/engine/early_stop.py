@@ -50,3 +50,73 @@ class AdaptiveEarlyStopper:
         else:
             self._stall += 1
         return self._hops >= self.min_hops and self._stall >= self.patience
+
+
+class DeadlineStopper:
+    """Stop a search once its *simulated* elapsed time exceeds a budget.
+
+    The serving layer hands each query a remaining-time budget (deadline
+    minus queue wait).  The engines call :meth:`update` once per search
+    round, so the stopper reads the live :class:`~repro.engine.cost.QueryStats`
+    and halts the walk as soon as the accrued simulated latency reaches the
+    budget.  Overshoot is bounded by one round: the round in flight when the
+    budget expires still completes (its I/O was already issued).
+
+    Two bindings happen before the first ``update``:
+
+    * the index binds its cost model (:meth:`bind_costs`) — segments may have
+      heterogeneous :class:`DiskSpec`/:class:`ComputeSpec`;
+    * the engine binds the per-search stats object (:meth:`bind`).
+
+    One stopper may be reused across the segments of a coordinator fan-out;
+    each ``bind`` restarts the elapsed clock (segments run in simulated
+    parallel) while :attr:`fired` stays latched so the service can mark the
+    result as deadline-truncated.
+    """
+
+    def __init__(self, budget_us: float, *, min_rounds: int = 1) -> None:
+        if budget_us < 0:
+            raise ValueError("budget_us must be >= 0")
+        if min_rounds < 0:
+            raise ValueError("min_rounds must be >= 0")
+        self.budget_us = float(budget_us)
+        #: rounds always granted so a tiny budget still returns *some*
+        #: results instead of an empty set
+        self.min_rounds = min_rounds
+        self.fired = False
+        self._stats = None
+        self._disk = None
+        self._comp = None
+        self._dim = 0
+        self._num_subspaces = 0
+        self._rounds = 0
+
+    def bind_costs(self, disk, comp, dim: int, num_subspaces: int) -> None:
+        """Attach the cost model used to price the stats counters."""
+        self._disk = disk
+        self._comp = comp
+        self._dim = int(dim)
+        self._num_subspaces = int(num_subspaces)
+
+    def bind(self, stats) -> None:
+        """Attach the per-search stats; restarts the round counter."""
+        self._stats = stats
+        self._rounds = 0
+
+    def elapsed_us(self) -> float:
+        """Simulated time accrued by the currently bound search."""
+        if self._stats is None or self._disk is None:
+            return 0.0
+        return self._stats.latency_us(
+            self._disk, self._comp, self._dim, self._num_subspaces
+        )
+
+    def update(self, results: ResultSet) -> bool:
+        """Returns True when the bound search has spent its budget."""
+        self._rounds += 1
+        if self._rounds <= self.min_rounds:
+            return False
+        if self.elapsed_us() >= self.budget_us:
+            self.fired = True
+            return True
+        return False

@@ -1,7 +1,13 @@
 """Storage substrate: block codec, simulated device, disk-resident graph."""
 
 from .codec import ID_DTYPE, VertexFormat, block_checksum
-from .device import BlockDevice, DiskSpec, IOCounters, device_for_blocks
+from .device import (
+    BlockDevice,
+    DeviceClosedError,
+    DiskSpec,
+    IOCounters,
+    device_for_blocks,
+)
 from .disk_graph import DiskBlock, DiskGraph, build_disk_graph
 from .faults import (
     ChecksumError,
@@ -37,6 +43,7 @@ __all__ = [
     "BlockDevice",
     "ChecksumError",
     "CrashInjector",
+    "DeviceClosedError",
     "DigestMismatchError",
     "DiskBlock",
     "DiskGraph",

@@ -21,6 +21,15 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 
+class DeviceClosedError(ValueError):
+    """Raised when a closed :class:`BlockDevice` is used.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught the
+    untyped error keep working; long-lived services catch this type to tell
+    a lifecycle bug apart from a bad argument.
+    """
+
+
 @dataclass(frozen=True)
 class DiskSpec:
     """Latency model of the simulated disk.
@@ -162,7 +171,7 @@ class BlockDevice:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise ValueError("I/O operation on closed BlockDevice")
+            raise DeviceClosedError("I/O operation on closed BlockDevice")
 
     def __enter__(self) -> "BlockDevice":
         return self
@@ -222,6 +231,7 @@ class BlockDevice:
     def read_block(self, block_id: int) -> bytes:
         """Read one block: one round-trip, one block charged."""
         self._check_block_id(block_id)
+        self._check_open()
         with self._lock:
             self.counters.blocks_read += 1
             self.counters.round_trips += 1
@@ -238,6 +248,7 @@ class BlockDevice:
             self._check_block_id(bid)
         if not ids:
             return []
+        self._check_open()
         with self._lock:
             self.counters.blocks_read += len(ids)
             self.counters.round_trips += 1
@@ -267,6 +278,7 @@ class BlockDevice:
                 f"sequential read of {num_blocks} blocks from block "
                 f"{first_block} overruns the device ({self.num_blocks} blocks)"
             )
+        self._check_open()
         with self._lock:
             self.counters.blocks_read += num_blocks
             self.counters.round_trips += 1

@@ -139,6 +139,38 @@ class TestPerfGuard:
         assert len(failures) == 1
         assert "graph build speedup" in failures[0]
 
+    SERVE = {
+        "validation": {"qps_ratio": 0.98},
+        "max_load": {"p99_over_deadline": 1.4, "reject_rate": 0.10},
+    }
+
+    def test_serve_identical_passes(self):
+        from repro.bench.guard import check_report
+
+        assert check_report("serve", self.SERVE, self.SERVE) == []
+
+    def test_serve_lower_is_better_ceiling(self):
+        from repro.bench.guard import check_report
+
+        fresh = {
+            "validation": {"qps_ratio": 0.98},
+            # p99/deadline up 50%: past the 20% ceiling
+            "max_load": {"p99_over_deadline": 2.1, "reject_rate": 0.10},
+        }
+        failures = check_report("serve", fresh, self.SERVE)
+        assert len(failures) == 1
+        assert "p99" in failures[0]
+
+    def test_serve_improvement_passes_both_directions(self):
+        from repro.bench.guard import check_report
+
+        fresh = {
+            "validation": {"qps_ratio": 1.0},      # closer to the model
+            "max_load": {"p99_over_deadline": 0.9,  # faster tail
+                         "reject_rate": 0.0},       # fewer rejects
+        }
+        assert check_report("serve", fresh, self.SERVE) == []
+
     def test_unknown_kind_rejected(self):
         from repro.bench.guard import check_report
 

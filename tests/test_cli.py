@@ -200,3 +200,58 @@ class TestFileInputs:
     def test_missing_data_and_synthetic(self, tmp_path):
         with pytest.raises(SystemExit, match="required"):
             main(["build", "--out", str(tmp_path / "i")])
+
+
+class TestServeCommand:
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("cli-serve") / "idx"
+        assert main([
+            "build", "--synthetic", "bigann:300", "--num-queries", "6",
+            "--out", str(out), "--max-degree", "12", "--build-ef", "24",
+        ]) == 0
+        return out
+
+    def test_save_config_without_index(self, tmp_path, capsys):
+        cfg = tmp_path / "serve.json"
+        assert main([
+            "serve", "--save-config", str(cfg),
+            "--workers", "2", "--queue-depth", "8",
+            "--deadline-ms", "5", "--shed-tiers", "32,16",
+        ]) == 0
+        spec = json.loads(cfg.read_text())
+        assert spec["workers"] == 2
+        assert spec["queue_depth"] == 8
+        assert spec["deadline_us"] == 5000.0
+        assert spec["shed_tiers"] == [32, 16]
+
+    def test_config_round_trip_drives_service(self, built, tmp_path, capsys):
+        """A saved ServeSpec reloads via --config and flags override it."""
+        cfg = tmp_path / "serve.json"
+        assert main([
+            "serve", "--save-config", str(cfg),
+            "--workers", "2", "--queue-depth", "8", "--shed-tiers", "32,16",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--index", str(built), "--synthetic", "bigann:300",
+            "--num-queries", "6", "--config", str(cfg),
+            "--arrivals", "30", "--deadline-ms", "50", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 30 arrivals" in out
+        assert "virtual clock" in out
+        assert "deadline 50.00 ms" in out
+
+    def test_serve_requires_index(self):
+        with pytest.raises(SystemExit, match="--index"):
+            main(["serve", "--synthetic", "bigann:300"])
+
+    def test_threaded_smoke(self, built, capsys):
+        assert main([
+            "serve", "--index", str(built), "--synthetic", "bigann:300",
+            "--num-queries", "6", "--arrivals", "12", "--threads",
+            "--workers", "2", "--queue-depth", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 12 arrivals [threads" in out

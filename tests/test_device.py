@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.storage import BlockDevice, DiskSpec, device_for_blocks
+from repro.storage import (
+    BlockDevice,
+    DeviceClosedError,
+    DiskSpec,
+    device_for_blocks,
+)
 
 
 @pytest.fixture
@@ -117,6 +122,99 @@ class TestFileBackedDevice:
         with BlockDevice(64, 10, path=path):
             pass
         assert path.stat().st_size == 640
+
+
+class TestLifecycle:
+    """Close is idempotent; use-after-close is a typed error; no fd leaks."""
+
+    def test_close_is_idempotent(self, device):
+        device.close()
+        device.close()  # second close is a no-op, not an error
+        assert device.closed
+
+    def test_typed_error_after_close(self, device):
+        device.close()
+        with pytest.raises(DeviceClosedError):
+            device.read_block(0)
+        with pytest.raises(DeviceClosedError):
+            device.read_blocks([0, 1])
+        with pytest.raises(DeviceClosedError):
+            device.read_sequential(0, 2)
+        with pytest.raises(DeviceClosedError):
+            device.write_block(0, b"\x00" * 64)
+        with pytest.raises(DeviceClosedError):
+            device.sync()
+
+    def test_closed_error_is_a_value_error(self, device):
+        """Callers that predate the typed exception catch ValueError."""
+        device.close()
+        with pytest.raises(ValueError):
+            device.read_block(0)
+
+    def test_counters_untouched_after_close(self, device):
+        device.read_block(0)
+        before = device.counters.blocks_read
+        device.close()
+        for attempt in (
+            lambda: device.read_block(0),
+            lambda: device.read_blocks([0]),
+            lambda: device.read_sequential(0, 1),
+        ):
+            with pytest.raises(DeviceClosedError):
+                attempt()
+        assert device.counters.blocks_read == before
+
+    def test_file_backed_double_close(self, tmp_path):
+        device = BlockDevice(64, 4, path=tmp_path / "d.bin")
+        device.write_block(0, b"\x01" * 64)
+        device.close()
+        device.close()
+        with pytest.raises(DeviceClosedError):
+            device.read_block(0)
+
+    def test_no_fd_leak_over_repeated_cycles(self, tmp_path):
+        """Repeated open/close cycles (service restarts) must not
+        accumulate file descriptors."""
+        import os
+
+        def open_fds() -> int:
+            return len(os.listdir("/proc/self/fd"))
+
+        path = tmp_path / "segment.bin"
+        with BlockDevice(64, 8, path=path):
+            pass  # create the backing file once
+        baseline = open_fds()
+        for _ in range(20):
+            device = BlockDevice(64, 8, path=path)
+            device.read_block(0)
+            device.close()
+            device.close()
+        assert open_fds() <= baseline
+
+    def test_service_start_stop_cycles_leak_no_fds(self, tmp_path):
+        """Satellite check: the serving layer's start/stop cycles leave the
+        process fd table flat (the plane install/uninstall opens nothing)."""
+        import os
+
+        from repro.core import GraphConfig, StarlingConfig, build_starling
+        from repro.engine import SearchService, ServeSpec
+        from repro.vectors import bigann_like
+
+        index = build_starling(
+            bigann_like(200, 4, seed=9),
+            StarlingConfig(graph=GraphConfig(max_degree=12, build_ef=24,
+                                             seed=1)),
+        )
+        service = SearchService(index, ServeSpec(workers=1, queue_depth=4))
+        service.start()  # warm-up cycle: thread/queue machinery allocates
+        service.stop()
+        baseline = len(os.listdir("/proc/self/fd"))
+        query = np.zeros(index.dim, dtype=np.float32)
+        for _ in range(5):
+            service.start()
+            service.submit(query)
+            service.stop()
+        assert len(os.listdir("/proc/self/fd")) <= baseline
 
 
 class TestDeviceForBlocks:

@@ -1,0 +1,534 @@
+"""Online serving layer: admission, deadlines, shedding, breaker, determinism.
+
+The expensive artifacts (two Starling segments) are module-scoped; tests
+that mutate segment state (fault injection for the breaker) restore it in a
+``finally`` so the shared indexes stay clean.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import GraphConfig, StarlingConfig, build_starling
+from repro.core.coordinator import SegmentCoordinator, split_dataset
+from repro.engine import (
+    DeadlineStopper,
+    DecodeCache,
+    Overloaded,
+    SearchService,
+    ServeSpec,
+    Ticket,
+    poisson_arrivals_us,
+)
+from repro.storage import FaultSpec, ensure_fault_injection
+from repro.storage.faults import base_disk_graph
+from repro.vectors import bigann_like
+
+CONFIG = StarlingConfig(graph=GraphConfig(max_degree=16, build_ef=32, seed=1))
+
+
+@pytest.fixture(scope="module")
+def serve_dataset():
+    return bigann_like(400, 10, seed=3)
+
+
+@pytest.fixture(scope="module")
+def serve_segments(serve_dataset):
+    parts, offsets = split_dataset(serve_dataset, 2)
+    return [build_starling(part, CONFIG) for part in parts], offsets
+
+
+@pytest.fixture()
+def coordinator(serve_segments):
+    segments, offsets = serve_segments
+    return SegmentCoordinator(segments, list(offsets))
+
+
+def burst(n: int, at_us: float = 0.0) -> list[float]:
+    """``n`` arrivals at the same instant — maximal queue pressure."""
+    return [at_us] * n
+
+
+# ---------------------------------------------------------------------------
+# spec
+
+
+class TestServeSpec:
+    def test_round_trip(self):
+        spec = ServeSpec(
+            workers=2, queue_depth=8, deadline_us=1500.0,
+            shed_tiers=(48, 24), max_batch=4,
+        )
+        again = ServeSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.shed_tiers == (48, 24)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown ServeSpec keys"):
+            ServeSpec.from_dict({"workers": 2, "turbo": True})
+
+    @pytest.mark.parametrize("bad", [
+        {"workers": 0},
+        {"queue_depth": 0},
+        {"deadline_us": -1.0},
+        {"shed_tiers": ()},
+        {"shed_tiers": (16, 32)},          # must descend
+        {"shed_tiers": (32, 32)},          # strictly
+        {"shed_tiers": (32, 0)},
+        {"max_batch": 0},
+        {"shed_low": 0.9, "shed_high": 0.1},
+        {"breaker_probe_us": 0.0},
+        {"breaker_backoff": 0.5},
+        {"min_rounds": -1},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            ServeSpec(**bad)
+
+    def test_with_returns_new_spec(self):
+        spec = ServeSpec()
+        tight = spec.with_(deadline_us=100.0)
+        assert tight.deadline_us == 100.0
+        assert spec.deadline_us is None
+
+    def test_tier_thresholds(self, coordinator):
+        service = SearchService(
+            coordinator,
+            ServeSpec(shed_tiers=(64, 32, 16), shed_low=0.25, shed_high=0.75),
+        )
+        assert service.tier_for_occupancy(0.0) == 0
+        assert service.tier_for_occupancy(0.24) == 0
+        assert service.tier_for_occupancy(0.25) == 1
+        assert service.tier_for_occupancy(0.74) == 1
+        assert service.tier_for_occupancy(0.75) == 2
+        assert service.tier_for_occupancy(1.0) == 2
+        flat = SearchService(coordinator, ServeSpec(shed_tiers=(64,)))
+        assert flat.tier_for_occupancy(1.0) == 0
+
+
+# ---------------------------------------------------------------------------
+# virtual-clock front end
+
+
+class TestRunTrace:
+    def test_uncontended_matches_direct_search(self, coordinator,
+                                               serve_dataset):
+        """With no queue pressure the service is a plain coordinator call:
+        same ids, same dists, full tier, nothing shed or missed."""
+        spec = ServeSpec(workers=2, queue_depth=16, deadline_us=1e9)
+        queries = np.asarray(serve_dataset.queries, dtype=np.float32)
+        # arrivals a full (simulated) second apart: never two in flight
+        trace = [i * 1e6 for i in range(len(queries))]
+        report = SearchService(coordinator, spec).run_trace(trace, queries)
+        assert report.completed == len(queries)
+        assert report.shed_count == 0
+        assert report.deadline_missed == 0
+        assert report.degraded_fraction == 0.0
+        for i, outcome in enumerate(report.outcomes):
+            direct = coordinator.search(queries[i], 10, spec.shed_tiers[0])
+            np.testing.assert_array_equal(outcome.result.ids, direct.ids)
+            np.testing.assert_allclose(outcome.result.dists, direct.dists)
+
+    def test_admission_rejects_when_full(self, coordinator, serve_dataset):
+        spec = ServeSpec(workers=1, queue_depth=2, max_batch=1,
+                         shed_tiers=(32,))
+        queries = np.asarray(serve_dataset.queries, dtype=np.float32)
+        report = SearchService(coordinator, spec).run_trace(
+            burst(10), queries
+        )
+        assert report.rejected > 0
+        assert report.completed + report.rejected == report.arrivals
+        rejected = [o for o in report.outcomes if o.status == "rejected"]
+        for outcome in rejected:
+            assert isinstance(outcome.overloaded, Overloaded)
+            assert outcome.overloaded.rejected
+            assert outcome.overloaded.queue_len >= spec.queue_depth
+            assert outcome.result is None
+        # rejections are logged as typed decisions too
+        assert sum(1 for d in report.decisions if d[0] == "reject") == len(
+            rejected
+        )
+
+    def test_rejects_monotone_in_burst_size(self, coordinator, serve_dataset):
+        spec = ServeSpec(workers=1, queue_depth=4, max_batch=2,
+                         shed_tiers=(32,))
+        queries = np.asarray(serve_dataset.queries, dtype=np.float32)
+        rejects = [
+            SearchService(coordinator, spec)
+            .run_trace(burst(n), queries).rejected
+            for n in (4, 12, 24)
+        ]
+        assert rejects[0] <= rejects[1] <= rejects[2]
+        assert rejects[-1] > 0
+
+    def test_deadline_truncates_and_expires(self, coordinator, serve_dataset):
+        """A deadline far below the mean service time must surface as
+        truncated searches, missed deadlines, or queue expiries — never as
+        unbounded sojourns."""
+        queries = np.asarray(serve_dataset.queries, dtype=np.float32)
+        probe = coordinator.search(queries[0], 10, 64)
+        deadline = probe.parallel_latency_us / 4
+        spec = ServeSpec(workers=1, queue_depth=32, max_batch=2,
+                         deadline_us=deadline, shed_tiers=(64,))
+        report = SearchService(coordinator, spec).run_trace(
+            burst(16), queries
+        )
+        degraded = (
+            report.expired
+            + sum(1 for o in report.outcomes if o.truncated)
+            + report.deadline_missed
+        )
+        assert degraded > 0
+        # a truncated query still returns k results (min_rounds grants the
+        # first frontier round before the budget is enforced)
+        served = [o for o in report.outcomes if o.ok]
+        assert served
+        for outcome in served:
+            assert len(outcome.result.ids) == 10
+        summary = report.summary()
+        assert summary["p99_over_deadline"] == pytest.approx(
+            report.sojourn_percentile_us(99) / deadline
+        )
+
+    def test_sheds_to_lower_tiers_under_pressure(self, coordinator,
+                                                 serve_dataset):
+        spec = ServeSpec(workers=1, queue_depth=16, max_batch=2,
+                         shed_tiers=(64, 32, 16), shed_low=0.2, shed_high=0.6)
+        queries = np.asarray(serve_dataset.queries, dtype=np.float32)
+        report = SearchService(coordinator, spec).run_trace(
+            burst(16), queries
+        )
+        assert report.shed_count > 0
+        shed_tiers_used = {
+            d[3] for d in report.decisions if d[0] == "dispatch"
+        }
+        assert max(shed_tiers_used) > 0
+        # every shed query records the tier's candidate size it was served at
+        for outcome in report.outcomes:
+            if outcome.shed:
+                assert outcome.candidate_size == spec.shed_tiers[outcome.tier]
+                assert outcome.candidate_size < spec.shed_tiers[0]
+
+    def test_arrivals_must_be_sorted(self, coordinator, serve_dataset):
+        service = SearchService(coordinator, ServeSpec())
+        with pytest.raises(ValueError, match="non-decreasing"):
+            service.run_trace([5.0, 1.0], serve_dataset.queries)
+
+    def test_plane_installed_only_while_running(self, coordinator,
+                                                serve_dataset):
+        """The persistent decode cache / view mode / arena pool are a
+        service-lifetime installation, restored exactly on teardown."""
+        graphs = [
+            base_disk_graph(seg.engine.disk_graph)
+            for seg in coordinator.segments
+        ]
+        before = [(g.decode_cache, g.decode_mode) for g in graphs]
+        service = SearchService(coordinator, ServeSpec())
+        service.run_trace(burst(4), serve_dataset.queries)
+        after = [(g.decode_cache, g.decode_mode) for g in graphs]
+        assert after == before
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+
+
+class TestCircuitBreaker:
+    def test_lifecycle_open_half_open_closed(self, coordinator,
+                                             serve_dataset):
+        queries = np.asarray(serve_dataset.queries, dtype=np.float32)
+        spec = ServeSpec(workers=1, queue_depth=8, max_batch=1,
+                         shed_tiers=(32,), breaker_probe_us=1_000.0,
+                         breaker_backoff=2.0)
+        service = SearchService(coordinator, spec)
+        segment = coordinator.segments[0]
+        ensure_fault_injection(
+            segment.disk_graph, FaultSpec(transient_error_rate=1.0, seed=5)
+        )
+        try:
+            trace = [i * 2_000.0 for i in range(12)]
+            report = service.run_trace(trace, queries)
+            states = [d[2] for d in report.decisions if d[0] == "breaker"
+                      and d[1] == 0]
+            assert "open" in states
+            # while open, merged answers come from the surviving segment
+            assert report.degraded_fraction > 0.0
+            assert service.breakers[0].state in ("open", "half_open")
+        finally:
+            base = base_disk_graph(segment.disk_graph)
+            base.device = base.device.inner
+        # healed: the next trace's probe closes the breaker again.  Each
+        # trace starts its virtual clock at zero, so schedule the arrivals
+        # past the breaker's pending backoff.
+        probe_at = service.breakers[0].next_probe_us
+        report = service.run_trace(
+            [probe_at + i * 2_000.0 for i in range(8)], queries
+        )
+        states = [d[2] for d in report.decisions if d[0] == "breaker"
+                  and d[1] == 0]
+        assert states and states[-1] == "closed"
+        assert service.breakers[0].state == "closed"
+        assert not coordinator.is_quarantined(0)
+        assert report.outcomes[-1].result.degraded is False
+
+    def test_failed_probe_backs_off(self, coordinator, serve_dataset):
+        queries = np.asarray(serve_dataset.queries, dtype=np.float32)
+        spec = ServeSpec(workers=1, queue_depth=8, max_batch=1,
+                         shed_tiers=(32,), breaker_probe_us=1_000.0,
+                         breaker_backoff=3.0)
+        service = SearchService(coordinator, spec)
+        segment = coordinator.segments[0]
+        ensure_fault_injection(
+            segment.disk_graph, FaultSpec(transient_error_rate=1.0, seed=5)
+        )
+        try:
+            service.run_trace([i * 2_000.0 for i in range(16)], queries)
+            breaker = service.breakers[0]
+            # every probe failed, so the interval grew beyond the base
+            assert breaker.probe_interval_us > spec.breaker_probe_us
+        finally:
+            base = base_disk_graph(segment.disk_graph)
+            base.device = base.device.inner
+            coordinator.reinstate(0)
+
+
+# ---------------------------------------------------------------------------
+# determinism (satellite: same seed + same trace => same decisions/results)
+
+
+class TestDeterminism:
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rate=st.floats(min_value=50.0, max_value=5_000.0),
+        deadline_ms=st.one_of(
+            st.none(), st.floats(min_value=0.5, max_value=50.0)
+        ),
+    )
+    def test_same_trace_same_decisions(self, serve_segments, seed, rate,
+                                       deadline_ms):
+        segments, offsets = serve_segments
+        queries = np.asarray(
+            bigann_like(400, 10, seed=3).queries, dtype=np.float32
+        )
+        trace = poisson_arrivals_us(rate, 24, seed=seed)
+        spec = ServeSpec(
+            workers=2, queue_depth=8, max_batch=2,
+            deadline_us=deadline_ms * 1e3 if deadline_ms else None,
+            shed_tiers=(64, 32, 16),
+        )
+        reports = [
+            SearchService(
+                SegmentCoordinator(list(segments), list(offsets)), spec
+            ).run_trace(trace, queries)
+            for _ in range(2)
+        ]
+        a, b = reports
+        assert a.decisions == b.decisions
+        assert [o.status for o in a.outcomes] == [
+            o.status for o in b.outcomes
+        ]
+        for x, y in zip(a.outcomes, b.outcomes):
+            assert x.tier == y.tier
+            assert x.truncated == y.truncated
+            assert x.complete_us == y.complete_us
+            if x.ok:
+                np.testing.assert_array_equal(x.result.ids, y.result.ids)
+
+    def test_arrival_generator_is_seeded(self):
+        a = poisson_arrivals_us(100.0, 16, seed=7)
+        b = poisson_arrivals_us(100.0, 16, seed=7)
+        c = poisson_arrivals_us(100.0, 16, seed=8)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert (np.diff(a) >= 0).all()
+
+
+# ---------------------------------------------------------------------------
+# threaded (live) front end
+
+
+class TestLiveService:
+    def test_submit_never_blocks_and_queue_drains(self, coordinator,
+                                                  serve_dataset):
+        spec = ServeSpec(workers=2, queue_depth=4, max_batch=2,
+                         shed_tiers=(32,))
+        service = SearchService(coordinator, spec)
+        queries = np.asarray(serve_dataset.queries, dtype=np.float32)
+        service.start()
+        try:
+            handles = [
+                service.submit(queries[i % len(queries)], k=10)
+                for i in range(24)
+            ]
+        finally:
+            report = service.stop()
+        overloaded = [h for h in handles if isinstance(h, Overloaded)]
+        tickets = [h for h in handles if isinstance(h, Ticket)]
+        assert len(overloaded) + len(tickets) == 24
+        # stop() drains the queue: every accepted ticket is fulfilled
+        for ticket in tickets:
+            outcome = ticket.result(timeout=5.0)
+            assert outcome is not None and outcome.ok
+        assert report.arrivals == 24
+        assert report.completed == len(tickets)
+        assert report.rejected == len(overloaded)
+
+    def test_concurrent_results_match_serial(self, coordinator,
+                                             serve_dataset):
+        """Thread-safety regression (shared decode cache + arena pool):
+        answers served by concurrent workers over the installed plane are
+        bit-identical to uncontended coordinator calls."""
+        spec = ServeSpec(workers=4, queue_depth=64, max_batch=4,
+                         shed_tiers=(64,))
+        service = SearchService(coordinator, spec)
+        queries = np.asarray(serve_dataset.queries, dtype=np.float32)
+        expected = [coordinator.search(q, 10, 64) for q in queries]
+        for _ in range(3):  # several rounds of contention
+            service.start()
+            try:
+                tickets = [service.submit(q, k=10) for q in queries]
+            finally:
+                service.stop()
+            for i, ticket in enumerate(tickets):
+                assert isinstance(ticket, Ticket)
+                outcome = ticket.result(timeout=5.0)
+                assert outcome is not None and outcome.ok
+                np.testing.assert_array_equal(
+                    outcome.result.ids, expected[i].ids
+                )
+                np.testing.assert_allclose(
+                    outcome.result.dists, expected[i].dists
+                )
+
+    def test_start_twice_rejected_and_stop_restores_plane(self, coordinator,
+                                                          serve_dataset):
+        service = SearchService(coordinator, ServeSpec(workers=1))
+        graphs = [
+            base_disk_graph(seg.engine.disk_graph)
+            for seg in coordinator.segments
+        ]
+        before = [(g.decode_cache, g.decode_mode) for g in graphs]
+        for _ in range(3):  # repeated start/stop cycles must be clean
+            service.start()
+            assert service.running
+            with pytest.raises(RuntimeError, match="already running"):
+                service.start()
+            # while live, every disk segment runs the persistent plane
+            assert all(g.decode_mode == "view" for g in graphs)
+            assert all(g.decode_cache is not None for g in graphs)
+            service.stop()
+            assert not service.running
+            after = [(g.decode_cache, g.decode_mode) for g in graphs]
+            assert after == before
+
+
+# ---------------------------------------------------------------------------
+# shared plane primitives
+
+
+class TestDecodeCache:
+    def test_bounded_fifo(self):
+        cache = DecodeCache(2)
+        cache[1] = "a"
+        cache[2] = "b"
+        cache[3] = "c"  # evicts 1 (FIFO)
+        assert len(cache) == 2
+        assert cache.get(1) is None
+        assert cache.get(2) == "b"
+        assert cache.get(3) == "c"
+        cache[2] = "b2"  # overwrite does not evict
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            DecodeCache(0)
+
+    def test_concurrent_mutation_stays_bounded(self):
+        cache = DecodeCache(8)
+        errors = []
+
+        def hammer(base):
+            try:
+                for i in range(500):
+                    cache[base + i] = i
+                    cache.get(base + i - 1)
+                    assert len(cache) <= 8
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t * 1_000,))
+            for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 8
+
+
+class TestDeadlineStopper:
+    def test_min_rounds_always_granted(self):
+        stopper = DeadlineStopper(0.0, min_rounds=2)
+        stopper.bind_costs(None, None, 128, 16)
+
+        class _Stats:
+            def latency_us(self, *args):
+                return 1e9
+
+        stopper.bind(_Stats())
+        assert stopper.update([]) is False  # round 1: granted
+        assert stopper.update([]) is False  # round 2: granted
+        assert stopper.update([]) is True   # round 3: budget enforced
+        assert stopper.fired
+
+    def test_never_fires_within_budget(self):
+        stopper = DeadlineStopper(1e12, min_rounds=0)
+
+        class _Stats:
+            def latency_us(self, *args):
+                return 5.0
+
+        stopper.bind(_Stats())
+        for _ in range(10):
+            assert stopper.update([]) is False
+        assert not stopper.fired
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            DeadlineStopper(-1.0)
+
+
+# ---------------------------------------------------------------------------
+# coordinator micro-batching
+
+
+class TestCoordinatorSearchBatch:
+    def test_matches_per_query_search(self, coordinator, serve_dataset):
+        queries = np.asarray(serve_dataset.queries, dtype=np.float32)
+        batched = coordinator.search_batch(queries, 10, 48)
+        assert len(batched) == len(queries)
+        for i, result in enumerate(batched):
+            direct = coordinator.search(queries[i], 10, 48)
+            np.testing.assert_array_equal(result.ids, direct.ids)
+            np.testing.assert_allclose(result.dists, direct.dists)
+            assert result.degraded == direct.degraded
+
+    def test_stopper_count_validated(self, coordinator, serve_dataset):
+        queries = np.asarray(serve_dataset.queries, dtype=np.float32)
+        with pytest.raises(ValueError, match="stoppers"):
+            coordinator.search_batch(
+                queries, 10, 48, stoppers=[DeadlineStopper(1.0)]
+            )
