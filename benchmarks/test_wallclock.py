@@ -1,10 +1,13 @@
-"""Wall-clock benchmark: serial loop vs the batched executor.
+"""Wall-clock benchmark: serial loop vs the batched and wave executors.
 
 Unlike every other bench in this directory, the timings here are *measured*
 (see ``repro/bench/wallclock.py``); the hard assertions are that batching
 changes nothing observable — per-query results and I/O counters are
-identical — and that it is not slower than the serial loop.  The report is
-written to ``BENCH_wallclock.json`` (CI uploads it as an artifact).
+identical for both comparison legs — and that neither leg is slower than
+the serial loop.  The wave leg must additionally coalesce reads: queries
+requesting the same block in the same lockstep round share one physical
+read.  The report is written to ``BENCH_wallclock.json`` (CI uploads it as
+an artifact).
 """
 
 import json
@@ -23,12 +26,20 @@ def test_wallclock_batched_vs_serial():
         f"\nwallclock [{report.family} n={report.num_vectors} "
         f"q={report.num_queries}]: "
         f"serial {report.serial_ms_per_query:.2f} ms/q, "
-        f"batched {report.batched_ms_per_query:.2f} ms/q, "
-        f"speedup {report.speedup:.2f}x -> {path}"
+        f"batched {report.batched_ms_per_query:.2f} ms/q "
+        f"({report.speedup:.2f}x), "
+        f"wave {report.wave_ms_per_query:.2f} ms/q "
+        f"({report.wave_speedup:.2f}x, "
+        f"coalesced {report.wave_coalesced_block_reads}"
+        f"/{report.wave_requested_block_reads} reads) -> {path}"
     )
 
-    # Correctness is non-negotiable: batching must be invisible in results
-    # and in every per-query I/O counter.
+    # Correctness is non-negotiable: batching and lockstep waves must be
+    # invisible in results and in every per-query I/O counter.
+    assert report.batched_results_identical
+    assert report.batched_counters_identical
+    assert report.wave_results_identical
+    assert report.wave_counters_identical
     assert report.results_identical
     assert report.counters_identical
 
@@ -36,9 +47,20 @@ def test_wallclock_batched_vs_serial():
     # well above this floor (target: >= 2x); the bound is kept loose enough
     # to absorb scheduler noise on small CI sizings.
     assert report.speedup >= 1.0
+    assert report.wave_speedup >= 1.0
 
-    # The file must round-trip for the CI artifact consumer.
+    # With many queries over a small segment, same-round block sharing must
+    # actually occur — a zero here means coalescing silently stopped.
+    assert report.wave_coalesced_block_reads > 0
+    assert (
+        report.wave_issued_block_reads + report.wave_coalesced_block_reads
+        == report.wave_requested_block_reads
+    )
+
+    # The file must round-trip for the CI artifact consumer and the guard.
     with open(path) as fh:
         data = json.load(fh)
     assert data["speedup"] == report.speedup
+    assert data["wave"]["speedup"] == report.wave_speedup
+    assert data["wave"]["coalesced_fraction"] == report.wave_coalesced_fraction
     assert len(data["per_query_counters"]) == report.num_queries

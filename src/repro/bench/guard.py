@@ -25,6 +25,15 @@ import sys
 METRICS: dict[str, list[tuple[str, tuple[str, ...], str]]] = {
     "wallclock": [
         ("batched-vs-serial speedup", ("speedup",), "higher"),
+        ("wave-vs-serial speedup", ("wave", "speedup"), "higher"),
+        # Coalescing effectiveness is a fraction of the wave's own requested
+        # reads, so it is insensitive to the workload sizing (measured ≈0.50
+        # at both the committed and the CI sizing).
+        (
+            "wave coalesced-read fraction",
+            ("wave", "coalesced_fraction"),
+            "higher",
+        ),
     ],
     "build": [
         ("end-to-end build speedup", ("phases", "total_speedup"), "higher"),

@@ -7,8 +7,16 @@ derived from exact I/O and compute counters through
 machine-independent.  This module is the deliberate exception — it times the
 Python process itself to show that the
 :class:`~repro.engine.batch.BatchExecutor` amortizations (shared ADC
-tables, shared decode cache) cut real execution time while leaving every
-simulated counter untouched.
+tables, shared decode cache, lockstep wave coalescing) cut real execution
+time while leaving every simulated counter untouched.
+
+Three legs run on the same fixed workload: the ``serial`` per-query loop
+(the reference), the in-order ``batched`` mode, and the lockstep ``wave``
+mode.  The wave leg additionally reports its coalescing counters
+(requested/issued/saved physical block reads) from
+:class:`~repro.engine.wave_search.WaveStats` — the wall-clock gain of
+coalescing is modest on a machine where the decode cache already makes
+repeat reads cheap, but the physical-read saving is large and exact.
 
 The workload is fixed so runs are comparable: the 256-dimensional ``ssnpp``
 synthetic family (the widest vectors of the four, hence the largest
@@ -43,6 +51,9 @@ DEFAULT_FAMILY = "ssnpp"
 #: fixed per-query seeding cost, which is the regime batching targets
 DEFAULT_CANDIDATE_SIZE = 96
 
+#: comparison legs timed against the serial reference (in run order)
+BENCH_MODES = ("batched", "wave")
+
 
 def query_counters(results) -> list[dict[str, int]]:
     """The per-query I/O counters that must survive batching unchanged."""
@@ -58,7 +69,13 @@ def query_counters(results) -> list[dict[str, int]]:
 
 @dataclass
 class WallclockReport:
-    """Measured serial-vs-batched timings on the fixed workload."""
+    """Measured serial-vs-batched-vs-wave timings on the fixed workload.
+
+    Per-leg fields are ``None`` when that leg was skipped (the CLI's
+    ``--exec-mode`` restricts the comparison legs); the aggregate
+    :attr:`results_identical` / :attr:`counters_identical` properties AND
+    over the legs that ran.
+    """
 
     family: str
     num_vectors: int
@@ -67,14 +84,61 @@ class WallclockReport:
     candidate_size: int
     repeats: int
     serial_s: float
-    batched_s: float
-    results_identical: bool
-    counters_identical: bool
+    batched_s: float | None = None
+    wave_s: float | None = None
+    batched_results_identical: bool | None = None
+    batched_counters_identical: bool | None = None
+    wave_results_identical: bool | None = None
+    wave_counters_identical: bool | None = None
+    wave_requested_block_reads: int | None = None
+    wave_issued_block_reads: int | None = None
+    wave_coalesced_block_reads: int | None = None
     counters: list[dict[str, int]] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
-        return self.serial_s / self.batched_s if self.batched_s > 0 else 0.0
+        if not self.batched_s:
+            return 0.0
+        return self.serial_s / self.batched_s
+
+    @property
+    def wave_speedup(self) -> float:
+        if not self.wave_s:
+            return 0.0
+        return self.serial_s / self.wave_s
+
+    @property
+    def wave_coalesced_fraction(self) -> float:
+        """Fraction of the wave's requested physical reads saved by
+        cross-query coalescing — sizing-independent (≈ how often a round's
+        block is wanted by more than one query), hence guardable."""
+        if not self.wave_requested_block_reads:
+            return 0.0
+        return (
+            self.wave_coalesced_block_reads / self.wave_requested_block_reads
+        )
+
+    @property
+    def results_identical(self) -> bool:
+        legs = [
+            flag
+            for flag in (
+                self.batched_results_identical, self.wave_results_identical
+            )
+            if flag is not None
+        ]
+        return bool(legs) and all(legs)
+
+    @property
+    def counters_identical(self) -> bool:
+        legs = [
+            flag
+            for flag in (
+                self.batched_counters_identical, self.wave_counters_identical
+            )
+            if flag is not None
+        ]
+        return bool(legs) and all(legs)
 
     @property
     def serial_ms_per_query(self) -> float:
@@ -82,10 +146,14 @@ class WallclockReport:
 
     @property
     def batched_ms_per_query(self) -> float:
-        return self.batched_s / self.num_queries * 1e3
+        return (self.batched_s or 0.0) / self.num_queries * 1e3
+
+    @property
+    def wave_ms_per_query(self) -> float:
+        return (self.wave_s or 0.0) / self.num_queries * 1e3
 
     def to_dict(self) -> dict:
-        return {
+        out: dict = {
             "workload": {
                 "family": self.family,
                 "num_vectors": self.num_vectors,
@@ -98,16 +166,35 @@ class WallclockReport:
                 "total_s": self.serial_s,
                 "ms_per_query": self.serial_ms_per_query,
             },
-            "batched": {
+        }
+        if self.batched_s is not None:
+            out["batched"] = {
                 "total_s": self.batched_s,
                 "ms_per_query": self.batched_ms_per_query,
-            },
-            "speedup": self.speedup,
-            "results_identical": self.results_identical,
-            "counters_identical": self.counters_identical,
-            "environment": environment_metadata(),
-            "per_query_counters": self.counters,
-        }
+                "speedup": self.speedup,
+                "results_identical": self.batched_results_identical,
+                "counters_identical": self.batched_counters_identical,
+            }
+            # Historical top-level alias for the batched-vs-serial ratio
+            # (the guard's long-standing metric path).
+            out["speedup"] = self.speedup
+        if self.wave_s is not None:
+            out["wave"] = {
+                "total_s": self.wave_s,
+                "ms_per_query": self.wave_ms_per_query,
+                "speedup": self.wave_speedup,
+                "results_identical": self.wave_results_identical,
+                "counters_identical": self.wave_counters_identical,
+                "requested_block_reads": self.wave_requested_block_reads,
+                "issued_block_reads": self.wave_issued_block_reads,
+                "coalesced_block_reads": self.wave_coalesced_block_reads,
+                "coalesced_fraction": self.wave_coalesced_fraction,
+            }
+        out["results_identical"] = self.results_identical
+        out["counters_identical"] = self.counters_identical
+        out["environment"] = environment_metadata()
+        out["per_query_counters"] = self.counters
+        return out
 
     def write_json(self, path: str) -> str:
         with open(path, "w") as fh:
@@ -132,14 +219,22 @@ def run_wallclock(
     k: int = 10,
     candidate_size: int = DEFAULT_CANDIDATE_SIZE,
     repeats: int = 3,
+    modes: tuple[str, ...] = BENCH_MODES,
 ) -> WallclockReport:
-    """Time the serial loop against the batched executor.
+    """Time the serial loop against the batched and wave executors.
 
     Each side runs ``repeats`` times and keeps its best (minimum) total —
     the standard way to suppress scheduler noise in wall-clock
     micro-benchmarks.  The serial reference is the executor's ``serial``
-    mode, i.e. the plain per-query loop with no amortization.
+    mode, i.e. the plain per-query loop with no amortization; ``modes``
+    selects the comparison legs (a subset of :data:`BENCH_MODES`).
     """
+    unknown = set(modes) - set(BENCH_MODES)
+    if unknown:
+        raise ValueError(
+            f"unknown wallclock modes {sorted(unknown)}; "
+            f"expected a subset of {BENCH_MODES}"
+        )
     # Imported lazily so the memoized builders are shared with the other
     # benches without making them an import-time dependency of the package.
     from .workloads import dataset, starling_index
@@ -153,28 +248,23 @@ def run_wallclock(
     queries = np.asarray(ds.queries, dtype=np.float32)[:num_queries]
 
     serial = BatchExecutor(index, ExecSpec(mode="serial"))
-    batched = BatchExecutor(index, ExecSpec(mode="batched"))
 
     # Warm-up: JIT-free Python still pays first-touch costs (imports, lazy
     # caches, branch warm-up) that belong to neither side.
     serial.search_batch(queries[:2], k, candidate_size)
 
-    serial_s = batched_s = float("inf")
-    serial_results = batched_results = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = serial.search_batch(queries, k, candidate_size)
-        serial_s = min(serial_s, time.perf_counter() - t0)
-        serial_results = out
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = batched.search_batch(queries, k, candidate_size)
-        batched_s = min(batched_s, time.perf_counter() - t0)
-        batched_results = out
+    def timed(executor):
+        best_s = float("inf")
+        out = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            out = executor.search_batch(queries, k, candidate_size)
+            best_s = min(best_s, time.perf_counter() - t0)
+        return best_s, out
 
+    serial_s, serial_results = timed(serial)
     counters_serial = query_counters(serial_results)
-    counters_batched = query_counters(batched_results)
-    return WallclockReport(
+    report = WallclockReport(
         family=family,
         num_vectors=index.num_vectors,
         num_queries=len(queries),
@@ -182,8 +272,38 @@ def run_wallclock(
         candidate_size=candidate_size,
         repeats=repeats,
         serial_s=serial_s,
-        batched_s=batched_s,
-        results_identical=_results_equal(serial_results, batched_results),
-        counters_identical=counters_serial == counters_batched,
         counters=counters_serial,
     )
+
+    if "batched" in modes:
+        batched = BatchExecutor(index, ExecSpec(mode="batched"))
+        report.batched_s, results = timed(batched)
+        report.batched_results_identical = _results_equal(
+            serial_results, results
+        )
+        report.batched_counters_identical = (
+            counters_serial == query_counters(results)
+        )
+    if "wave" in modes:
+        wave = BatchExecutor(index, ExecSpec(mode="wave"))
+        report.wave_s, results = timed(wave)
+        report.wave_results_identical = _results_equal(
+            serial_results, results
+        )
+        report.wave_counters_identical = (
+            counters_serial == query_counters(results)
+        )
+        # One WaveStats per search_batch call: the last timed run's
+        # coalescing telemetry (identical across runs — the traversal is
+        # deterministic).  None when the executor gated back to batched.
+        stats = wave.last_wave_stats
+        report.wave_requested_block_reads = (
+            stats.requested_block_reads if stats is not None else 0
+        )
+        report.wave_issued_block_reads = (
+            stats.issued_block_reads if stats is not None else 0
+        )
+        report.wave_coalesced_block_reads = (
+            stats.coalesced_block_reads if stats is not None else 0
+        )
+    return report

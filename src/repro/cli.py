@@ -352,6 +352,8 @@ def _serve_spec_from_args(args):
         )
     if args.max_batch is not None:
         overrides["max_batch"] = args.max_batch
+    if args.wave is not None:
+        overrides["wave"] = args.wave
     return spec.with_(**overrides) if overrides else spec
 
 
@@ -449,26 +451,45 @@ def _cmd_bench_serve(args) -> int:
 
 
 def _cmd_bench_wallclock(args) -> int:
-    """Measure the batched executor against the serial loop (wall clock)."""
-    from .bench.wallclock import DEFAULT_CANDIDATE_SIZE, run_wallclock
+    """Measure the batched/wave executors against the serial loop."""
+    from .bench.wallclock import (
+        BENCH_MODES,
+        DEFAULT_CANDIDATE_SIZE,
+        run_wallclock,
+    )
 
+    modes = BENCH_MODES if args.exec_mode == "all" else (args.exec_mode,)
     report = run_wallclock(
         args.family,
         num_queries=args.num_queries,
         k=args.k,
         candidate_size=args.gamma or DEFAULT_CANDIDATE_SIZE,
         repeats=args.repeats,
+        modes=modes,
     )
     path = report.write_json(args.out)
-    print(
+    line = (
         f"wallclock [{report.family} n={report.num_vectors} "
         f"q={report.num_queries}]: "
-        f"serial {report.serial_ms_per_query:.2f} ms/q, "
-        f"batched {report.batched_ms_per_query:.2f} ms/q, "
-        f"speedup {report.speedup:.2f}x, "
-        f"identical={report.results_identical and report.counters_identical} "
+        f"serial {report.serial_ms_per_query:.2f} ms/q"
+    )
+    if report.batched_s is not None:
+        line += (
+            f", batched {report.batched_ms_per_query:.2f} ms/q "
+            f"({report.speedup:.2f}x)"
+        )
+    if report.wave_s is not None:
+        line += (
+            f", wave {report.wave_ms_per_query:.2f} ms/q "
+            f"({report.wave_speedup:.2f}x, "
+            f"coalesced {report.wave_coalesced_block_reads} reads)"
+        )
+    line += (
+        f", identical="
+        f"{report.results_identical and report.counters_identical} "
         f"-> {path}"
     )
+    print(line)
     return 0
 
 
@@ -630,8 +651,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the ids of the first N queries")
     p.add_argument("--exec-mode", default="batched", choices=EXEC_MODES,
                    help="batch execution strategy (results are identical in "
-                        "every mode; with chaos armed, fan-out modes fall "
-                        "back to in-order batched execution)")
+                        "every mode; with chaos armed, the wave and fan-out "
+                        "modes fall back to in-order batched execution)")
     p.add_argument("--workers", type=int, default=4,
                    help="pool size for the threads/processes exec modes")
     _add_load_args(p)
@@ -658,6 +679,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "e.g. 64,32,16")
     p.add_argument("--max-batch", type=int, default=None,
                    help="micro-batch size per worker dispatch")
+    p.add_argument("--wave", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="execute each micro-batch as one lockstep wave "
+                        "(coalesces shared block reads; results identical)")
     p.add_argument("--offered-qps", type=float, default=None,
                    help="open-loop arrival rate (default: 1.5x the "
                         "profiled analytical saturation)")
@@ -702,6 +727,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="candidate set size Γ (default: the benchmark's "
                         "deep-search default)")
     p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--exec-mode", default="all",
+                   choices=("all", "batched", "wave"),
+                   help="comparison legs to time against the serial "
+                        "reference (default: both)")
     p.add_argument("--out", default="BENCH_wallclock.json")
     p.set_defaults(func=_cmd_bench_wallclock)
 

@@ -18,6 +18,7 @@ from .frontier import CandidateSet, ResultSet, ordered_unique
 from .range_search import incremental_range_search, repeated_anns_range_search
 from .resilience import RetryPolicy, resilient_read_blocks_of
 from .results import RangeResult, SearchResult
+from .wave_search import WaveSearchEngine, WaveStats, wave_capable
 from .serve import (
     CircuitBreaker,
     Overloaded,
@@ -60,7 +61,10 @@ __all__ = [
     "SimulationReport",
     "ThroughputSimulator",
     "Ticket",
+    "WaveSearchEngine",
+    "WaveStats",
     "schedule_from_stats",
+    "wave_capable",
     "build_hot_vertex_cache",
     "incremental_range_search",
     "ordered_unique",

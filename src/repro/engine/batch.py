@@ -68,7 +68,7 @@ import numpy as np
 from ..storage.faults import FaultInjector, base_disk_graph
 
 #: execution strategies understood by :class:`ExecSpec`
-EXEC_MODES = ("serial", "batched", "threads", "processes")
+EXEC_MODES = ("serial", "batched", "wave", "threads", "processes")
 
 
 @dataclass(frozen=True)
@@ -79,8 +79,11 @@ class ExecSpec:
         mode: ``serial`` is the reference per-query loop with no
             amortization at all; ``batched`` (the default) keeps the serial
             order but shares the ADC table build and the decode cache;
-            ``threads`` / ``processes`` additionally fan out over a
-            ``concurrent.futures`` pool.
+            ``wave`` advances the whole batch in lockstep rounds through
+            :class:`~repro.engine.wave_search.WaveSearchEngine` (coalesced
+            block reads + one fused kernel per round, per-query results
+            and counters still bit-identical); ``threads`` / ``processes``
+            fan out over a ``concurrent.futures`` pool.
         workers: Pool size for the fan-out modes.
         share_tables: Build all queries' ADC tables in one batched kernel
             call up front.
@@ -169,6 +172,9 @@ class BatchExecutor:
         self.index = index
         self.engine = getattr(index, "engine", index)
         self.spec = spec or ExecSpec()
+        #: :class:`~repro.engine.wave_search.WaveStats` of the most recent
+        #: ``wave``-mode batch (None when the last batch ran another mode)
+        self.last_wave_stats = None
 
     # -- mode resolution ---------------------------------------------------
 
@@ -199,6 +205,16 @@ class BatchExecutor:
             # Non-disk-graph indexes (SPANN's posting lists) have nothing
             # for the amortizations to share; run the plain loop.
             return "serial"
+        if mode == "wave":
+            from .wave_search import wave_capable
+
+            # Coalescing merges the wave's reads into one union fetch, so
+            # anything whose behaviour depends on the global read order or
+            # count — an armed fault injector, the LRU wrapper, a
+            # resilience layer, full-precision routing reads, or a non-
+            # block engine — degrades to the in-order ``batched`` mode.
+            if not wave_capable(self.engine) or self._faults_armed():
+                return "batched"
         if mode in ("threads", "processes"):
             if self._faults_armed():
                 return "batched"
@@ -224,6 +240,23 @@ class BatchExecutor:
         if pq is None or not getattr(self.engine, "use_pq_routing", True):
             return None
         return pq.lookup_tables(queries)
+
+    def _bind_stopper_costs(self, stoppers) -> None:
+        """Attach the index's cost model to every cost-aware stopper.
+
+        Mirrors what each ``index.search`` call does on the per-query
+        paths; a bare engine has no cost model, and then neither path
+        binds one.
+        """
+        index = self.index
+        if not hasattr(index, "disk_spec"):
+            return
+        for stopper in stoppers:
+            if stopper is not None and hasattr(stopper, "bind_costs"):
+                stopper.bind_costs(
+                    index.disk_spec, index.compute_spec, index.dim,
+                    index.pq.num_subspaces,
+                )
 
     @contextmanager
     def _shared_decode_cache(self, enabled: bool):
@@ -332,9 +365,11 @@ class BatchExecutor:
         (the serving layer's per-query deadline budgets).  Stoppers carry
         per-search state that must observe the queries in submission order,
         so fan-out modes degrade to the in-order ``batched`` mode when they
-        are given.
+        are given; the ``wave`` mode keeps them — each query's stopper is
+        checked every lockstep round, exactly the serial cadence.
         """
         queries = np.asarray(queries, dtype=np.float32)
+        self.last_wave_stats = None
         if queries.size == 0:
             return []
         if stoppers is not None and len(stoppers) != len(queries):
@@ -354,6 +389,24 @@ class BatchExecutor:
                 for q, s in zip(queries, stoppers)
             ]
         tables = self._tables(queries)
+        if mode == "wave":
+            from .wave_search import WaveSearchEngine
+
+            # The wave path drives the engine directly, so it replicates
+            # the cost-model binding the index's ``search`` would perform
+            # for each stopper before any search starts.
+            if stoppers is not None:
+                self._bind_stopper_costs(stoppers)
+            wave = WaveSearchEngine(self.engine)
+            with self._shared_decode_cache(self.spec.decode_cache), \
+                    self._zero_copy_plane(self.spec.zero_copy), \
+                    self._gc_pause(self.spec.gc_pause):
+                results = wave.search_wave(
+                    queries, k, candidate_size,
+                    tables=tables, stoppers=stoppers,
+                )
+            self.last_wave_stats = wave.stats
+            return results
 
         def one(i: int):
             table = tables[i] if tables is not None else None
@@ -393,9 +446,15 @@ class BatchExecutor:
         bit-identical to the serial loop.
         """
         queries = np.asarray(queries, dtype=np.float32)
+        self.last_wave_stats = None
         if queries.size == 0:
             return []
         mode = self.effective_mode()
+        if mode == "wave":
+            # Range search restarts with doubled candidate sets at
+            # query-dependent times, which has no lockstep analogue yet;
+            # run the in-order batched amortizations instead.
+            mode = "batched"
         if mode == "serial":
             return [
                 self.index.range_search(q, radius, **kwargs) for q in queries

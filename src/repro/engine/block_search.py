@@ -163,6 +163,106 @@ class BlockSearchEngine:
             candidates.push(vid, d)
         return candidates, results, table
 
+    # -- round primitives --------------------------------------------------------
+    #
+    # One lockstep round of Algorithm 2 decomposes into (a) reading the
+    # frontier's blocks, (b) one fused exact-distance kernel call, (c) the
+    # per-block target/pruning selection below, and (d) the PQ-routed
+    # frontier expansion.  (c) and (d) are factored out so the serial
+    # ``_drain`` and the multi-query :class:`~repro.engine.wave_search.
+    # WaveSearchEngine` run literally the same selection code — their
+    # per-query outcomes are identical by construction, not by parallel
+    # maintenance of two copies.
+
+    def _select_round(
+        self,
+        round_blocks,
+        targets_by_block: dict[int, list[int]],
+        all_dists: list[float],
+        keep_quota: int,
+    ) -> tuple[
+        list[int], list[float], list[int], list[float], list, int, int
+    ]:
+        """Target extraction + block pruning for one round's blocks.
+
+        ``all_dists`` holds the round's exact distances, concatenated in
+        block order.  Returns ``(res_ids, res_dists, keep_ids, keep_dists,
+        explore_parts, loaded, used)`` where ``loaded`` counts every vertex
+        whose distance was computed (feeds ``vertices_loaded`` *and*
+        ``exact_distances``) and ``used`` counts targets plus kept
+        co-located vertices (feeds ``vertices_used``).
+        """
+        res_ids: list[int] = []
+        res_dists: list[float] = []
+        keep_ids: list[int] = []
+        keep_dists: list[float] = []
+        explore_parts: list[np.ndarray] = []
+        loaded = 0
+        used = 0
+        offset = 0
+        for block in round_blocks:
+            size = len(block)
+            loaded += size
+            targets = targets_by_block[block.block_id]
+            dists = all_dists[offset:offset + size]
+            offset += size
+            ids = block.ids_list()
+            nbrs = block.neighbor_lists
+
+            if len(targets) == 1:
+                target_pos = [block.index_of(targets[0])]
+            else:
+                target_pos = sorted(
+                    {block.index_of(v) for v in targets}
+                )
+            for pos in target_pos:
+                res_ids.append(ids[pos])
+                res_dists.append(dists[pos])
+                explore_parts.append(nbrs[pos])
+
+            # Block pruning: examine only the top-((ε−1)·σ) non-target
+            # vertices; distant co-located vertices are discarded early.
+            rest = list(range(size))
+            for pos in reversed(target_pos):
+                del rest[pos]
+            keep = min(keep_quota, len(rest))
+            used += len(target_pos) + keep
+            if keep:
+                # Stable sort by distance == stable argsort: ties keep
+                # their in-block order.
+                rest.sort(key=dists.__getitem__)
+                chosen = rest[:keep]
+                keep_ids.extend([ids[i] for i in chosen])
+                keep_dists.extend([dists[i] for i in chosen])
+                explore_parts.extend([nbrs[i] for i in chosen])
+        return (
+            res_ids, res_dists, keep_ids, keep_dists, explore_parts,
+            loaded, used,
+        )
+
+    def _expand_frontier(
+        self,
+        query: np.ndarray,
+        table: np.ndarray | None,
+        candidates: CandidateSet,
+        explore_parts: list,
+        stats: QueryStats,
+    ) -> None:
+        """Push one round's explored neighbour IDs through PQ routing."""
+        if not explore_parts:
+            return
+        explore = np.concatenate(explore_parts)
+        # One vectorized freshness mask, then insertion-ordered dedup
+        # shared with beam search (one helper, one order).  Filtering
+        # first shrinks the dedup input; a duplicate's seen-status is the
+        # same at every occurrence, so the order of the two steps does not
+        # change the output.
+        fresh = explore[candidates.unseen(explore)]
+        if fresh.size:
+            ids = ordered_unique(fresh).astype(np.int64)
+            route = self._routing_distances(query, table, ids, stats)
+            candidates.push_many(ids, route)
+
     # -- main loop ---------------------------------------------------------------
 
     def search(
@@ -282,12 +382,12 @@ class BlockSearchEngine:
                             stats.fault.vertices_abandoned += len(targets)
                     round_blocks = blocks
 
-                explore_parts: list[np.ndarray] = []
                 # Exact distances to every vertex of every block in the
                 # round — the I/O is already paid, the computation is what
                 # block pruning bounds.  One fused kernel call for the whole
                 # round; the L2 kernel is row-wise consistent, so the
                 # per-block slices equal what per-block calls would produce.
+                all_dists: list[float] = []
                 if round_blocks:
                     if arena is not None:
                         # Zero-copy plane: gather the round's vectors into a
@@ -313,53 +413,20 @@ class BlockSearchEngine:
                         ).tolist()
                 # Per-block work is ε-sized (~a dozen vertices), where plain
                 # Python lists beat numpy call overhead, so the selection
-                # loops below run on the ``tolist()`` views; the result-set
-                # fold and the visited-push are deferred to one bulk call
-                # per round (min-merge is order-independent and the pushed
-                # ids are unique across the round, so the per-block and
-                # per-round folds are outcome-identical).
-                res_ids: list[int] = []
-                res_dists: list[float] = []
-                keep_ids: list[int] = []
-                keep_dists: list[float] = []
-                offset = 0
-                for block in round_blocks:
-                    size = len(block)
-                    vertices_loaded += size
-                    exact_distances += size
-                    targets = targets_by_block[block.block_id]
-                    dists = all_dists[offset:offset + size]
-                    offset += size
-                    ids = block.ids_list()
-                    nbrs = block.neighbor_lists
-
-                    if len(targets) == 1:
-                        target_pos = [block.index_of(targets[0])]
-                    else:
-                        target_pos = sorted(
-                            {block.index_of(v) for v in targets}
-                        )
-                    for pos in target_pos:
-                        res_ids.append(ids[pos])
-                        res_dists.append(dists[pos])
-                        explore_parts.append(nbrs[pos])
-
-                    # Block pruning: examine only the top-((ε−1)·σ)
-                    # non-target vertices; distant co-located vertices are
-                    # discarded early.
-                    rest = list(range(size))
-                    for pos in reversed(target_pos):
-                        del rest[pos]
-                    keep = min(keep_quota, len(rest))
-                    vertices_used += len(target_pos) + keep
-                    if keep:
-                        # Stable sort by distance == stable argsort: ties
-                        # keep their in-block order.
-                        rest.sort(key=dists.__getitem__)
-                        chosen = rest[:keep]
-                        keep_ids.extend([ids[i] for i in chosen])
-                        keep_dists.extend([dists[i] for i in chosen])
-                        explore_parts.extend([nbrs[i] for i in chosen])
+                # runs on the ``tolist()`` view; the result-set fold and the
+                # visited-push are deferred to one bulk call per round
+                # (min-merge is order-independent and the pushed ids are
+                # unique across the round, so the per-block and per-round
+                # folds are outcome-identical).
+                (
+                    res_ids, res_dists, keep_ids, keep_dists,
+                    explore_parts, loaded, used,
+                ) = self._select_round(
+                    round_blocks, targets_by_block, all_dists, keep_quota
+                )
+                vertices_loaded += loaded
+                exact_distances += loaded
+                vertices_used += used
                 if keep_ids:
                     res_ids.extend(keep_ids)
                     res_dists.extend(keep_dists)
@@ -368,19 +435,9 @@ class BlockSearchEngine:
                 if res_ids:
                     results.add_many(res_ids, res_dists)
 
-                if not explore_parts:
-                    continue
-                explore = np.concatenate(explore_parts)
-                # One vectorized freshness mask, then insertion-ordered
-                # dedup shared with beam search (one helper, one order).
-                # Filtering first shrinks the dedup input; a duplicate's
-                # seen-status is the same at every occurrence, so the order
-                # of the two steps does not change the output.
-                fresh = explore[candidates.unseen(explore)]
-                if fresh.size:
-                    ids = ordered_unique(fresh).astype(np.int64)
-                    route = self._routing_distances(query, table, ids, stats)
-                    candidates.push_many(ids, route)
+                self._expand_frontier(
+                    query, table, candidates, explore_parts, stats
+                )
         finally:
             stats.hops += hops
             stats.vertices_loaded += vertices_loaded

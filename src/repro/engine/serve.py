@@ -105,6 +105,11 @@ class ServeSpec:
             installed per segment while the service is live (0 disables it).
         min_rounds: Search rounds always granted to a deadline-limited query
             so a late dispatch still returns partial results.
+        wave: Execute each dispatched micro-batch as one lockstep wave
+            (``ExecSpec`` mode ``wave``) so queries landing in the same
+            batch coalesce shared block reads.  Results stay bit-identical
+            to the default in-order mode; when the segment is not
+            wave-capable the executor falls back to ``batched`` on its own.
     """
 
     workers: int = 4
@@ -118,6 +123,7 @@ class ServeSpec:
     breaker_backoff: float = 2.0
     decode_cache_blocks: int = 4096
     min_rounds: int = 1
+    wave: bool = False
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -163,6 +169,7 @@ class ServeSpec:
             "breaker_backoff": self.breaker_backoff,
             "decode_cache_blocks": self.decode_cache_blocks,
             "min_rounds": self.min_rounds,
+            "wave": self.wave,
         }
 
     @classmethod
@@ -481,7 +488,11 @@ class SearchService:
             CircuitBreaker(i, self.spec)
             for i in range(coordinator.num_segments)
         ]
-        self._exec_spec = ExecSpec(mode="batched", gc_pause=False)
+        # Wave mode gates itself back to "batched" per segment when the
+        # engine is not wave-capable, so opting in is always safe.
+        self._exec_spec = ExecSpec(
+            mode="wave" if self.spec.wave else "batched", gc_pause=False
+        )
         # Live-mode state (None while stopped).
         self._queue: queue_mod.Queue | None = None
         self._threads: list[threading.Thread] = []

@@ -1,0 +1,373 @@
+"""Lockstep wave traversal for the online query path.
+
+The batched executor amortizes *per-batch* costs (one ADC table build, one
+decode per block) but still walks queries one at a time, so per-*round*
+costs — the device round-trip dispatch and the exact-distance kernel call —
+are paid once per (query, round).  This module applies the
+:mod:`repro.graphs.wavebuild` treatment to the query path: a
+:class:`WaveSearchEngine` advances a whole wave of in-flight queries in
+lockstep rounds.  Per round it
+
+1. checks every live query's stopper and pops every live query's frontier
+   (``beam_width`` closest unvisited candidates each),
+2. dedupes the union of the wave's requested block IDs and issues **one**
+   coalesced :meth:`~repro.storage.disk_graph.DiskGraph.read_blocks` call —
+   a block requested by several queries in the same round is physically
+   read and decoded once,
+3. gathers every query's block vectors into one shared arena plane, stages
+   each query's subtraction into its span of the shared scratch plane, and
+   runs **one** fused row-paired distance reduction
+   (:func:`~repro.vectors.metrics.fused_sq_norms`) across the whole wave,
+4. runs the per-query target/pruning selection and PQ-routed frontier
+   expansion through the exact round primitives of
+   :class:`~repro.engine.block_search.BlockSearchEngine`.
+
+Lockstep is scheduling, not semantics (the ``wavebuild`` contract): each
+query's candidate set, result set, stopper, and counters evolve exactly as
+in its own serial :meth:`BlockSearchEngine.search` call, and queries finish
+independently — a query whose frontier drains (or whose stopper fires)
+simply drops out of subsequent rounds.  Per-query results and per-query
+:class:`~repro.engine.cost.QueryStats` are **bit-identical** to the serial
+loop:
+
+- every query is still charged its own per-round unique-block count in
+  ``round_trip_blocks`` — cross-query sharing never silently under-counts a
+  query's I/O.  The physical saving is surfaced honestly in the wave-level
+  :attr:`WaveStats.coalesced_block_reads` counter instead (the device's
+  *running totals* advance by the coalesced reads actually issued, the same
+  global-counter divergence process mode already documents);
+- the fused L2 reduction is row-wise consistent (each output row reads only
+  its own difference row), so each query's slice of the wave-wide kernel
+  output equals its own per-round kernel call.  The IP kernel routes
+  through BLAS (``base @ q``), whose fusion across queries is *not*
+  guaranteed bit-stable, so IP waves fall back to one kernel call per query
+  on its contiguous arena slice — still one read and one decode per block
+  per round.
+
+Eligibility (enforced by :func:`wave_capable` +
+:meth:`~repro.engine.batch.BatchExecutor.effective_mode`): a plain
+:class:`~repro.storage.disk_graph.DiskGraph` (no LRU wrapper — its hit
+accounting is read-order dependent), no resilience policy, PQ routing on,
+and no armed fault injector (its sequential RNG makes the fault schedule a
+function of the global read order).  Anything else degrades to the in-order
+``batched`` mode, keeping the executor's equivalence contract intact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.disk_graph import DiskGraph
+from ..vectors.metrics import fused_sq_norms
+from .block_search import BlockSearchEngine
+from .cost import QueryStats
+from .early_stop import AdaptiveEarlyStopper
+from .results import SearchResult
+
+
+def wave_capable(engine) -> bool:
+    """Whether ``engine`` supports the lockstep wave path.
+
+    Mirrors the serial ``_drain`` fast-path conditions (plain disk graph,
+    no resilience layer) plus PQ routing — routing by full-precision reads
+    issues per-query mid-round I/O that coalescing would reorder.
+    """
+    return (
+        isinstance(engine, BlockSearchEngine)
+        and engine.resilience is None
+        and engine.use_pq_routing
+        and type(engine.disk_graph) is DiskGraph
+    )
+
+
+@dataclass
+class WaveStats:
+    """Wave-level traversal counters (per-query stats live in QueryStats).
+
+    Attributes:
+        queries: Queries executed through the wave engine.
+        rounds: Lockstep rounds advanced (a round serves every live query).
+        requested_block_reads: Σ over (query, round) of the query's unique
+            requested blocks — exactly what the per-query
+            ``round_trip_blocks`` charge, i.e. the reads a serial loop
+            would issue.
+        issued_block_reads: Σ over rounds of the deduplicated wave-wide
+            union — the reads physically issued.
+    """
+
+    queries: int = 0
+    rounds: int = 0
+    requested_block_reads: int = 0
+    issued_block_reads: int = 0
+
+    @property
+    def coalesced_block_reads(self) -> int:
+        """Physical reads saved by cross-query coalescing (the honest
+        counter for sharing: per-query charges stay serial-identical)."""
+        return self.requested_block_reads - self.issued_block_reads
+
+    def to_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "rounds": self.rounds,
+            "requested_block_reads": self.requested_block_reads,
+            "issued_block_reads": self.issued_block_reads,
+            "coalesced_block_reads": self.coalesced_block_reads,
+        }
+
+
+class _QueryState:
+    """One query's independent traversal state inside a wave."""
+
+    __slots__ = (
+        "query", "table", "stats", "candidates", "results", "stopper",
+        "kernel", "hops", "loaded", "used",
+    )
+
+    def __init__(self, query, table, stats, candidates, results, stopper,
+                 kernel) -> None:
+        self.query = query
+        self.table = table
+        self.stats = stats
+        self.candidates = candidates
+        self.results = results
+        self.stopper = stopper
+        self.kernel = kernel
+        # Per-round counter updates accumulate here and flush to ``stats``
+        # once (same totals as the serial drain's local accumulation).
+        self.hops = 0
+        self.loaded = 0
+        self.used = 0
+
+    def flush(self) -> None:
+        stats = self.stats
+        stats.hops += self.hops
+        stats.vertices_loaded += self.loaded
+        stats.exact_distances += self.loaded
+        stats.vertices_used += self.used
+        self.hops = self.loaded = self.used = 0
+
+
+class WaveSearchEngine:
+    """Multi-query lockstep block search over one
+    :class:`~repro.engine.block_search.BlockSearchEngine`.
+
+    Constructed per batch by the executor's ``wave`` mode; accumulates
+    coalescing telemetry in :attr:`stats`.
+    """
+
+    def __init__(self, engine: BlockSearchEngine) -> None:
+        if not wave_capable(engine):
+            raise ValueError("engine is not wave-capable")
+        self.engine = engine
+        self.stats = WaveStats()
+        self._diff: np.ndarray | None = None
+
+    def _diff_rows(self, count: int, dim: int, dtype) -> np.ndarray:
+        """Reused ``(count, dim)`` difference-plane buffer for the fused-L2
+        reduction when no arena is installed (with an arena the arena's own
+        scratch plane is used instead), grown geometrically like an arena.
+
+        ``dtype`` follows the gathered rows, matching the compute dtype the
+        serial kernel's subtraction would produce."""
+        buf = self._diff
+        if (
+            buf is None or buf.shape[0] < count or buf.shape[1] != dim
+            or buf.dtype != dtype
+        ):
+            have = 0 if buf is None else buf.shape[0]
+            buf = np.empty((max(count, have * 2), dim), dtype=dtype)
+            self._diff = buf
+        return buf[:count]
+
+    def search_wave(
+        self,
+        queries: np.ndarray,
+        k: int,
+        candidate_size: int,
+        *,
+        tables: np.ndarray | None = None,
+        stoppers=None,
+    ) -> list[SearchResult]:
+        """Answer one ANNS query per row of ``queries`` in lockstep rounds.
+
+        ``tables`` optionally carries the executor's shared ADC build (row
+        per query); ``stoppers`` one early-stop object per query.  Stoppers
+        are checked every lockstep round for every live query — exactly the
+        per-round cadence of the serial drain — so a mid-wave deadline
+        expires on the same round it would serially.  Returns per-query
+        :class:`~repro.engine.results.SearchResult` objects in query order,
+        bit-identical to the serial loop.
+        """
+        eng = self.engine
+        dg = eng.disk_graph
+        metric = eng.metric
+        beam_width = eng.beam_width
+        keep_quota = math.ceil(
+            (dg.fmt.vertices_per_block - 1) * eng.pruning_ratio
+        )
+        vertex_to_block = dg.vertex_to_block
+        read_blocks = dg.read_blocks
+        fused_l2 = metric.name == "l2"
+
+        # Seeding is pure per-query work (the navigation walk touches no
+        # device and its trace state is read back within the call), so
+        # seeding the wave up front is invisible to each query.
+        states: list[_QueryState] = []
+        for i, query in enumerate(queries):
+            q = np.asarray(query, dtype=np.float32)
+            stats = QueryStats(pipelined=eng.pipeline)
+            table = tables[i] if tables is not None else None
+            candidates, results, table = eng._seed(
+                q, candidate_size, stats, table=table
+            )
+            stopper = stoppers[i] if stoppers is not None else None
+            if stopper is None:
+                stopper = (
+                    AdaptiveEarlyStopper(k, eng.early_termination)
+                    if eng.early_termination is not None else None
+                )
+            elif hasattr(stopper, "bind"):
+                stopper.bind(stats)
+            states.append(_QueryState(
+                q, table, stats, candidates, results, stopper,
+                None if fused_l2 else metric.distances_kernel(q),
+            ))
+
+        pool = eng.arena_pool
+        arena = pool.acquire(dg.fmt) if pool is not None else None
+        wave = self.stats
+        wave.queries += len(states)
+        live = states
+        try:
+            while live:
+                # Phase 1 — per-query stopper check + frontier pop, in the
+                # exact order of the serial round head; queries whose
+                # frontier drained (or whose stopper fired) finish here.
+                entries: list[tuple] = []
+                # Insertion-ordered set of the wave's requested block IDs
+                # (values unused; filled via C-level dict updates).
+                union: dict[int, object] = {}
+                requested = 0
+                next_live: list[_QueryState] = []
+                for st in live:
+                    if not st.candidates.has_unvisited():
+                        continue
+                    if st.stopper is not None and st.stopper.update(
+                        st.results
+                    ):
+                        continue
+                    batch = st.candidates.pop_unvisited(beam_width)
+                    st.hops += len(batch)
+                    bids = vertex_to_block[batch].tolist()
+                    targets_by_block: dict[int, list[int]] = {}
+                    for vid, bid in zip(batch, bids):
+                        targets_by_block.setdefault(bid, []).append(vid)
+                    # dict insertion order == first-occurrence order, so
+                    # the keys are the serial path's deduplicated read
+                    # batch — charged to this query exactly as serially.
+                    q_unique = list(targets_by_block)
+                    st.stats.round_trip_blocks.append(len(q_unique))
+                    requested += len(q_unique)
+                    union.update(targets_by_block)
+                    entries.append((st, q_unique, targets_by_block))
+                    next_live.append(st)
+                live = next_live
+                if not entries:
+                    break
+                wave.rounds += 1
+                wave.requested_block_reads += requested
+
+                # Phase 2 — one coalesced physical read for the wave-wide
+                # union (first-occurrence order across the wave); each
+                # block decodes once into the shared plane.
+                union_ids = list(union)
+                by_block = dict(zip(union_ids, read_blocks(union_ids)))
+                wave.issued_block_reads += len(union_ids)
+
+                # Phase 3 — gather every query's blocks contiguously (in
+                # its own first-occurrence order) and run the round's
+                # exact distances: per-span staged subtraction + one fused
+                # reduction for L2, one per-query slice call for IP (BLAS
+                # fusion across queries is not bit-stable; see module
+                # docstring).
+                mats = []
+                spans: list[tuple] = []
+                total = 0
+                for st, q_unique, targets_by_block in entries:
+                    q_blocks = [by_block[bid] for bid in q_unique]
+                    start = total
+                    for block in q_blocks:
+                        mats.append(block.kernel_vectors())
+                        total += len(block)
+                    spans.append(
+                        (st, q_blocks, targets_by_block, start, total)
+                    )
+                if arena is not None:
+                    rows = arena.load_rows(mats)
+                else:
+                    rows = (
+                        np.concatenate(mats) if len(mats) > 1 else mats[0]
+                    )
+                if fused_l2:
+                    # Each span's subtraction is the serial kernel's own
+                    # ``np.subtract(rows, q, out=scratch)`` on this query's
+                    # rows; only the destination offset differs.
+                    diff = (
+                        arena.scratch_rows(total)
+                        if arena is not None
+                        else self._diff_rows(total, rows.shape[1], rows.dtype)
+                    )
+                    for st, _, _, start, end in spans:
+                        np.subtract(
+                            rows[start:end], st.query, out=diff[start:end]
+                        )
+                    all_dists = fused_sq_norms(diff).tolist()
+                else:
+                    parts = [
+                        st.kernel(rows[start:end])
+                        for st, _, _, start, end in spans
+                    ]
+                    all_dists = (
+                        np.concatenate(parts) if len(parts) > 1
+                        else parts[0]
+                    ).tolist()
+
+                # Phase 4 — per-query selection + frontier expansion via
+                # the serial engine's own round primitives.
+                for st, q_blocks, targets_by_block, start, end in spans:
+                    (
+                        res_ids, res_dists, keep_ids, keep_dists,
+                        explore_parts, loaded, used,
+                    ) = eng._select_round(
+                        q_blocks, targets_by_block,
+                        all_dists[start:end], keep_quota,
+                    )
+                    st.loaded += loaded
+                    st.used += used
+                    if keep_ids:
+                        res_ids.extend(keep_ids)
+                        res_dists.extend(keep_dists)
+                        st.candidates.push_visited_many(keep_ids, keep_dists)
+                    if res_ids:
+                        st.results.add_many(res_ids, res_dists)
+                    eng._expand_frontier(
+                        st.query, st.table, st.candidates, explore_parts,
+                        st.stats,
+                    )
+        finally:
+            if pool is not None:
+                pool.release(arena)
+            for st in states:
+                st.flush()
+
+        return [
+            SearchResult(
+                *st.results.top_k(k), st.stats,
+                degraded=st.stats.fault.degraded,
+            )
+            for st in states
+        ]

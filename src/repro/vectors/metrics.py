@@ -54,6 +54,20 @@ def negative_ip(a: np.ndarray, b: np.ndarray) -> np.floating:
     return -np.dot(_as_float(a), _as_float(b))
 
 
+def fused_sq_norms(diff: np.ndarray) -> np.ndarray:
+    """Per-row squared norms ``sum(diff[i] ** 2)`` of a difference plane.
+
+    The reduction half of the L2 kernel, exposed for callers that stage the
+    subtraction themselves (the lockstep query waves subtract each query
+    into its span of a shared scratch plane, then reduce the whole plane in
+    one call).  Uses the same bound einsum kernel as
+    :meth:`Metric.distances`, and the per-row reduction is independent of
+    the other rows, so each span of the output is bit-identical to a
+    per-query kernel call on that span.
+    """
+    return _einsum("ij,ij->i", diff, diff)
+
+
 def pairwise_l2_squared(queries: np.ndarray, base: np.ndarray) -> np.ndarray:
     """Squared L2 between every query row and every base row.
 

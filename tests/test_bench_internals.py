@@ -96,7 +96,10 @@ class TestSweepEdgeCases:
 class TestPerfGuard:
     """The CI regression guard: fresh speedups vs committed baselines."""
 
-    WALLCLOCK = {"speedup": 2.0}
+    WALLCLOCK = {
+        "speedup": 2.0,
+        "wave": {"speedup": 2.2, "coalesced_fraction": 0.5},
+    }
     BUILD = {
         "phases": {"total_speedup": 1.4},
         "graph_build": {"speedup": 3.5},
@@ -111,21 +114,42 @@ class TestPerfGuard:
     def test_within_tolerance_passes(self):
         from repro.bench.guard import check_report
 
-        fresh = {"speedup": 2.0 * 0.85}  # 15% down, under the 20% gate
+        fresh = {
+            "speedup": 2.0 * 0.85,  # 15% down, under the 20% gate
+            "wave": {"speedup": 2.2 * 0.85, "coalesced_fraction": 0.45},
+        }
         assert check_report("wallclock", fresh, self.WALLCLOCK) == []
 
     def test_regression_beyond_tolerance_fails(self):
         from repro.bench.guard import check_report
 
-        fresh = {"speedup": 2.0 * 0.7}
+        fresh = {
+            "speedup": 2.0 * 0.7,
+            "wave": {"speedup": 2.2, "coalesced_fraction": 0.5},
+        }
         failures = check_report("wallclock", fresh, self.WALLCLOCK)
         assert len(failures) == 1
         assert "batched-vs-serial speedup" in failures[0]
 
+    def test_wave_metrics_checked_independently(self):
+        from repro.bench.guard import check_report
+
+        fresh = {
+            "speedup": 2.0,
+            # wall clock fine, coalescing collapsed: must be caught
+            "wave": {"speedup": 2.2, "coalesced_fraction": 0.1},
+        }
+        failures = check_report("wallclock", fresh, self.WALLCLOCK)
+        assert len(failures) == 1
+        assert "coalesced" in failures[0]
+
     def test_faster_than_baseline_passes(self):
         from repro.bench.guard import check_report
 
-        fresh = {"speedup": 4.0}
+        fresh = {
+            "speedup": 4.0,
+            "wave": {"speedup": 4.5, "coalesced_fraction": 0.6},
+        }
         assert check_report("wallclock", fresh, self.WALLCLOCK) == []
 
     def test_build_metrics_checked_independently(self):
@@ -185,9 +209,15 @@ class TestPerfGuard:
         base = tmp_path / "base.json"
         base.write_text(json.dumps(self.WALLCLOCK))
         ok = tmp_path / "ok.json"
-        ok.write_text(json.dumps({"speedup": 2.1}))
+        ok.write_text(json.dumps(
+            {"speedup": 2.1,
+             "wave": {"speedup": 2.3, "coalesced_fraction": 0.5}}
+        ))
         bad = tmp_path / "bad.json"
-        bad.write_text(json.dumps({"speedup": 1.0}))
+        bad.write_text(json.dumps(
+            {"speedup": 1.0,
+             "wave": {"speedup": 2.3, "coalesced_fraction": 0.5}}
+        ))
 
         assert main(["wallclock", str(ok), str(base)]) == 0
         assert main(["wallclock", str(bad), str(base)]) == 1

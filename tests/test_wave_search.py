@@ -1,0 +1,374 @@
+"""Lockstep wave traversal: coalesced reads, bit-identical per-query output.
+
+The contract of :class:`repro.engine.wave_search.WaveSearchEngine` is the
+``wavebuild`` one — lockstep is scheduling, not semantics.  Per-query
+results and :class:`~repro.engine.cost.QueryStats` must be bit-identical to
+the serial loop while the wave's cross-query read sharing shows up only in
+the batch-level :class:`~repro.engine.wave_search.WaveStats`.  These tests
+pin the identity under random workloads and wave sizes, the per-round
+stopper cadence, the determinism gates, and the serving-layer opt-in.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import StarlingConfig, build_starling
+from repro.engine import (
+    AdaptiveEarlyStopper,
+    BatchExecutor,
+    CachedDiskGraph,
+    DeadlineStopper,
+    ExecSpec,
+    RetryPolicy,
+    SearchService,
+    ServeSpec,
+    WaveSearchEngine,
+    WaveStats,
+    wave_capable,
+)
+from repro.storage import FaultSpec
+from repro.storage.faults import base_disk_graph
+from repro.vectors import text2image_like
+
+# The indexes behind the function-scoped fixture wrappers are session-scoped
+# and read-only, so reusing them across generated examples is sound.
+COMMON = settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow, HealthCheck.function_scoped_fixture,
+    ],
+)
+
+CHAOS = FaultSpec(
+    seed=13, transient_error_rate=0.05, bad_block_rate=0.02,
+    corruption_rate=0.02, latency_spike_rate=0.1,
+)
+
+
+def _same_results(a, b) -> None:
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert np.array_equal(x.ids, y.ids)
+        assert np.array_equal(x.dists, y.dists)
+        # Dataclass __dict__ equality covers every counter, including the
+        # nested FaultStats and the per-round-trip block counts.
+        assert x.stats.__dict__ == y.stats.__dict__
+
+
+@pytest.fixture(scope="module")
+def chaos_index(small_dataset, graph_config):
+    return build_starling(
+        small_dataset,
+        StarlingConfig(
+            graph=graph_config, faults=CHAOS,
+            resilience=RetryPolicy(max_retries=3, hedge_after_us=500.0),
+        ),
+    )
+
+
+def _rearm(index) -> None:
+    """Rewind the injector's sequential RNG so two runs see the same fault
+    schedule (the schedule depends on the global read order)."""
+    injector = base_disk_graph(index.disk_graph).device
+    injector._rng = random.Random(CHAOS.seed)
+    injector._pending_extra_us = 0.0
+
+
+# ---------------------------------------------------------------------------
+# eligibility
+
+
+class TestWaveCapability:
+    def test_starling_engine_is_capable(self, starling_index):
+        assert wave_capable(starling_index.engine)
+
+    def test_beam_engine_is_not(self, diskann_index):
+        assert not wave_capable(diskann_index.engine)
+        with pytest.raises(ValueError, match="wave-capable"):
+            WaveSearchEngine(diskann_index.engine)
+
+    def test_resilience_layer_is_not(self, chaos_index):
+        assert not wave_capable(chaos_index.engine)
+
+    def test_full_precision_routing_is_not(self, starling_index):
+        engine = starling_index.engine
+        engine.use_pq_routing = False
+        try:
+            assert not wave_capable(engine)
+        finally:
+            engine.use_pq_routing = True
+
+    def test_lru_wrapper_gates_to_batched(self, starling_index):
+        engine = starling_index.engine
+        plain = engine.disk_graph
+        engine.disk_graph = CachedDiskGraph(plain, capacity_blocks=8)
+        try:
+            assert not wave_capable(engine)
+            executor = BatchExecutor(starling_index, ExecSpec(mode="wave"))
+            assert executor.effective_mode() == "batched"
+        finally:
+            engine.disk_graph = plain
+
+    def test_armed_faults_gate_to_batched(self, chaos_index):
+        executor = BatchExecutor(chaos_index, ExecSpec(mode="wave"))
+        assert executor.effective_mode() == "batched"
+
+    def test_spann_falls_back_to_serial(self, spann_index):
+        executor = BatchExecutor(spann_index, ExecSpec(mode="wave"))
+        assert executor.effective_mode() == "serial"
+
+
+# ---------------------------------------------------------------------------
+# bit-identity
+
+
+class TestWaveEquivalence:
+    def test_matches_serial_loop(self, starling_index, small_dataset):
+        queries = np.asarray(small_dataset.queries, dtype=np.float32)
+        reference = [starling_index.search(q, 10, 48) for q in queries]
+        executor = BatchExecutor(starling_index, ExecSpec(mode="wave"))
+        assert executor.effective_mode() == "wave"
+        _same_results(reference, executor.search_batch(queries, 10, 48))
+
+    def test_single_query_wave(self, starling_index, small_dataset):
+        queries = np.asarray(small_dataset.queries[:1], dtype=np.float32)
+        reference = [starling_index.search(queries[0], 10, 48)]
+        out = BatchExecutor(
+            starling_index, ExecSpec(mode="wave")
+        ).search_batch(queries, 10, 48)
+        _same_results(reference, out)
+
+    @COMMON
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        nq=st.integers(1, 8),
+        armed=st.booleans(),
+    )
+    def test_random_waves_match_serial(
+        self, starling_index, chaos_index, seed, nq, armed
+    ):
+        """Wave sizes 1..N, random queries, armed/unarmed fault injection.
+
+        With faults armed the executor gates to in-order batched execution
+        (coalescing would reorder the injector's RNG draws) — the output
+        must *still* be bit-identical to the serial loop.
+        """
+        index = chaos_index if armed else starling_index
+        rng = np.random.default_rng(seed)
+        queries = rng.integers(0, 256, size=(nq, 128)).astype(np.float32)
+        if armed:
+            _rearm(index)
+        reference = [index.search(q, 10, 32) for q in queries]
+        if armed:
+            _rearm(index)
+        executor = BatchExecutor(index, ExecSpec(mode="wave"))
+        _same_results(reference, executor.search_batch(queries, 10, 32))
+        if armed:
+            assert executor.last_wave_stats is None
+        else:
+            assert executor.last_wave_stats.queries == nq
+
+    def test_ip_metric_wave(self, graph_config):
+        """The IP path (per-query kernel slices, no fused reduction)."""
+        dataset = text2image_like(400, 8, seed=7)
+        index = build_starling(dataset, StarlingConfig(graph=graph_config))
+        queries = np.asarray(dataset.queries, dtype=np.float32)
+        reference = [index.search(q, 10, 48) for q in queries]
+        executor = BatchExecutor(index, ExecSpec(mode="wave"))
+        assert executor.effective_mode() == "wave"
+        _same_results(reference, executor.search_batch(queries, 10, 48))
+
+    def test_range_batch_falls_back_to_batched(
+        self, starling_index, small_dataset
+    ):
+        radius = small_dataset.default_radius or 120_000.0
+        queries = np.asarray(small_dataset.queries[:4], dtype=np.float32)
+        reference = [starling_index.range_search(q, radius) for q in queries]
+        executor = BatchExecutor(starling_index, ExecSpec(mode="wave"))
+        out = executor.range_batch(queries, radius)
+        _same_results(reference, out)
+        assert executor.last_wave_stats is None
+
+
+# ---------------------------------------------------------------------------
+# coalescing telemetry
+
+
+class TestWaveStats:
+    def test_duplicate_queries_coalesce(self, starling_index, small_dataset):
+        """Identical queries traverse identically, so every round's reads
+        beyond the first copy's are coalesced away."""
+        q = np.asarray(small_dataset.queries[0], dtype=np.float32)
+        queries = np.stack([q, q, q, q])
+        executor = BatchExecutor(starling_index, ExecSpec(mode="wave"))
+        results = executor.search_batch(queries, 10, 48)
+        stats = executor.last_wave_stats
+        assert isinstance(stats, WaveStats)
+        assert stats.queries == 4
+        assert stats.rounds > 0
+        # 4 identical traversals: 3/4 of the requested reads are shared.
+        assert stats.issued_block_reads * 4 == stats.requested_block_reads
+        assert stats.coalesced_block_reads == 3 * stats.issued_block_reads
+        # ... while each copy is still charged its full serial I/O bill.
+        per_query = [int(r.stats.num_ios) for r in results]
+        assert sum(per_query) == stats.requested_block_reads
+        assert len(set(per_query)) == 1
+
+    def test_counter_arithmetic(self, starling_index, small_dataset):
+        queries = np.asarray(small_dataset.queries, dtype=np.float32)
+        executor = BatchExecutor(starling_index, ExecSpec(mode="wave"))
+        results = executor.search_batch(queries, 10, 48)
+        stats = executor.last_wave_stats
+        assert (
+            stats.issued_block_reads + stats.coalesced_block_reads
+            == stats.requested_block_reads
+        )
+        # requested == what the serial loop would issue, query by query.
+        assert stats.requested_block_reads == sum(
+            int(r.stats.num_ios) for r in results
+        )
+        assert stats.to_dict()["coalesced_block_reads"] == (
+            stats.coalesced_block_reads
+        )
+
+    def test_last_wave_stats_cleared_by_other_modes(
+        self, starling_index, small_dataset
+    ):
+        queries = np.asarray(small_dataset.queries[:2], dtype=np.float32)
+        executor = BatchExecutor(starling_index, ExecSpec(mode="wave"))
+        executor.search_batch(queries, 10, 48)
+        assert executor.last_wave_stats is not None
+        executor.range_batch(queries, 120_000.0)
+        assert executor.last_wave_stats is None
+        batched = BatchExecutor(starling_index, ExecSpec(mode="batched"))
+        batched.search_batch(queries, 10, 48)
+        assert batched.last_wave_stats is None
+
+
+# ---------------------------------------------------------------------------
+# stopper cadence
+
+
+class TestWaveStoppers:
+    def _mid_search_budget(self, index, queries) -> float:
+        """A simulated budget that expires mid-traversal for every query."""
+        full = [index.search(q, 10, 48) for q in queries]
+        return 0.5 * min(index.latency_us(r) for r in full)
+
+    def test_mid_wave_deadline_matches_serial(
+        self, starling_index, small_dataset
+    ):
+        """A deadline expiring mid-wave must truncate each query on exactly
+        the round it would serially: stoppers are checked every lockstep
+        round, not at wave boundaries."""
+        queries = np.asarray(small_dataset.queries, dtype=np.float32)
+        budget = self._mid_search_budget(starling_index, queries)
+        untruncated = [starling_index.search(q, 10, 48) for q in queries]
+
+        serial_stoppers = [DeadlineStopper(budget) for _ in queries]
+        reference = BatchExecutor(
+            starling_index, ExecSpec(mode="serial")
+        ).search_batch(queries, 10, 48, stoppers=serial_stoppers)
+
+        wave_stoppers = [DeadlineStopper(budget) for _ in queries]
+        executor = BatchExecutor(starling_index, ExecSpec(mode="wave"))
+        out = executor.search_batch(queries, 10, 48, stoppers=wave_stoppers)
+
+        _same_results(reference, out)
+        for serial_stopper, wave_stopper in zip(
+            serial_stoppers, wave_stoppers
+        ):
+            assert serial_stopper.fired == wave_stopper.fired
+        # The deadline actually bit: some searches stopped early, and the
+        # wave kept charging the truncated I/O bill, not the full one.
+        assert any(s.fired for s in wave_stoppers)
+        truncated = [
+            r for r, f in zip(out, untruncated)
+            if r.stats.round_trips < f.stats.round_trips
+        ]
+        assert truncated
+
+    def test_zero_budget_still_grants_min_rounds(
+        self, starling_index, small_dataset
+    ):
+        queries = np.asarray(small_dataset.queries[:4], dtype=np.float32)
+        reference = BatchExecutor(
+            starling_index, ExecSpec(mode="serial")
+        ).search_batch(
+            queries, 10, 48,
+            stoppers=[DeadlineStopper(0.0, min_rounds=2) for _ in queries],
+        )
+        out = BatchExecutor(
+            starling_index, ExecSpec(mode="wave")
+        ).search_batch(
+            queries, 10, 48,
+            stoppers=[DeadlineStopper(0.0, min_rounds=2) for _ in queries],
+        )
+        _same_results(reference, out)
+        assert all(r.stats.round_trips >= 1 for r in out)
+
+    def test_adaptive_stopper_matches_serial(
+        self, starling_index, small_dataset
+    ):
+        queries = np.asarray(small_dataset.queries, dtype=np.float32)
+        reference = BatchExecutor(
+            starling_index, ExecSpec(mode="serial")
+        ).search_batch(
+            queries, 10, 64,
+            stoppers=[AdaptiveEarlyStopper(10, 3) for _ in queries],
+        )
+        out = BatchExecutor(
+            starling_index, ExecSpec(mode="wave")
+        ).search_batch(
+            queries, 10, 64,
+            stoppers=[AdaptiveEarlyStopper(10, 3) for _ in queries],
+        )
+        _same_results(reference, out)
+
+
+# ---------------------------------------------------------------------------
+# serving-layer opt-in
+
+
+class TestServeWave:
+    def test_spec_round_trip(self):
+        spec = ServeSpec(wave=True)
+        assert ServeSpec.from_dict(spec.to_dict()) == spec
+        assert ServeSpec.from_dict(ServeSpec().to_dict()).wave is False
+
+    def test_service_exec_mode(self, starling_index):
+        assert SearchService(
+            starling_index, ServeSpec(wave=True)
+        )._exec_spec.mode == "wave"
+        assert SearchService(
+            starling_index, ServeSpec()
+        )._exec_spec.mode == "batched"
+
+    def test_trace_outcomes_identical_with_wave(
+        self, starling_index, small_dataset
+    ):
+        """A served trace returns the same answers with waves on or off —
+        including under per-query deadline stoppers."""
+        queries = np.asarray(small_dataset.queries, dtype=np.float32)
+        trace = [float(i) * 50.0 for i in range(len(queries))]
+        spec = ServeSpec(workers=2, max_batch=4, deadline_us=1e9)
+        plain = SearchService(starling_index, spec).run_trace(trace, queries)
+        waved = SearchService(
+            starling_index, spec.with_(wave=True)
+        ).run_trace(trace, queries)
+        assert plain.completed == waved.completed
+        for a, b in zip(plain.outcomes, waved.outcomes):
+            assert a.status == b.status
+            assert a.tier == b.tier
+            assert a.truncated == b.truncated
+            if a.result is None:
+                assert b.result is None
+                continue
+            np.testing.assert_array_equal(a.result.ids, b.result.ids)
+            np.testing.assert_array_equal(a.result.dists, b.result.dists)
