@@ -39,6 +39,26 @@ METRICS: dict[str, list[tuple[str, tuple[str, ...], str]]] = {
         ("end-to-end build speedup", ("phases", "total_speedup"), "higher"),
         ("graph build speedup", ("graph_build", "speedup"), "higher"),
     ],
+    # The iospace headline ratios compare strategy pairs on the *same*
+    # workload (bamg vs its unpruned base layout; locality vs LRU at equal
+    # capacity), so machine and sizing variance largely divides out.
+    "iospace": [
+        (
+            "bamg vs base-layout round trips",
+            ("headline", "bamg_round_trip_ratio"),
+            "lower",
+        ),
+        (
+            "bamg vs base-layout recall",
+            ("headline", "bamg_recall_ratio"),
+            "higher",
+        ),
+        (
+            "locality vs LRU device block reads",
+            ("headline", "locality_vs_lru_reads_ratio"),
+            "lower",
+        ),
+    ],
     # The serving metrics are all dimensionless (ratios of simulated time or
     # of arrival counts), so they are insensitive to the workload sizing the
     # run happened to use.

@@ -68,6 +68,26 @@ def print_perf_table(title: str, summaries: Sequence[PerfSummary]) -> None:
     print(format_table(title, PERF_HEADERS, perf_rows(summaries)))
 
 
+def format_matrix(
+    title: str,
+    row_header: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Sequence[Sequence[object]],
+) -> str:
+    """Sweep-matrix rendering: one labelled row per first-axis value.
+
+    ``values[i][j]`` is the cell for ``row_labels[i]`` × ``col_labels[j]``
+    (the layout × cache grids of the iospace sweep, but any two-axis sweep
+    fits).
+    """
+    if len(values) != len(row_labels):
+        raise ValueError("one value row per row label required")
+    headers = [row_header, *col_labels]
+    rows = [[label, *row] for label, row in zip(row_labels, values)]
+    return format_table(title, headers, rows)
+
+
 def speedup(candidate: float, baseline: float) -> str:
     """'3.2x' style ratio used in the paper's scalability tables."""
     if baseline <= 0:

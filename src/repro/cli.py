@@ -24,7 +24,8 @@ import numpy as np
 
 from .bench.build_cache import BuildCache
 from .buildspec import BUILD_MODES, BuildSpec
-from .engine import EXEC_MODES
+from .engine import CACHE_STRATEGY_NAMES, EXEC_MODES
+from .layout import LAYOUT_STRATEGY_NAMES
 from .core import (
     DiskANNConfig,
     GraphConfig,
@@ -118,8 +119,17 @@ def _cmd_build(args) -> int:
           f"[mode={args.build_mode}] ...")
     hit = False
     if args.framework == "starling":
+        layout_params = ()
+        if args.layout_strategy == "bamg":
+            layout_params = (
+                ("base", args.bamg_base), ("alpha", args.bamg_alpha),
+            )
         cfg = StarlingConfig(graph=graph, shuffle=args.shuffle,
-                             pruning_ratio=args.pruning_ratio)
+                             pruning_ratio=args.pruning_ratio,
+                             layout_strategy=args.layout_strategy,
+                             layout_params=layout_params,
+                             cache_strategy=args.cache_strategy,
+                             block_cache_blocks=args.cache_blocks)
         if cache is not None:
             index, hit = cache.build_starling(dataset, cfg, build_spec=spec)
         else:
@@ -295,6 +305,15 @@ def _cmd_search(args) -> int:
     index = _load_index_or_exit(args)
     dataset = _dataset_from_args(args)
     truth = read_ground_truth(args.gt)[0] if args.gt else None
+    if getattr(args, "cache_strategy", None) is not None:
+        if not hasattr(index, "apply_cache_strategy"):
+            raise SystemExit(
+                "--cache-strategy only applies to starling indexes"
+            )
+        capacity = args.cache_blocks
+        if capacity is None:
+            capacity = index.config.block_cache_blocks
+        index.apply_cache_strategy(args.cache_strategy, capacity)
     _apply_chaos(index, args)
 
     from .engine import BatchExecutor, ExecSpec
@@ -493,6 +512,40 @@ def _cmd_bench_wallclock(args) -> int:
     return 0
 
 
+def _cmd_bench_iospace(args) -> int:
+    """Sweep layout × cache strategies over the paper's I/O metrics."""
+    from .bench.iospace import run_iospace
+    from .bench.tables import format_matrix
+
+    report = run_iospace(
+        args.family,
+        num_queries=args.num_queries,
+        k=args.k,
+        candidate_size=args.gamma,
+        capacity_blocks=args.cache_blocks,
+    )
+    path = report.write_json(args.out)
+    layouts = list(dict.fromkeys(c.layout for c in report.cells))
+    caches = list(dict.fromkeys(c.cache for c in report.cells))
+    for title, attr in (
+        ("mean device block reads / query", "mean_block_reads"),
+        ("mean round trips / query", "mean_round_trips"),
+        (f"recall@{report.k}", "recall"),
+    ):
+        print(format_matrix(title, "layout", layouts, caches,
+                            report.matrix(attr)))
+        print()
+    print(
+        f"iospace [{report.family} n={report.num_vectors} "
+        f"q={report.num_queries} cap={report.capacity_blocks}]: "
+        f"bamg trips x{report.bamg_round_trip_ratio:.3f}, "
+        f"recall x{report.bamg_recall_ratio:.3f}, "
+        f"locality/lru reads x{report.locality_vs_lru_reads_ratio:.3f}, "
+        f"honest={report.counters_honest} -> {path}"
+    )
+    return 0
+
+
 def _cmd_bench_build(args) -> int:
     """Measure serial vs wave-batched index construction (wall clock)."""
     from .bench.buildclock import run_buildclock
@@ -590,6 +643,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shuffle", default="bnf",
                    choices=("bnf", "bnp", "bns", "gp1", "gp2", "gp3",
                             "kmeans", "none"))
+    p.add_argument("--layout-strategy", default=None,
+                   choices=LAYOUT_STRATEGY_NAMES,
+                   help="layout strategy overriding --shuffle (adds 'bamg' "
+                        "block-aware monotonic pruning; starling only)")
+    p.add_argument("--bamg-base", default="bnf",
+                   help="shuffler the bamg strategy lays blocks out with")
+    p.add_argument("--bamg-alpha", type=float, default=1.2,
+                   help="bamg occlusion factor (<= 0 keeps all portals)")
+    p.add_argument("--cache-strategy", default=None,
+                   choices=CACHE_STRATEGY_NAMES,
+                   help="block-cache strategy baked into the index "
+                        "(starling only; default: LRU iff --cache-blocks)")
+    p.add_argument("--cache-blocks", type=int, default=0,
+                   help="block-cache capacity in blocks (0 disables)")
     p.add_argument("--pruning-ratio", type=float, default=0.3)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--build-mode", default="serial", choices=BUILD_MODES,
@@ -655,6 +722,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "modes fall back to in-order batched execution)")
     p.add_argument("--workers", type=int, default=4,
                    help="pool size for the threads/processes exec modes")
+    p.add_argument("--cache-strategy", default=None,
+                   choices=CACHE_STRATEGY_NAMES,
+                   help="override the persisted block-cache strategy at "
+                        "load time (starling only; 'hot' needs an index "
+                        "built with a pinned set)")
+    p.add_argument("--cache-blocks", type=int, default=None,
+                   help="cache capacity for --cache-strategy (default: "
+                        "the capacity the index was built with)")
     _add_load_args(p)
     _add_chaos_args(p)
     p.set_defaults(func=_cmd_search)
@@ -751,6 +826,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "(a temp dir by default)")
     p.add_argument("--out", default="BENCH_build.json")
     p.set_defaults(func=_cmd_bench_build)
+
+    p = sub.add_parser(
+        "bench-iospace",
+        help="layout x cache strategy sweep -> BENCH_iospace.json",
+    )
+    p.add_argument("--family", default="bigann",
+                   choices=("bigann", "deep", "ssnpp", "text2image"))
+    p.add_argument("--num-queries", type=int, default=None)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--gamma", type=int, default=64,
+                   help="candidate set size Γ")
+    p.add_argument("--cache-blocks", type=int, default=None,
+                   help="equal cache capacity for every caching cell "
+                        "(default: scaled to the graph's block count)")
+    p.add_argument("--out", default="BENCH_iospace.json")
+    p.set_defaults(func=_cmd_bench_iospace)
     return parser
 
 

@@ -16,6 +16,10 @@ import numpy as np
 from ..buildspec import BuildSpec
 from ..engine.block_cache import CachedDiskGraph
 from ..engine.cache import build_hot_vertex_cache
+from ..engine.cache_strategies import (
+    select_hot_blocks,
+    wrap_with_cache_strategy,
+)
 from ..engine.cost import ComputeSpec
 from ..graphs.adjacency import AdjacencyGraph
 from ..graphs.hnsw import HNSWIndex, HNSWParams, build_hnsw
@@ -26,16 +30,12 @@ from ..graphs.navigation import (
 )
 from ..graphs.nsg import NSGParams, build_nsg
 from ..graphs.vamana import VamanaParams, build_vamana
-from ..layout.bnf import bnf_layout
-from ..layout.bnp import bnp_layout
-from ..layout.bns import bns_layout
-from ..layout.layout import Layout, id_contiguous_layout, overlap_ratio
-from ..layout.partitioning import (
-    gp1_hierarchical_clustering_layout,
-    gp2_greedy_growing_layout,
-    gp3_restreaming_layout,
-    kmeans_layout,
+from ..layout.layout import (
+    assignment_from_layout,
+    id_contiguous_layout,
+    overlap_ratio,
 )
+from ..layout.strategies import get_layout_strategy
 from ..quantization.opq import OptimizedProductQuantizer
 from ..quantization.pq import ProductQuantizer
 from ..quantization.scalar import ScalarQuantizer
@@ -88,43 +88,20 @@ def _build_graph(
     return index.base_layer, index.entry_point, index
 
 
-def _shuffle(
-    shuffle: str,
-    graph: AdjacencyGraph,
-    vectors: np.ndarray,
-    eps: int,
-    *,
-    iterations: int,
-    gain_threshold: float,
-    seed: int,
-) -> Layout:
-    """Dispatch on the configured block shuffler."""
-    if shuffle == "none":
-        return id_contiguous_layout(graph.num_vertices, eps)
-    if shuffle == "bnp":
-        return bnp_layout(graph, eps)
-    if shuffle == "bnf":
-        return bnf_layout(
-            graph, eps, max_iterations=iterations,
-            gain_threshold=gain_threshold,
-        ).layout
-    if shuffle == "bns":
-        return bns_layout(
-            graph, eps, max_iterations=iterations,
-            gain_threshold=gain_threshold,
-        ).layout
-    if shuffle == "gp1":
-        return gp1_hierarchical_clustering_layout(graph, vectors, eps, seed=seed)
-    if shuffle == "gp2":
-        return gp2_greedy_growing_layout(graph, eps, seed=seed)
-    if shuffle == "gp3":
-        return gp3_restreaming_layout(
-            graph, eps, max_iterations=iterations,
-            gain_threshold=gain_threshold,
-        ).layout
-    if shuffle == "kmeans":
-        return kmeans_layout(graph, vectors, eps, seed=seed)
-    raise ValueError(f"unknown shuffler {shuffle!r}")
+def _layout_strategy(config: StarlingConfig):
+    """The configured :class:`~repro.layout.strategies.LayoutStrategy`.
+
+    The strategy wrappers call the exact shuffler entry points the old
+    inline dispatch did, with the same arguments — so the default
+    configuration produces bit-identical layouts to earlier releases.
+    """
+    return get_layout_strategy(
+        config.resolved_layout_strategy,
+        iterations=config.shuffle_iterations,
+        gain_threshold=config.shuffle_gain_threshold,
+        seed=config.seed,
+        params=config.layout_params,
+    )
 
 
 def _build_quantizer(kind: str, pq_cfg, metric, vectors, seed: int,
@@ -185,12 +162,12 @@ def build_starling(
         block_bytes=config.block_bytes,
     )
     t0 = time.perf_counter()
-    layout = _shuffle(
-        config.shuffle, graph, vectors, fmt.vertices_per_block,
-        iterations=config.shuffle_iterations,
-        gain_threshold=config.shuffle_gain_threshold,
-        seed=config.seed,
-    )
+    strategy = _layout_strategy(config)
+    layout = strategy.assign(graph, fmt.vertices_per_block, vectors=vectors)
+    # Layout-aware graph rewrite (identity for the shufflers; BAMG drops
+    # block-redundant edges here).  What goes to disk — and what OR(G)
+    # describes — is the pruned graph.
+    graph = strategy.prune_for_layout(graph, layout, vectors, metric)
     layout_or = overlap_ratio(graph, layout)
     timings.shuffle_s = time.perf_counter() - t0
 
@@ -222,8 +199,22 @@ def build_starling(
         path=path, spec=disk_spec,
     )
     timings.disk_write_s = time.perf_counter() - t0
-    if config.block_cache_blocks > 0:
-        disk_graph = CachedDiskGraph(disk_graph, config.block_cache_blocks)
+    cache_name = config.resolved_cache_strategy
+    pinned = None
+    if cache_name == "hot" and config.block_cache_blocks > 0:
+        # Offline hot-block selection, charged to T_hot like DiskANN's
+        # vertex-granular equivalent.
+        t0 = time.perf_counter()
+        pinned = select_hot_blocks(
+            graph, vectors, metric, entry,
+            assignment_from_layout(layout, graph.num_vertices),
+            config.block_cache_blocks, seed=config.seed,
+        )
+        timings.hot_cache_s = time.perf_counter() - t0
+    disk_graph = wrap_with_cache_strategy(
+        disk_graph, cache_name, config.block_cache_blocks,
+        params=config.cache_params, pinned_blocks=pinned,
+    )
     memory = MemoryFootprint(
         graph_bytes=entry_provider.memory_bytes,
         mapping_bytes=disk_graph.mapping_bytes,

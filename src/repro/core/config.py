@@ -93,6 +93,20 @@ class StarlingConfig:
     shuffle: str = "bnf"
     shuffle_iterations: int = 8  # β
     shuffle_gain_threshold: float = 0.01  # τ
+    #: layout strategy overriding ``shuffle`` when set (adds "bamg" —
+    #: block-aware monotonic pruning — to the shuffler names); ``None``
+    #: keeps the legacy ``shuffle`` dispatch bit for bit
+    layout_strategy: str | None = None
+    #: strategy-specific options as hashable ``((key, value), ...)`` pairs
+    #: (e.g. ``(("base", "bnf"), ("alpha", 1.2))`` for bamg)
+    layout_params: tuple = ()
+    #: block-cache strategy: "none" | "lru" | "hot" (pinned blocks) |
+    #: "locality" (GoVector-style); ``None`` keeps the legacy rule — an LRU
+    #: iff ``block_cache_blocks > 0``
+    cache_strategy: str | None = None
+    #: cache-strategy options as hashable ``((key, value), ...)`` pairs
+    #: (e.g. ``(("decay", 0.5), ("prefetch_blocks", 1))`` for locality)
+    cache_params: tuple = ()
     block_bytes: int = 4096  # η
     beam_width: int = 4
     pruning_ratio: float = 0.3  # σ
@@ -128,6 +142,62 @@ class StarlingConfig:
             )
         if not 0.0 <= self.pruning_ratio <= 1.0:
             raise ValueError("pruning_ratio must be in [0, 1]")
+        if self.layout_strategy is not None:
+            from ..layout.strategies import LAYOUT_STRATEGY_NAMES
+
+            if self.layout_strategy not in LAYOUT_STRATEGY_NAMES:
+                raise ValueError(
+                    f"unknown layout strategy {self.layout_strategy!r}; "
+                    f"expected one of {LAYOUT_STRATEGY_NAMES}"
+                )
+        if self.cache_strategy is not None:
+            from ..engine.cache_strategies import CACHE_STRATEGY_NAMES
+
+            if self.cache_strategy not in CACHE_STRATEGY_NAMES:
+                raise ValueError(
+                    f"unknown cache strategy {self.cache_strategy!r}; "
+                    f"expected one of {CACHE_STRATEGY_NAMES}"
+                )
+        # JSON round-trips turn tuples into lists; normalizing here keeps
+        # equality/hashing stable however the config was constructed.
+        for name in ("layout_params", "cache_params"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple) or any(
+                not isinstance(p, tuple) for p in value
+            ):
+                object.__setattr__(
+                    self, name, tuple(tuple(p) for p in value)
+                )
+
+    @property
+    def resolved_layout_strategy(self) -> str:
+        """The layout strategy in effect (falls back to ``shuffle``)."""
+        return self.layout_strategy or self.shuffle
+
+    @property
+    def resolved_cache_strategy(self) -> str:
+        """The cache strategy in effect (legacy: LRU iff capacity > 0)."""
+        if self.cache_strategy is not None:
+            return self.cache_strategy
+        return "lru" if self.block_cache_blocks > 0 else "none"
+
+    @property
+    def fold_coresident(self) -> bool:
+        """The bamg strategy's search-side contract: co-resident fold.
+
+        Portal collapse makes each surviving cross-edge the block's single
+        monotone entry, and the engine completes the bargain by consuming
+        every candidate co-resident with an in-memory block instead of
+        re-fetching it later.  Only active for the bamg layout strategy
+        (``(("fold", False), ...)`` in ``layout_params`` opts out), so the
+        default configuration's traversal stays bit-identical.
+        """
+        if self.resolved_layout_strategy != "bamg":
+            return False
+        for key, value in self.layout_params:
+            if key == "fold":
+                return bool(value)
+        return True
 
     def with_(self, **changes) -> "StarlingConfig":
         """Functional update helper used heavily by sweeps."""

@@ -181,6 +181,44 @@ class StarlingIndex(_SegmentIndexBase):
             pipeline=config.pipeline,
             num_entry_points=config.num_entry_points,
             resilience=config.resilience if config.faults.enabled else None,
+            fold_coresident=config.fold_coresident,
+        )
+
+    def apply_cache_strategy(
+        self, name: str, capacity_blocks: int, *, params: tuple = (),
+    ) -> None:
+        """Re-wrap the disk graph with a different block-cache strategy.
+
+        Serves the CLI's ``search --cache-strategy`` override: the stored
+        index keeps the strategy it was built with, but a load-time caller
+        may trade it for another without rebuilding.  The existing cache
+        layer (if any) is discarded; ``"hot"`` is only available when the
+        current wrapper already carries a pinned set (it is selected
+        offline at build time), reused at the new capacity.
+        """
+        from ..engine.cache_strategies import wrap_with_cache_strategy
+        from ..storage.faults import base_disk_graph
+
+        # The offline-selected hot set is stashed on the index so that a
+        # hot → other → hot round of re-wraps doesn't lose it with the
+        # discarded wrapper.
+        pinned = getattr(self.disk_graph, "pinned_block_ids", None)
+        if pinned is not None:
+            self._pinned_blocks = tuple(pinned)
+        else:
+            pinned = getattr(self, "_pinned_blocks", None)
+        base = base_disk_graph(self.disk_graph)
+        wrapped = wrap_with_cache_strategy(
+            base, name, capacity_blocks, params=params, pinned_blocks=pinned,
+        )
+        self.disk_graph = wrapped
+        self.engine.disk_graph = wrapped
+        self.config = self.config.with_(
+            cache_strategy=name, cache_params=tuple(params),
+            block_cache_blocks=capacity_blocks,
+        )
+        self.memory.block_cache_bytes = (
+            getattr(wrapped, "memory_bytes", 0) if wrapped is not base else 0
         )
 
     def search(

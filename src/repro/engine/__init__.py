@@ -6,6 +6,13 @@ from .beam_search import BeamSearchEngine
 from .block_cache import CachedDiskGraph, DecodeCache
 from .block_search import BlockSearchEngine
 from .cache import HotVertexCache, build_hot_vertex_cache
+from .cache_strategies import (
+    CACHE_STRATEGY_NAMES,
+    LocalityBlockCache,
+    PinnedBlockCache,
+    select_hot_blocks,
+    wrap_with_cache_strategy,
+)
 from .concurrency import (
     SimulatedQuery,
     SimulationReport,
@@ -31,6 +38,7 @@ from .serve import (
 )
 
 __all__ = [
+    "CACHE_STRATEGY_NAMES",
     "EXEC_MODES",
     "AdaptiveEarlyStopper",
     "Arena",
@@ -47,7 +55,9 @@ __all__ = [
     "ExecSpec",
     "FaultStats",
     "HotVertexCache",
+    "LocalityBlockCache",
     "Overloaded",
+    "PinnedBlockCache",
     "QueryStats",
     "RangeResult",
     "ResultSet",
@@ -71,4 +81,6 @@ __all__ = [
     "poisson_arrivals_us",
     "repeated_anns_range_search",
     "resilient_read_blocks_of",
+    "select_hot_blocks",
+    "wrap_with_cache_strategy",
 ]

@@ -27,7 +27,9 @@ class DecodeCache:
     ``decode_cache`` slot (``get`` / item assignment), so the serving layer
     can install one instance for the life of a service instead of the
     executor's per-batch plain dict.  Every operation holds one lock;
-    eviction is FIFO by insertion order.  Like the per-batch dict, the cache
+    eviction is true LRU — a ``get`` hit refreshes recency, so an entry the
+    workload keeps re-hitting survives eviction pressure from one-shot
+    fills.  Like the per-batch dict, the cache
     sits *behind* the I/O accounting — hits and evictions change only decode
     work, never a counter — so capacity is purely a memory bound.
 
@@ -49,7 +51,11 @@ class DecodeCache:
 
     def get(self, block_id: int, default: DiskBlock | None = None):
         with self._lock:
-            return self._blocks.get(block_id, default)
+            block = self._blocks.get(block_id)
+            if block is None:
+                return default
+            self._blocks.move_to_end(block_id)
+            return block
 
     def __setitem__(self, block_id: int, block: DiskBlock) -> None:
         with self._lock:
@@ -57,6 +63,7 @@ class DecodeCache:
                 while len(self._blocks) >= self.capacity_blocks:
                     self._blocks.popitem(last=False)
             self._blocks[block_id] = block
+            self._blocks.move_to_end(block_id)
 
     def clear(self) -> None:
         with self._lock:

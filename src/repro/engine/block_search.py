@@ -50,6 +50,14 @@ class BlockSearchEngine:
             the zero-overhead fast read path.  With a policy, blocks that
             stay unreadable are skipped (their target vertices abandoned,
             the result flagged ``degraded``) instead of raising.
+        fold_coresident: Block-aware re-entry suppression — the search-side
+            half of the bamg layout strategy's contract.  When a round's
+            block is in memory, every *candidate-set* member co-resident in
+            it is folded immediately (exact distance, result entry,
+            neighbour expansion, visited mark) instead of being popped in a
+            later round and re-fetching a block this round already paid
+            for.  Off by default: it changes the traversal order, so the
+            default configuration stays bit-identical to earlier releases.
     """
 
     name = "starling"
@@ -68,6 +76,7 @@ class BlockSearchEngine:
         num_entry_points: int = 4,
         early_termination: int | None = None,
         resilience=None,
+        fold_coresident: bool = False,
     ) -> None:
         if beam_width <= 0:
             raise ValueError("beam_width must be positive")
@@ -83,6 +92,7 @@ class BlockSearchEngine:
         self.pipeline = pipeline
         self.num_entry_points = num_entry_points
         self.resilience = resilience
+        self.fold_coresident = fold_coresident
         if early_termination is not None and early_termination < 1:
             raise ValueError("early_termination patience must be >= 1")
         self.early_termination = early_termination
@@ -240,6 +250,33 @@ class BlockSearchEngine:
             loaded, used,
         )
 
+    def _fold_coresident_targets(
+        self,
+        candidates: CandidateSet,
+        round_blocks,
+        targets_by_block: dict[int, list[int]],
+    ) -> None:
+        """Promote co-resident candidate-set members to this round's targets.
+
+        Every in-set unvisited candidate living in a block the round has
+        already fetched is consumed *now* — it joins ``targets_by_block``
+        (so :meth:`_select_round` gives it an exact distance, a result-set
+        entry and a neighbour expansion, exactly as a later pop would) and
+        is marked visited so it never triggers a re-read of a block that
+        was in memory this round.  Iteration follows the candidate set's
+        ``(dist, id)`` order, so the fold is deterministic.
+        """
+        pending = candidates.unvisited_members()
+        if pending.size == 0:
+            return
+        in_round = {b.block_id for b in round_blocks}
+        for vid, bid in zip(
+            pending.tolist(), self.disk_graph.blocks_of(pending).tolist()
+        ):
+            if bid in in_round:
+                targets_by_block[bid].append(vid)
+                candidates.mark_visited(vid)
+
     def _expand_frontier(
         self,
         query: np.ndarray,
@@ -381,6 +418,10 @@ class BlockSearchEngine:
                             # keep draining the rest of the frontier.
                             stats.fault.vertices_abandoned += len(targets)
                     round_blocks = blocks
+                if self.fold_coresident and round_blocks:
+                    self._fold_coresident_targets(
+                        candidates, round_blocks, targets_by_block
+                    )
 
                 # Exact distances to every vertex of every block in the
                 # round — the I/O is already paid, the computation is what

@@ -1,0 +1,560 @@
+"""Pluggable block-cache strategies for the disk search engines.
+
+One seam over every way the engines keep decoded blocks in memory:
+
+``"none"``      no cache — every read hits the device.
+``"lru"``       :class:`~repro.engine.block_cache.CachedDiskGraph`, recency
+                eviction.
+``"hot"``       :class:`PinnedBlockCache` — the block-granular analogue of
+                DiskANN's hot-vertex cache (Appendix J): sampled searches
+                count block visits offline, the hottest blocks are pinned
+                for the index's lifetime.  Preloading is build/load-time
+                I/O, like DiskANN's offline cache fill; queries never pay
+                for pinned blocks.
+``"locality"``  :class:`LocalityBlockCache` — GoVector-style query-locality
+                cache: retention by decayed access heat plus a credit for
+                blocks adjacent to the current search frontier (they are
+                where the walk goes next), with optional pull-prefetch of
+                the hottest predicted blocks.
+
+Counter honesty is the contract every strategy must keep (the same rules
+the LRU wrapper established):
+
+- **hits are invisible** in device-delta I/O counters — a cached block
+  charges no device read, exactly like a page-cache hit;
+- **misses are charged exactly** — each wrapper reports its own per-call
+  fetch count through ``read_blocks_of_counted`` so interleaved queries
+  can't misattribute each other's reads;
+- **prefetches are charged, not hidden** — a prefetched block is fetched by
+  the device in the same round trip and appears in the round-trip's block
+  count (``QueryStats.round_trip_blocks`` → ``num_ios``) *and* in the
+  dedicated ``QueryStats.prefetch_blocks`` counter.  Prefetching can never
+  reduce total device reads; what it buys is round trips (the block rides
+  an already-issued trip instead of forcing a later one).
+
+The sum of per-query ``num_ios`` over a serial run therefore always equals
+the device's ``blocks_read`` delta, whatever the strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..storage.disk_graph import DiskBlock, DiskGraph
+from .block_cache import CachedDiskGraph
+
+CACHE_STRATEGY_NAMES = ("none", "lru", "hot", "locality")
+
+
+def cache_params_dict(params) -> dict:
+    """Tuple-of-pairs cache params → dict (tuple form keeps configs hashable)."""
+    return {str(k): v for k, v in (params or ())}
+
+
+class DelegatingDiskGraph:
+    """Shared delegation surface for block-cache wrappers.
+
+    Exposes the same non-read API as :class:`DiskGraph` by forwarding to
+    ``inner``.  The ``inner`` attribute is also the signal the batched
+    executor keys its determinism gates on (stateful caches degrade the
+    fan-out/wave modes to in-order batched execution).
+    """
+
+    def __init__(self, inner: DiskGraph) -> None:
+        self.inner = inner
+
+    @property
+    def device(self):
+        return self.inner.device
+
+    @property
+    def fmt(self):
+        return self.inner.fmt
+
+    @property
+    def vertex_to_block(self):
+        return self.inner.vertex_to_block
+
+    @property
+    def num_vertices(self) -> int:
+        return self.inner.num_vertices
+
+    @property
+    def num_blocks(self) -> int:
+        return self.inner.num_blocks
+
+    @property
+    def mapping_bytes(self) -> int:
+        return self.inner.mapping_bytes
+
+    @property
+    def disk_bytes(self) -> int:
+        return self.inner.disk_bytes
+
+    def block_of(self, vertex_id: int) -> int:
+        return self.inner.block_of(vertex_id)
+
+    def blocks_of(self, vertex_ids):
+        return self.inner.blocks_of(vertex_ids)
+
+    def vertices_in_block(self, block_id: int):
+        return self.inner.vertices_in_block(block_id)
+
+    def peek_vertex(self, vertex_id: int):
+        return self.inner.peek_vertex(vertex_id)
+
+    def read_block_of(self, vertex_id: int) -> DiskBlock:
+        return self.read_block(self.inner.block_of(vertex_id))
+
+    def read_blocks_of(self, vertex_ids: Sequence[int]) -> list[DiskBlock]:
+        return self.read_blocks(self.inner._unique_blocks_of(vertex_ids))
+
+
+class PinnedBlockCache(DelegatingDiskGraph):
+    """A fixed set of blocks held in memory for the index's lifetime.
+
+    The block-granular analogue of DiskANN's hot-vertex cache: membership is
+    decided offline (see :func:`select_hot_blocks`), nothing is ever
+    admitted or evicted at query time, so behaviour is deterministic and
+    identical across serial/batched execution orders.  The pinned blocks are
+    read from the device once at construction — build/load-time I/O, the
+    same place DiskANN charges its cache fill.
+    """
+
+    def __init__(self, inner: DiskGraph, pinned_block_ids) -> None:
+        super().__init__(inner)
+        ids = sorted({int(b) for b in pinned_block_ids})
+        bad = [b for b in ids if not 0 <= b < inner.num_blocks]
+        if bad:
+            raise ValueError(f"pinned block ids out of range: {bad[:5]}")
+        self.pinned_block_ids = tuple(ids)
+        self._pinned: dict[int, DiskBlock] = {
+            block.block_id: block for block in inner.read_blocks(ids)
+        } if ids else {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def cached_blocks(self) -> int:
+        return len(self._pinned)
+
+    @property
+    def memory_bytes(self) -> int:
+        return len(self._pinned) * self.fmt.block_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def read_block(self, block_id: int) -> DiskBlock:
+        block = self._pinned.get(block_id)
+        if block is not None:
+            self.hits += 1
+            return block
+        self.misses += 1
+        return self.inner.read_block(block_id)
+
+    def read_blocks(self, block_ids: Sequence[int]) -> list[DiskBlock]:
+        out: dict[int, DiskBlock] = {}
+        missing: list[int] = []
+        for bid in block_ids:
+            block = self._pinned.get(bid)
+            if block is not None:
+                self.hits += 1
+                out[bid] = block
+            else:
+                missing.append(bid)
+        if missing:
+            self.misses += len(missing)
+            for block in self.inner.read_blocks(missing):
+                out[block.block_id] = block
+        return [out[bid] for bid in block_ids]
+
+    def try_read_blocks(
+        self, block_ids: Sequence[int]
+    ) -> tuple[dict[int, DiskBlock], dict[int, str]]:
+        ok: dict[int, DiskBlock] = {}
+        missing: list[int] = []
+        for bid in block_ids:
+            block = self._pinned.get(bid)
+            if block is not None:
+                self.hits += 1
+                ok[bid] = block
+            else:
+                missing.append(bid)
+        failed: dict[int, str] = {}
+        if missing:
+            self.misses += len(missing)
+            fetched, failed = self.inner.try_read_blocks(missing)
+            ok.update(fetched)
+        return ok, failed
+
+    def read_blocks_of_counted(
+        self, vertex_ids: Sequence[int]
+    ) -> tuple[list[DiskBlock], int]:
+        bids = self.inner._unique_blocks_of(vertex_ids)
+        out: dict[int, DiskBlock] = {}
+        missing: list[int] = []
+        for bid in bids:
+            block = self._pinned.get(bid)
+            if block is not None:
+                self.hits += 1
+                out[bid] = block
+            else:
+                missing.append(bid)
+        if missing:
+            self.misses += len(missing)
+            for block in self.inner.read_blocks(missing):
+                out[block.block_id] = block
+        return [out[bid] for bid in bids], len(missing)
+
+
+class LocalityBlockCache(DelegatingDiskGraph):
+    """GoVector-style query-locality cache over the disk graph.
+
+    Two signals replace plain recency:
+
+    - **decayed access heat**: every access bumps a block's heat; heat
+      decays geometrically per counted read, blending recency with a
+      short-horizon access count (how short is the ``decay`` knob).
+    - **frontier-adjacency credit**: after serving a frontier read, the
+      blocks holding the frontier vertices' out-neighbours get a fractional
+      heat credit — they are where the walk plausibly goes next.  The same
+      credited set feeds the optional pull-prefetch: on the *next* counted
+      read, up to ``prefetch_blocks`` of the hottest predicted-and-uncached
+      blocks ride along in the same round trip (charged in full; see the
+      module docstring's honesty rules).
+
+    Eviction removes the coldest cached block (ties: larger block id first,
+    so lower ids — often entry regions — are sticky and the order is
+    deterministic).
+
+    Args:
+        inner: The disk graph to wrap.
+        capacity_blocks: Maximum blocks held (0 disables caching).
+        decay: Per-counted-read geometric heat decay in (0, 1].  The
+            default (0.5) keeps heat close to recency — measured on the
+            iospace sweep, slow decay (≥ 0.9) over-retains one-time-hot
+            blocks and loses to a plain LRU; the cache's edge comes from
+            the adjacency credit, not from frequency.
+        adjacency_credit: Heat granted to each frontier-adjacent block —
+            the blocks the walk plausibly (re-)enters next.  The default
+            (1.0, a full access' worth) is what beats equal-capacity LRU
+            on device reads in the sweep.
+        prefetch_blocks: Max predicted blocks pulled per counted read
+            (0 disables prefetch — the default, since prefetch can only
+            trade device reads for round trips, never reduce reads).
+    """
+
+    def __init__(
+        self,
+        inner: DiskGraph,
+        capacity_blocks: int,
+        *,
+        decay: float = 0.5,
+        adjacency_credit: float = 1.0,
+        prefetch_blocks: int = 0,
+    ) -> None:
+        super().__init__(inner)
+        if capacity_blocks < 0:
+            raise ValueError("capacity_blocks must be non-negative")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if adjacency_credit < 0.0:
+            raise ValueError("adjacency_credit must be non-negative")
+        if prefetch_blocks < 0:
+            raise ValueError("prefetch_blocks must be non-negative")
+        self.capacity_blocks = capacity_blocks
+        self.decay = decay
+        self.adjacency_credit = adjacency_credit
+        self.prefetch_blocks = prefetch_blocks
+        self._cache: dict[int, DiskBlock] = {}
+        self._heat: dict[int, float] = {}
+        self._last_tick: dict[int, int] = {}
+        self._tick = 0
+        self._predicted: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.prefetch_issued = 0
+        self.prefetch_hits = 0
+        self._unclaimed_prefetch = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def cached_blocks(self) -> int:
+        return len(self._cache)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.capacity_blocks * self.fmt.block_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def take_prefetched(self) -> int:
+        """Prefetched-block count since the last call (io_util drains this
+        right after each counted read to fill ``QueryStats.prefetch_blocks``)."""
+        count = self._unclaimed_prefetch
+        self._unclaimed_prefetch = 0
+        return count
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._heat.clear()
+        self._last_tick.clear()
+        self._predicted.clear()
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.prefetch_issued = 0
+        self.prefetch_hits = 0
+        self._unclaimed_prefetch = 0
+
+    # -- heat bookkeeping ------------------------------------------------------
+
+    def _decayed_heat(self, block_id: int) -> float:
+        heat = self._heat.get(block_id, 0.0)
+        if heat == 0.0:
+            return 0.0
+        age = self._tick - self._last_tick.get(block_id, self._tick)
+        return heat * (self.decay ** age)
+
+    def _bump(self, block_id: int, amount: float) -> None:
+        self._heat[block_id] = self._decayed_heat(block_id) + amount
+        self._last_tick[block_id] = self._tick
+
+    def _admit(self, block: DiskBlock) -> None:
+        if self.capacity_blocks == 0:
+            return
+        self._cache[block.block_id] = block
+        while len(self._cache) > self.capacity_blocks:
+            coldest = min(
+                self._cache, key=lambda b: (self._decayed_heat(b), -b)
+            )
+            del self._cache[coldest]
+
+    def _credit_adjacency(self, vertex_ids, by_block: dict[int, DiskBlock]):
+        """Heat-credit the blocks the frontier's out-edges point into."""
+        if self.adjacency_credit == 0.0 and self.prefetch_blocks == 0:
+            return
+        vertex_to_block = self.inner.vertex_to_block
+        predicted: set[int] = set()
+        for vid in vertex_ids:
+            bid = int(vertex_to_block[int(vid)])
+            block = by_block.get(bid)
+            if block is None:
+                continue
+            try:
+                pos = block.index_of(int(vid))
+            except (KeyError, ValueError):
+                continue
+            nbrs = block.neighbor_lists[pos]
+            if len(nbrs) == 0:
+                continue
+            dest = np.unique(vertex_to_block[np.asarray(nbrs, dtype=np.int64)])
+            for d in dest.tolist():
+                d = int(d)
+                if d != bid:
+                    predicted.add(d)
+        for bid in sorted(predicted):
+            self._bump(bid, self.adjacency_credit)
+        self._predicted = predicted
+
+    def _pick_prefetch(self, exclude: set[int], incoming: int) -> list[int]:
+        """Predicted blocks worth pulling, bounded by the cache room left
+        after this round's ``incoming`` demand misses are admitted (a
+        prefetch that immediately evicts demand data is pure waste)."""
+        if self.prefetch_blocks == 0 or not self._predicted:
+            return []
+        candidates = [
+            b for b in self._predicted
+            if b not in self._cache and b not in exclude
+        ]
+        candidates.sort(key=lambda b: (-self._decayed_heat(b), b))
+        room = max(self.capacity_blocks - len(self._cache) - incoming, 0)
+        return candidates[: min(self.prefetch_blocks, room)]
+
+    # -- reads ---------------------------------------------------------------
+
+    def _lookup(self, block_id: int) -> DiskBlock | None:
+        block = self._cache.get(block_id)
+        if block is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return block
+
+    def read_block(self, block_id: int) -> DiskBlock:
+        self._tick += 1
+        block = self._lookup(block_id)
+        self._bump(block_id, 1.0)
+        if block is not None:
+            return block
+        block = self.inner.read_block(block_id)
+        self._admit(block)
+        return block
+
+    def read_blocks(self, block_ids: Sequence[int]) -> list[DiskBlock]:
+        blocks, _ = self._read_counted(list(block_ids), prefetch=False)
+        return blocks
+
+    def _read_counted(
+        self, bids: list[int], *, prefetch: bool
+    ) -> tuple[list[DiskBlock], int]:
+        self._tick += 1
+        out: dict[int, DiskBlock] = {}
+        missing: list[int] = []
+        for bid in bids:
+            block = self._lookup(bid)
+            self._bump(bid, 1.0)
+            if block is not None:
+                out[bid] = block
+            else:
+                missing.append(bid)
+        pulled = (
+            self._pick_prefetch(set(bids), len(missing)) if prefetch else []
+        )
+        fetched = len(missing) + len(pulled)
+        if missing or pulled:
+            wanted = set(missing)
+            for block in self.inner.read_blocks(missing + pulled):
+                self._admit(block)
+                if block.block_id in wanted:
+                    out[block.block_id] = block
+        if pulled:
+            self.prefetch_issued += len(pulled)
+            self._unclaimed_prefetch += len(pulled)
+        return [out[bid] for bid in bids], fetched
+
+    def try_read_blocks(
+        self, block_ids: Sequence[int]
+    ) -> tuple[dict[int, DiskBlock], dict[int, str]]:
+        """Fault-tolerant batched read; corrupt payloads are never cached."""
+        self._tick += 1
+        ok: dict[int, DiskBlock] = {}
+        missing: list[int] = []
+        for bid in block_ids:
+            block = self._lookup(bid)
+            self._bump(bid, 1.0)
+            if block is not None:
+                ok[bid] = block
+            else:
+                missing.append(bid)
+        failed: dict[int, str] = {}
+        if missing:
+            fetched, failed = self.inner.try_read_blocks(missing)
+            for block in fetched.values():
+                self._admit(block)
+            ok.update(fetched)
+        return ok, failed
+
+    def read_blocks_of_counted(
+        self, vertex_ids: Sequence[int]
+    ) -> tuple[list[DiskBlock], int]:
+        """Counted frontier read: ``(blocks, blocks fetched from device)``.
+
+        The fetch count includes any prefetched blocks — they left the
+        device in this round trip and must appear in the query's I/O bill;
+        :func:`repro.engine.io_util.counted_read_blocks_of` splits the
+        prefetch share back out via :meth:`take_prefetched`.
+        """
+        bids = self.inner._unique_blocks_of(vertex_ids)
+        blocks, fetched = self._read_counted(list(bids), prefetch=True)
+        by_block = {b.block_id: b for b in blocks}
+        self._credit_adjacency(vertex_ids, by_block)
+        return blocks, fetched
+
+
+def select_hot_blocks(
+    graph,
+    vectors: np.ndarray,
+    metric,
+    entry_point: int,
+    assignment: np.ndarray,
+    capacity_blocks: int,
+    *,
+    num_sample_queries: int = 64,
+    candidate_size: int = 64,
+    seed: int = 0,
+) -> tuple[int, ...]:
+    """Pick the blocks to pin, by sampled-search visit counts per block.
+
+    The DiskANN hot-cache procedure (Appendix J) at block granularity:
+    jittered base vectors stand in for a query pool, greedy searches on the
+    in-memory graph count per-vertex visits, and the counts aggregate over
+    the layout ``assignment`` into per-block heat.  Deterministic in
+    ``seed``; an offline build step whose time the builder charges to
+    ``T_hot``, exactly like the vertex-granular cache.
+    """
+    from ..graphs.search import greedy_search  # local import: avoid cycle
+
+    if capacity_blocks <= 0:
+        return ()
+    n = graph.num_vertices
+    rng = np.random.default_rng(seed)
+    visits = np.zeros(n, dtype=np.int64)
+    pick = rng.choice(n, size=min(num_sample_queries, n), replace=False)
+    scale = np.abs(vectors[pick].astype(np.float32)).mean() * 0.05 + 1e-6
+    for vid in pick:
+        query = vectors[vid].astype(np.float32) + rng.normal(
+            0.0, scale, size=vectors.shape[1]
+        ).astype(np.float32)
+        _, _, trace = greedy_search(
+            graph, vectors, metric, query, [entry_point], candidate_size,
+            collect_visited=True,
+        )
+        visits[trace.visited] += 1
+    visits[entry_point] += len(pick)  # the entry block must be pinned
+    assignment = np.asarray(assignment, dtype=np.int64)
+    num_blocks = int(assignment.max()) + 1 if assignment.size else 0
+    block_visits = np.zeros(num_blocks, dtype=np.int64)
+    np.add.at(block_visits, assignment, visits)
+    hot = np.argsort(-block_visits, kind="stable")[:capacity_blocks]
+    return tuple(sorted(int(b) for b in hot))
+
+
+def wrap_with_cache_strategy(
+    disk_graph: DiskGraph,
+    name: str,
+    capacity_blocks: int,
+    *,
+    params=(),
+    pinned_blocks=None,
+):
+    """Wrap a disk graph per the named cache strategy.
+
+    ``params`` is the hashable tuple-of-pairs form from the config;
+    ``pinned_blocks`` supplies the offline selection for ``"hot"`` (the
+    builder computes it, the persist layer round-trips it).
+    """
+    if name not in CACHE_STRATEGY_NAMES:
+        raise ValueError(
+            f"unknown cache strategy {name!r}; expected one of "
+            f"{CACHE_STRATEGY_NAMES}"
+        )
+    if name == "none" or capacity_blocks <= 0:
+        return disk_graph
+    if name == "lru":
+        return CachedDiskGraph(disk_graph, capacity_blocks)
+    if name == "hot":
+        if pinned_blocks is None:
+            raise ValueError(
+                "the 'hot' cache strategy needs its pinned block set "
+                "(built offline by the builder, persisted in meta.json)"
+            )
+        return PinnedBlockCache(
+            disk_graph, tuple(pinned_blocks)[:capacity_blocks]
+        )
+    opts = cache_params_dict(params)
+    return LocalityBlockCache(
+        disk_graph, capacity_blocks,
+        decay=float(opts.get("decay", 0.5)),
+        adjacency_credit=float(opts.get("adjacency_credit", 1.0)),
+        prefetch_blocks=int(opts.get("prefetch_blocks", 0)),
+    )

@@ -120,8 +120,12 @@ class QueryStats:
     #: vertex records the engine actually examined (target + pruned survivors)
     vertices_used: int = 0
     cache_hits: int = 0
-    #: blocks served by an LRU block cache instead of the device
+    #: blocks served by a block cache (LRU/pinned/locality) instead of the device
     block_cache_hits: int = 0
+    #: blocks a locality cache pulled ahead of demand — charged in full
+    #: inside :attr:`round_trip_blocks` (they left the device); this counter
+    #: only attributes the share, it never discounts it
+    prefetch_blocks: int = 0
     #: extra full searches triggered by restarts (DiskANN-style RS)
     restarts: int = 0
     #: whether the engine ran with the I/O-and-computation pipeline (§5.1)
@@ -207,5 +211,6 @@ class QueryStats:
         self.vertices_used += other.vertices_used
         self.cache_hits += other.cache_hits
         self.block_cache_hits += other.block_cache_hits
+        self.prefetch_blocks += other.prefetch_blocks
         self.restarts += other.restarts
         self.fault.merge(other.fault)

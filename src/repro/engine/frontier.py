@@ -454,6 +454,16 @@ class CandidateSet:
     def has_unvisited(self) -> bool:
         return self._unvis_count > 0
 
+    def unvisited_members(self) -> np.ndarray:
+        """In-set entries not yet visited, in ascending ``(dist, id)`` order.
+
+        The block-aware fold (bamg's search-side contract) scans these to
+        find candidates co-resident with blocks the current round already
+        paid for.
+        """
+        ids = self._ids[: self._size]
+        return ids[~self._vis[ids]]
+
     def grow(self, new_capacity: int) -> None:
         """Raise the capacity (range search doubles C, §5.3)."""
         if new_capacity < self.capacity:

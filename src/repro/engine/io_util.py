@@ -29,16 +29,24 @@ def counted_read_blocks_of(disk_graph, vertex_ids: Sequence[int],
         return resilient_read_blocks_of(disk_graph, vertex_ids, stats,
                                         resilience)
     reader = getattr(disk_graph, "read_blocks_of_counted", None)
+    prefetched = 0
     if reader is not None:
         # The read reports its own fetch count, so per-query accounting does
         # not depend on exclusive ownership of the device counters (queries
         # may interleave on one device under the batched executor).
         blocks, fetched = reader(vertex_ids)
+        # A locality cache may have pulled predicted blocks in the same
+        # round trip; they are inside ``fetched`` (charged in full) and are
+        # attributed — not discounted — via the prefetch counter.
+        taker = getattr(disk_graph, "take_prefetched", None)
+        if taker is not None:
+            prefetched = taker()
     else:
         before = disk_graph.device.counters.blocks_read
         blocks = disk_graph.read_blocks_of(vertex_ids)
         fetched = disk_graph.device.counters.blocks_read - before
     if fetched:
         stats.round_trip_blocks.append(fetched)
-    stats.block_cache_hits += len(blocks) - fetched
+    stats.prefetch_blocks += prefetched
+    stats.block_cache_hits += len(blocks) - (fetched - prefetched)
     return blocks

@@ -73,12 +73,16 @@ def wave_capable(engine) -> bool:
 
     Mirrors the serial ``_drain`` fast-path conditions (plain disk graph,
     no resilience layer) plus PQ routing — routing by full-precision reads
-    issues per-query mid-round I/O that coalescing would reorder.
+    issues per-query mid-round I/O that coalescing would reorder.  The
+    bamg co-resident fold changes the serial traversal itself (rounds
+    consume whole blocks), so it too degrades to the in-order batched
+    mode rather than silently diverging from the serial reference.
     """
     return (
         isinstance(engine, BlockSearchEngine)
         and engine.resilience is None
         and engine.use_pq_routing
+        and not engine.fold_coresident
         and type(engine.disk_graph) is DiskGraph
     )
 

@@ -5,6 +5,7 @@ from .bnp import bnp_layout
 from .bns import bns_layout
 from .layout import (
     Layout,
+    LayoutError,
     assignment_from_layout,
     block_overlap_ratio,
     blocks_containing,
@@ -21,10 +22,21 @@ from .partitioning import (
     gp3_restreaming_layout,
     kmeans_layout,
 )
+from .strategies import (
+    LAYOUT_STRATEGY_NAMES,
+    LayoutStrategy,
+    bamg_prune,
+    get_layout_strategy,
+)
 
 __all__ = [
+    "LAYOUT_STRATEGY_NAMES",
     "Layout",
+    "LayoutError",
+    "LayoutStrategy",
     "ShuffleReport",
+    "bamg_prune",
+    "get_layout_strategy",
     "assignment_from_layout",
     "blocks_containing",
     "block_overlap_ratio",

@@ -22,6 +22,14 @@ from ..graphs.adjacency import AdjacencyGraph
 Layout = list[list[int]]
 
 
+class LayoutError(ValueError):
+    """A block assignment or layout is structurally invalid.
+
+    Subclasses :class:`ValueError` so existing callers that catch the broad
+    type keep working; new callers can catch the precise one.
+    """
+
+
 def id_contiguous_layout(num_vertices: int, vertices_per_block: int) -> Layout:
     """The baseline (DiskANN) layout: block b holds IDs b·ε .. b·ε+ε−1."""
     if vertices_per_block <= 0:
@@ -35,10 +43,28 @@ def id_contiguous_layout(num_vertices: int, vertices_per_block: int) -> Layout:
 def layout_from_assignment(
     assignment: np.ndarray, num_blocks: int | None = None
 ) -> Layout:
-    """Turn a per-vertex block-id array into a layout (empty blocks kept)."""
+    """Turn a per-vertex block-id array into a layout (empty blocks kept).
+
+    Raises :class:`LayoutError` on negative or (when ``num_blocks`` is given)
+    out-of-range block ids — a negative id would silently index from the end
+    of the layout and an oversized one would mis-size it.
+    """
     assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.size and int(assignment.min()) < 0:
+        bad = int(np.argmax(assignment < 0))
+        raise LayoutError(
+            f"vertex {bad} has negative block id {int(assignment[bad])}"
+        )
     if num_blocks is None:
         num_blocks = int(assignment.max()) + 1 if assignment.size else 0
+    elif num_blocks < 0:
+        raise LayoutError(f"num_blocks must be non-negative, got {num_blocks}")
+    elif assignment.size and int(assignment.max()) >= num_blocks:
+        bad = int(np.argmax(assignment >= num_blocks))
+        raise LayoutError(
+            f"vertex {bad} has block id {int(assignment[bad])} outside the "
+            f"declared {num_blocks} blocks"
+        )
     layout: Layout = [[] for _ in range(num_blocks)]
     for vertex, block in enumerate(assignment):
         layout[int(block)].append(vertex)
@@ -136,6 +162,8 @@ def overlap_ratio(
         raise ValueError(
             f"layout covers {count} vertices but graph has {graph.num_vertices}"
         )
+    if graph.num_vertices == 0:
+        return 0.0  # an empty segment has perfect-by-vacuity locality
     return total / graph.num_vertices
 
 

@@ -296,7 +296,10 @@ def _restore_chaos_fields(cfg_dict: dict) -> dict:
     """Rebuild nested FaultSpec/RetryPolicy dataclasses from their dicts.
 
     Older index directories predate the chaos fields, and ``asdict`` turns
-    the nested dataclasses into plain dicts on save.
+    the nested dataclasses into plain dicts on save.  The I/O-strategy
+    params ride the same restore: JSON turns their hashable tuple-of-pairs
+    form into lists of lists, which must come back as tuples so the
+    restored config hashes and compares equal to the one it was saved from.
     """
     from ..engine.resilience import RetryPolicy
     from .faults import FaultSpec
@@ -305,6 +308,9 @@ def _restore_chaos_fields(cfg_dict: dict) -> dict:
         cfg_dict["faults"] = FaultSpec(**cfg_dict["faults"])
     if isinstance(cfg_dict.get("resilience"), dict):
         cfg_dict["resilience"] = RetryPolicy(**cfg_dict["resilience"])
+    for name in ("layout_params", "cache_params"):
+        if isinstance(cfg_dict.get(name), list):
+            cfg_dict[name] = tuple(tuple(p) for p in cfg_dict[name])
     return cfg_dict
 
 
@@ -400,6 +406,14 @@ def save_starling(
     meta["kind"] = "starling"
     meta["config"] = asdict(index.config)
     meta["layout_or"] = index.layout_or
+    # The "hot" cache strategy's block set is selected offline by the
+    # builder (sampled searches over the in-memory graph, unavailable at
+    # load time), so it must ride the manifest round-trip.
+    pinned = getattr(index.disk_graph, "pinned_block_ids", None)
+    if pinned is None:
+        pinned = getattr(index, "_pinned_blocks", None)
+    if pinned is not None:
+        meta["pinned_blocks"] = [int(b) for b in pinned]
 
     provider = index.entry_provider
     if isinstance(provider, NavigationGraph):
@@ -460,9 +474,13 @@ def load_starling(
         **_restore_chaos_fields(cfg_dict),
     )
     if cfg.block_cache_blocks > 0:
-        from ..engine.block_cache import CachedDiskGraph
+        from ..engine.cache_strategies import wrap_with_cache_strategy
 
-        disk_graph = CachedDiskGraph(disk_graph, cfg.block_cache_blocks)
+        disk_graph = wrap_with_cache_strategy(
+            disk_graph, cfg.resolved_cache_strategy, cfg.block_cache_blocks,
+            params=cfg.cache_params,
+            pinned_blocks=meta.get("pinned_blocks"),
+        )
 
     if meta["entry_provider"] == "navigation_graph":
         _require_files(files_dir, ("nav.npz",))

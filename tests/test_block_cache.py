@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import StarlingConfig, build_starling
-from repro.engine import CachedDiskGraph
+from repro.engine import CachedDiskGraph, DecodeCache
 from repro.storage import VertexFormat, build_disk_graph
 
 
@@ -87,6 +87,42 @@ class TestLRUSemantics:
         assert cached.num_blocks == small_disk_graph.num_blocks
         assert cached.block_of(5) == small_disk_graph.block_of(5)
         assert cached.disk_bytes == small_disk_graph.disk_bytes
+
+
+class TestDecodeCacheLRU:
+    def test_get_hit_refreshes_recency(self, small_disk_graph):
+        """A re-hit entry survives eviction pressure from one-shot fills.
+
+        Regression test for the FIFO cache this replaced: there, insertion
+        order alone decided eviction, so the hottest entry was evicted as
+        soon as it was also the oldest.
+        """
+        cache = DecodeCache(capacity_blocks=2)
+        cache[0] = small_disk_graph.read_block(0)
+        cache[1] = small_disk_graph.read_block(1)
+        assert cache.get(0).block_id == 0  # refreshes 0; 1 is now LRU
+        cache[2] = small_disk_graph.read_block(2)  # evicts 1, not 0
+        assert cache.get(0) is not None
+        assert cache.get(1) is None
+        assert cache.get(2) is not None
+
+    def test_reinsert_refreshes_recency(self, small_disk_graph):
+        cache = DecodeCache(capacity_blocks=2)
+        cache[0] = small_disk_graph.read_block(0)
+        cache[1] = small_disk_graph.read_block(1)
+        cache[0] = small_disk_graph.read_block(0)  # rewrite refreshes too
+        cache[2] = small_disk_graph.read_block(2)
+        assert cache.get(0) is not None
+        assert cache.get(1) is None
+
+    def test_capacity_bound_and_default(self, small_disk_graph):
+        cache = DecodeCache(capacity_blocks=2)
+        for bid in range(4):
+            cache[bid] = small_disk_graph.read_block(bid)
+        assert len(cache) == 2
+        assert cache.get(99, "sentinel") == "sentinel"
+        with pytest.raises(ValueError):
+            DecodeCache(capacity_blocks=0)
 
 
 class TestEngineIntegration:

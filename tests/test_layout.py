@@ -5,6 +5,7 @@ import pytest
 
 from repro.graphs import from_neighbor_lists
 from repro.layout import (
+    LayoutError,
     assignment_from_layout,
     block_overlap_ratio,
     blocks_containing,
@@ -57,6 +58,23 @@ class TestAssignmentConversions:
     def test_layout_from_assignment_keeps_empty_blocks(self):
         layout = layout_from_assignment(np.asarray([0, 2]), num_blocks=3)
         assert layout == [[0], [], [1]]
+
+    def test_rejects_negative_block_id(self):
+        with pytest.raises(LayoutError, match="negative block id"):
+            layout_from_assignment(np.asarray([0, -1, 2]))
+
+    def test_rejects_out_of_range_block_id(self):
+        with pytest.raises(LayoutError, match="outside the declared"):
+            layout_from_assignment(np.asarray([0, 3]), num_blocks=2)
+
+    def test_rejects_negative_num_blocks(self):
+        with pytest.raises(LayoutError):
+            layout_from_assignment(np.asarray([0]), num_blocks=-1)
+
+    def test_layout_error_is_value_error(self):
+        """Callers that catch the broad type keep working."""
+        with pytest.raises(ValueError):
+            layout_from_assignment(np.asarray([-5]))
 
 
 class TestValidateLayout:
@@ -132,6 +150,17 @@ class TestOverlapRatio:
         g = from_neighbor_lists([[1], []])
         # OR(0) = 1 (1 is 0's neighbour and co-located); OR(1) = 0.
         assert overlap_ratio(g, [[0, 1]]) == pytest.approx(0.5)
+
+    def test_edgeless_graph_is_zero(self):
+        """No edges: nothing can overlap, OR(G) = 0 (no division error)."""
+        g = from_neighbor_lists([[], [], []])
+        assert overlap_ratio(g, [[0, 1, 2]]) == 0.0
+
+    def test_single_block_holds_everything(self, clique_graph):
+        """One block co-locates every neighbour: OR(u) = |N(u)| / (|B|−1)
+        by Eq. 5, i.e. 2/5 for each vertex of the two 3-cliques."""
+        value = overlap_ratio(clique_graph, [[0, 1, 2, 3, 4, 5]])
+        assert value == pytest.approx(2 / 5)
 
 
 class TestBlocksContaining:

@@ -8,9 +8,11 @@ from hypothesis import strategies as st
 from repro.engine import Arena, CandidateSet, ResultSet
 from repro.graphs import from_neighbor_lists
 from repro.layout import (
+    LAYOUT_STRATEGY_NAMES,
     bnf_layout,
     bnp_layout,
     bns_layout,
+    get_layout_strategy,
     id_contiguous_layout,
     overlap_ratio,
     validate_layout,
@@ -301,3 +303,47 @@ class TestKMeansProperties:
 
         d = pairwise_l2_squared(data, result.centroids)
         assert np.array_equal(result.assignment, d.argmin(axis=1))
+
+
+# -- layout-strategy seam invariants -------------------------------------------
+
+STRATEGY_SETTINGS = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestLayoutStrategyProperties:
+    @STRATEGY_SETTINGS
+    @given(
+        random_graphs(),
+        st.integers(2, 8),
+        st.sampled_from(LAYOUT_STRATEGY_NAMES),
+    )
+    def test_every_strategy_emits_valid_partition(self, graph, eps, name):
+        """Any registered strategy's ``assign`` is a capacity-ε partition."""
+        strategy = get_layout_strategy(name, iterations=2, seed=7)
+        rng = np.random.default_rng(graph.num_vertices)
+        vectors = rng.normal(size=(graph.num_vertices, 4)).astype(np.float32)
+        layout = strategy.assign(graph, eps, vectors=vectors)
+        validate_layout(layout, graph.num_vertices, eps)
+
+    @STRATEGY_SETTINGS
+    @given(
+        random_graphs(),
+        st.integers(2, 8),
+        st.sampled_from(LAYOUT_STRATEGY_NAMES),
+        st.integers(0, 1000),
+    )
+    def test_overlap_ratio_invariant_under_block_permutation(
+        self, graph, eps, name, perm_seed
+    ):
+        """OR(G) depends on co-residency only, never on block numbering."""
+        strategy = get_layout_strategy(name, iterations=2, seed=7)
+        rng = np.random.default_rng(graph.num_vertices)
+        vectors = rng.normal(size=(graph.num_vertices, 4)).astype(np.float32)
+        layout = strategy.assign(graph, eps, vectors=vectors)
+        base = overlap_ratio(graph, layout)
+        order = np.random.default_rng(perm_seed).permutation(len(layout))
+        permuted = [layout[i] for i in order]
+        assert overlap_ratio(graph, permuted) == pytest.approx(base)
