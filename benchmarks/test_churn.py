@@ -1,0 +1,61 @@
+"""Streaming-ingest churn benchmark: the lifecycle's serving contract.
+
+Drives ``repro.bench.churn`` through its insert/delete/seal/compact cycles
+and asserts the shape of the result:
+
+- at least three cycles actually compacted (the policy keeps up with churn);
+- recall@k against the brute-force live mirror stays high in *every* cycle
+  (tombstone masking + merges never degrade quality);
+- the per-cycle p99 blocks/query never drifts far above the first cycle's —
+  compaction reclaims the read amplification churn would otherwise grow;
+- probe searches issued from inside an in-flight merge build return a full
+  top-k (queries serve the pre-merge generation until the pointer swap).
+
+The report is written to ``BENCH_churn.json`` (CI uploads it as an artifact
+and guards its headline numbers against the committed baseline).
+"""
+
+import json
+import os
+
+from repro.bench.churn import run_churn
+from repro.bench.guard import check_report
+
+OUT_PATH = os.environ.get("REPRO_BENCH_CHURN_OUT", "BENCH_churn.json")
+
+
+def test_churn_cycles_stay_flat():
+    report = run_churn()
+    path = report.write_json(OUT_PATH)
+    data = report.to_dict()
+    headline = data["headline"]
+
+    print(
+        f"\nchurn [batch={report.batch} x2/cycle, "
+        f"{len(data['cycles'])} cycles, k={report.k}]: "
+        f"min recall {headline['min_cycle_recall']:.3f}, "
+        f"p99-blocks ratio {headline['max_p99_blocks_ratio']:.3f}, "
+        f"{headline['total_compactions']} compactions, "
+        f"{headline['during_merge_searches']} during-merge probes "
+        f"-> {path}"
+    )
+
+    assert len(data["cycles"]) >= 3
+    assert headline["cycles_with_compaction"] >= 3
+
+    # quality and tail I/O flat across cycles
+    assert headline["min_cycle_recall"] >= 0.9
+    assert headline["max_p99_blocks_ratio"] <= 1.5
+
+    # compaction keeps collapsing the segment set every cycle
+    assert all(c["segments"] == 1 for c in data["cycles"])
+
+    # searches served (with a full top-k) while a merge was in flight
+    assert headline["during_merge_searches"] > 0
+    assert headline["during_merge_min_results"] == report.k
+
+    # the report must satisfy its own guard and round-trip as JSON
+    assert check_report("churn", data, data) == []
+    with open(path) as fh:
+        loaded = json.load(fh)
+    assert loaded["headline"] == headline

@@ -1,0 +1,246 @@
+"""Streaming-ingest churn benchmark: quality and tail I/O under compaction.
+
+A disk-resident segment in a production vector database is never static —
+inserts keep arriving, deletes punch holes, seals freeze the memtable into
+new segments, and background compaction continually rewrites the segment
+set.  The claim this bench guards is the lifecycle's serving contract under
+that churn:
+
+- **recall@k stays flat** cycle over cycle — tombstone masking plus merge
+  never degrade result quality relative to exact search over the live set;
+- **tail I/O stays flat** cycle over cycle — compaction actually reclaims
+  the read amplification that accumulating small sealed segments (and the
+  tombstone over-fetch slack) would otherwise grow without bound;
+- **searches serve during an in-flight merge** — the probe queries issued
+  from inside the merge's own build must return a full top-k from the
+  pre-merge segment set.
+
+Each cycle inserts two sealed batches, deletes a deterministic slice of the
+live set, and runs compaction to quiescence; after the cycle it measures
+recall@k against a brute-force mirror of the live rows and the per-query
+``blocks_read`` distribution.  The guarded headline numbers are the minimum
+per-cycle recall and the worst cycle-over-first p99 blocks ratio — the
+ratio is dimensionless, so the guard tolerates CI running a smaller sizing
+than the committed baseline.
+
+Run via ``benchmarks/test_churn.py`` or the CLI's ``bench-churn`` command;
+both emit ``BENCH_churn.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.builder import build_starling
+from ..core.config import (
+    GraphConfig,
+    NavigationConfig,
+    PQConfig,
+    StarlingConfig,
+)
+from ..core.lifecycle import LifecycleSpec, SegmentLifecycle
+from .envinfo import environment_metadata
+
+DEFAULT_DIM = 16
+DEFAULT_CYCLES = 4
+DEFAULT_BATCH = 64  # rows per sealed batch (two batches per cycle)
+DEFAULT_QUERIES = 32
+DEFAULT_K = 10
+DEFAULT_CANDIDATES = 48
+#: fraction of the live set tombstoned each cycle
+DELETE_FRACTION = 0.125
+
+
+def bench_cycles() -> int:
+    return int(os.environ.get("REPRO_BENCH_CHURN_CYCLES", str(DEFAULT_CYCLES)))
+
+
+def bench_batch() -> int:
+    return int(os.environ.get("REPRO_BENCH_CHURN_BATCH", str(DEFAULT_BATCH)))
+
+
+def bench_queries() -> int:
+    return int(
+        os.environ.get("REPRO_BENCH_CHURN_QUERIES", str(DEFAULT_QUERIES))
+    )
+
+
+def _segment_config(dim: int, seed: int) -> StarlingConfig:
+    """Builder config for the small per-seal segments the churn produces."""
+    return StarlingConfig(
+        graph=GraphConfig(max_degree=16, build_ef=32, seed=seed),
+        navigation=NavigationConfig(
+            sample_ratio=0.2, max_degree=12, build_ef=24, search_ef=24
+        ),
+        pq=PQConfig(num_subspaces=8, num_centroids=16),
+    )
+
+
+@dataclass
+class ChurnBenchReport:
+    """Per-cycle quality/IO series plus the guarded headline numbers."""
+
+    dim: int
+    batch: int
+    k: int
+    candidate_size: int
+    num_queries: int
+    seed: int
+    cycles: list[dict] = field(default_factory=list)
+    headline: dict = field(default_factory=dict)
+
+    def finalize(self, *, during_merge: list[int], compactions: int) -> None:
+        recalls = [c["recall_at_k"] for c in self.cycles]
+        p99s = [c["p99_blocks_read"] for c in self.cycles]
+        first_p99 = max(p99s[0], 1.0)
+        self.headline = {
+            "min_cycle_recall": min(recalls),
+            "max_p99_blocks_ratio": max(p / first_p99 for p in p99s),
+            "max_cycle_p99_blocks": max(p99s),
+            "cycles_with_compaction": sum(
+                1 for c in self.cycles if c["compactions_this_cycle"] > 0
+            ),
+            "total_compactions": compactions,
+            "during_merge_searches": len(during_merge),
+            "during_merge_min_results": min(during_merge) if during_merge else 0,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": {
+                "dim": self.dim,
+                "batch": self.batch,
+                "k": self.k,
+                "candidate_size": self.candidate_size,
+                "num_queries": self.num_queries,
+                "delete_fraction": DELETE_FRACTION,
+                "seed": self.seed,
+            },
+            "cycles": self.cycles,
+            "headline": self.headline,
+            "environment": environment_metadata(),
+        }
+
+    def write_json(self, path: str) -> str:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+            fh.write("\n")
+        return path
+
+
+def _exact_topk(mirror: dict[int, np.ndarray], query: np.ndarray, k: int):
+    """Brute-force ground truth over the live mirror."""
+    ids = np.fromiter(mirror.keys(), dtype=np.int64, count=len(mirror))
+    rows = np.stack([mirror[int(g)] for g in ids])
+    dists = np.sum((rows - query) ** 2, axis=1)
+    order = np.argsort(dists, kind="stable")[:k]
+    return set(ids[order].tolist())
+
+
+def _measure_cycle(lc, mirror, queries, k, candidate_size) -> dict:
+    recalls = []
+    blocks = []
+    for query in queries:
+        result = lc.search(query, k=k, candidate_size=candidate_size)
+        truth = _exact_topk(mirror, query, k)
+        recalls.append(len(set(result.ids.tolist()) & truth) / k)
+        blocks.append(result.stats.blocks_read)
+    arr = np.asarray(blocks, dtype=np.float64)
+    return {
+        "recall_at_k": float(np.mean(recalls)),
+        "p99_blocks_read": float(np.percentile(arr, 99)),
+        "p50_blocks_read": float(np.percentile(arr, 50)),
+        "mean_blocks_read": float(arr.mean()),
+    }
+
+
+def run_churn(
+    *,
+    dim: int = DEFAULT_DIM,
+    cycles: int | None = None,
+    batch: int | None = None,
+    num_queries: int | None = None,
+    k: int = DEFAULT_K,
+    candidate_size: int = DEFAULT_CANDIDATES,
+    seed: int = 3,
+    directory: str | None = None,
+) -> ChurnBenchReport:
+    """Run the insert/delete/compact churn loop and measure each cycle."""
+    n_cycles = cycles if cycles is not None else bench_cycles()
+    n_batch = batch if batch is not None else bench_batch()
+    n_queries = num_queries if num_queries is not None else bench_queries()
+    if n_cycles < 3:
+        raise ValueError("churn needs at least 3 cycles to show flatness")
+
+    rng = np.random.default_rng(seed)
+    queries = rng.normal(size=(n_queries, dim)).astype(np.float32)
+    cfg = _segment_config(dim, seed)
+
+    # The rebuild closure doubles as the during-merge probe: while the merge
+    # target is being built (the pre-swap window), searches must still serve
+    # a full top-k from the old segment set.
+    ctx: dict = {"lc": None, "merging": False, "during": []}
+
+    def rebuild(dataset):
+        lc = ctx["lc"]
+        if lc is not None and ctx["merging"]:
+            probe = lc.search(queries[0], k=k, candidate_size=candidate_size)
+            ctx["during"].append(int(probe.ids.size))
+        return build_starling(dataset, cfg)
+
+    report = ChurnBenchReport(
+        dim=dim, batch=n_batch, k=k, candidate_size=candidate_size,
+        num_queries=n_queries, seed=seed,
+    )
+
+    tmp = None
+    if directory is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-churn-")
+        directory = tmp.name
+    root = Path(directory) / "lifecycle"
+    spec = LifecycleSpec(
+        seal_threshold=n_batch, merge_fanout=2, tier_growth=1e9
+    )
+    lc = SegmentLifecycle.create(root, rebuild, dim=dim, spec=spec)
+    ctx["lc"] = lc
+    mirror: dict[int, np.ndarray] = {}
+    try:
+        for cycle in range(n_cycles):
+            before = lc.compactions
+            for _ in range(2):  # two sealed batches per cycle
+                rows = rng.normal(size=(n_batch, dim)).astype(np.float32)
+                ids = lc.insert(rows)
+                mirror.update(zip(ids.tolist(), rows))
+            live = np.asarray(sorted(mirror), dtype=np.int64)
+            doomed = rng.choice(
+                live, size=int(live.size * DELETE_FRACTION), replace=False
+            )
+            lc.delete(np.sort(doomed))
+            for gid in doomed.tolist():
+                mirror.pop(gid)
+            ctx["merging"] = True
+            lc.maybe_compact()
+            ctx["merging"] = False
+            entry = {
+                "cycle": cycle,
+                "live": lc.num_live,
+                "segments": lc.num_segments,
+                "tombstones": lc.num_deleted,
+                "compactions_this_cycle": lc.compactions - before,
+                **_measure_cycle(lc, mirror, queries, k, candidate_size),
+            }
+            report.cycles.append(entry)
+        report.finalize(
+            during_merge=ctx["during"], compactions=lc.compactions
+        )
+    finally:
+        lc.close()
+        if tmp is not None:
+            tmp.cleanup()
+    return report

@@ -59,6 +59,21 @@ METRICS: dict[str, list[tuple[str, tuple[str, ...], str]]] = {
             "lower",
         ),
     ],
+    # Churn guards the ingest lifecycle's serving contract: recall is a
+    # fraction and the p99 guard is a cycle-over-first ratio, so both are
+    # insensitive to CI running a smaller sizing than the baseline.
+    "churn": [
+        (
+            "min per-cycle recall@k under churn",
+            ("headline", "min_cycle_recall"),
+            "higher",
+        ),
+        (
+            "worst cycle-over-first p99 blocks ratio",
+            ("headline", "max_p99_blocks_ratio"),
+            "lower",
+        ),
+    ],
     # The serving metrics are all dimensionless (ratios of simulated time or
     # of arrival counts), so they are insensitive to the workload sizing the
     # run happened to use.

@@ -469,6 +469,28 @@ def _cmd_bench_serve(args) -> int:
     return 0
 
 
+def _cmd_bench_churn(args) -> int:
+    """Streaming-ingest churn cycles -> BENCH_churn.json."""
+    from .bench.churn import run_churn
+
+    report = run_churn(
+        cycles=args.cycles, batch=args.batch,
+        num_queries=args.num_queries, k=args.k, seed=args.seed,
+    )
+    path = report.write_json(args.out)
+    headline = report.headline
+    print(
+        f"churn [batch={report.batch} x2/cycle, "
+        f"{len(report.cycles)} cycles, k={report.k}]: "
+        f"min recall {headline['min_cycle_recall']:.3f}, "
+        f"p99-blocks ratio {headline['max_p99_blocks_ratio']:.3f}, "
+        f"{headline['total_compactions']} compactions, "
+        f"{headline['during_merge_searches']} during-merge probes "
+        f"-> {path}"
+    )
+    return 0
+
+
 def _cmd_bench_wallclock(args) -> int:
     """Measure the batched/wave executors against the serial loop."""
     from .bench.wallclock import (
@@ -789,6 +811,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="BENCH_serve.json")
     p.set_defaults(func=_cmd_bench_serve)
+
+    p = sub.add_parser(
+        "bench-churn",
+        help="streaming-ingest churn cycles -> BENCH_churn.json",
+    )
+    p.add_argument("--cycles", type=int, default=None,
+                   help="churn cycles (default: REPRO_BENCH_CHURN_CYCLES)")
+    p.add_argument("--batch", type=int, default=None,
+                   help="rows per sealed batch, two batches per cycle "
+                        "(default: REPRO_BENCH_CHURN_BATCH)")
+    p.add_argument("--num-queries", type=int, default=None,
+                   help="probe queries per cycle "
+                        "(default: REPRO_BENCH_CHURN_QUERIES)")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--out", default="BENCH_churn.json")
+    p.set_defaults(func=_cmd_bench_churn)
 
     p = sub.add_parser(
         "bench-wallclock",

@@ -10,7 +10,20 @@ from .config import (
     StarlingConfig,
 )
 from .coordinator import CoordinatedResult, SegmentCoordinator, split_dataset
-from .updates import DynamicIndex, UpdatableSegment
+from .lifecycle import (
+    LifecycleError,
+    LifecycleSpec,
+    SealedSegment,
+    SegmentLifecycle,
+    plan_compaction,
+)
+from .updates import (
+    DynamicIndex,
+    InvalidVectorError,
+    UnknownIdError,
+    UpdatableSegment,
+    UpdateError,
+)
 from .segment import (
     BudgetReport,
     BuildTimings,
@@ -27,15 +40,23 @@ __all__ = [
     "DiskANNIndex",
     "DynamicIndex",
     "GraphConfig",
+    "InvalidVectorError",
+    "LifecycleError",
+    "LifecycleSpec",
     "MemoryFootprint",
     "NavigationConfig",
     "PQConfig",
+    "SealedSegment",
     "SegmentBudget",
     "SegmentCoordinator",
+    "SegmentLifecycle",
     "StarlingConfig",
     "StarlingIndex",
+    "UnknownIdError",
     "UpdatableSegment",
+    "UpdateError",
     "build_diskann",
     "build_starling",
+    "plan_compaction",
     "split_dataset",
 ]

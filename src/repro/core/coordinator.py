@@ -16,6 +16,7 @@ answer quality degrades gracefully instead of availability collapsing.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -123,6 +124,10 @@ class SegmentCoordinator:
         #: segments quarantined administratively (fsck found unrecoverable
         #: damage) rather than by consecutive query failures
         self._forced: set[int] = set()
+        #: guards every mutation of the segment set and health bookkeeping,
+        #: so replace/quarantine under live serving traffic is one atomic
+        #: swap and a fan-out never sees a half-updated (segment, offset)
+        self._lock = threading.RLock()
 
     @property
     def num_segments(self) -> int:
@@ -146,23 +151,39 @@ class SegmentCoordinator:
         damage found by fsck); it is skipped until rebuilt + reinstated."""
         if not 0 <= segment_index < self.num_segments:
             raise IndexError(f"segment index {segment_index} out of range")
-        self._forced.add(segment_index)
+        with self._lock:
+            self._forced.add(segment_index)
 
     def reinstate(self, segment_index: int) -> None:
         """Clear a segment's quarantine (e.g. after repair or rebuild)."""
-        self.error_counts[segment_index] = 0
-        self._forced.discard(segment_index)
+        with self._lock:
+            self.error_counts[segment_index] = 0
+            self._forced.discard(segment_index)
 
     def replace_segment(
         self, segment_index: int, index, offset: int | None = None
     ) -> None:
-        """Swap in a freshly rebuilt index for a segment and reinstate it."""
+        """Swap in a freshly rebuilt index for a segment and reinstate it.
+
+        The swap replaces the whole segment list (and offset list) in one
+        locked copy-on-write step: a concurrent fan-out either snapshotted
+        the old lists — and finishes its query against the old index — or
+        snapshots the new ones; it can never pair the new index with the
+        old offset or iterate a list mid-mutation.
+        """
         if not 0 <= segment_index < self.num_segments:
             raise IndexError(f"segment index {segment_index} out of range")
-        self.segments[segment_index] = index
-        if offset is not None:
-            self.id_offsets[segment_index] = offset
-        self.reinstate(segment_index)
+        with self._lock:
+            segments = list(self.segments)
+            segments[segment_index] = index
+            offsets = self.id_offsets
+            if offset is not None:
+                offsets = list(self.id_offsets)
+                offsets[segment_index] = int(offset)
+            self.segments = segments
+            self.id_offsets = offsets
+            self.error_counts[segment_index] = 0
+            self._forced.discard(segment_index)
 
     # -- fan-out helpers -----------------------------------------------------
 
@@ -176,20 +197,25 @@ class SegmentCoordinator:
         outcomes = []
         failed: list[int] = []
         skipped: list[int] = []
-        for i, (segment, offset) in enumerate(
-            zip(self.segments, self.id_offsets)
-        ):
-            if self.is_quarantined(i):
+        with self._lock:
+            snapshot = list(zip(self.segments, self.id_offsets))
+            quarantined = {
+                i for i in range(len(snapshot)) if self.is_quarantined(i)
+            }
+        for i, (segment, offset) in enumerate(snapshot):
+            if i in quarantined:
                 skipped.append(i)
                 continue
             try:
                 result = run_segment(segment)
             except FaultError:
-                self.error_counts[i] += 1
-                self.total_errors[i] += 1
+                with self._lock:
+                    self.error_counts[i] += 1
+                    self.total_errors[i] += 1
                 failed.append(i)
                 continue
-            self.error_counts[i] = 0
+            with self._lock:
+                self.error_counts[i] = 0
             outcomes.append((i, segment, offset, result))
         return outcomes, failed, skipped
 

@@ -23,6 +23,100 @@ from ..vectors.dataset import VectorDataset
 from ..vectors.metrics import Metric
 
 
+class UpdateError(ValueError):
+    """Base class of update-path input errors (insert/delete validation)."""
+
+
+class InvalidVectorError(UpdateError):
+    """An insert payload has the wrong shape, dtype, or memory layout.
+
+    Raised instead of letting numpy silently coerce (lossy casts, copies of
+    non-contiguous views) or fail later with an opaque shape error deep in
+    the search path.
+    """
+
+
+class UnknownIdError(UpdateError):
+    """A delete names IDs this segment never allocated (or long compacted).
+
+    Carries the offending IDs in :attr:`ids`.
+    """
+
+    def __init__(self, ids) -> None:
+        self.ids = [int(v) for v in ids]
+        preview = ", ".join(str(v) for v in self.ids[:8])
+        if len(self.ids) > 8:
+            preview += ", ..."
+        super().__init__(f"unknown vector id(s): {preview}")
+
+
+def validate_vectors(vectors, *, dim: int, dtype: np.dtype) -> np.ndarray:
+    """Validate an insert payload; returns a C-contiguous ``(n, dim)`` array.
+
+    Typed failures (:class:`InvalidVectorError`) instead of silent numpy
+    coercion: the array must be 1-D or 2-D with row width ``dim``, non-empty,
+    C-contiguous (no strided views — the caller's layout bug, not ours to
+    hide with a copy), and its dtype must be ``dtype`` or safely castable to
+    it within the same kind (float→float, int→int); cross-kind casts like
+    int→float or complex→float are rejected.
+    """
+    dtype = np.dtype(dtype)
+    if isinstance(vectors, np.ndarray) and not vectors.flags.c_contiguous:
+        raise InvalidVectorError(
+            "vectors must be C-contiguous (got a strided/transposed view); "
+            "pass np.ascontiguousarray(...) explicitly if a copy is intended"
+        )
+    arr = np.asarray(vectors)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise InvalidVectorError(
+            f"vectors must be 1-D or 2-D, got {arr.ndim}-D shape {arr.shape}"
+        )
+    if arr.shape[0] == 0:
+        raise InvalidVectorError("empty insert (zero vectors)")
+    if arr.shape[1] != dim:
+        raise InvalidVectorError(
+            f"vector dim {arr.shape[1]} != segment dim {dim}"
+        )
+    if arr.dtype != dtype:
+        # numpy's "same_kind" rule admits int->float; we want literally the
+        # same kind (float->float, int->int) so an integer payload against a
+        # float segment is a caller bug, not a silent up-cast.
+        if arr.dtype.kind != dtype.kind or not np.can_cast(
+            arr.dtype, dtype, casting="same_kind"
+        ):
+            raise InvalidVectorError(
+                f"dtype {arr.dtype} is not safely castable to segment "
+                f"dtype {dtype} (same-kind casts only)"
+            )
+        arr = arr.astype(dtype)
+    return np.ascontiguousarray(arr)
+
+
+def validate_ids(ids) -> np.ndarray:
+    """Validate a delete payload; returns a 1-D int64 array.
+
+    Rejects floats/bools/nested shapes with :class:`InvalidVectorError`
+    instead of letting ``asarray(..., dtype=int64)`` truncate silently.
+    """
+    arr = np.asarray(ids)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise InvalidVectorError(
+            f"ids must be a scalar or 1-D sequence, got shape {arr.shape}"
+        )
+    if arr.size and not (
+        np.issubdtype(arr.dtype, np.integer)
+        and arr.dtype != np.bool_
+    ):
+        raise InvalidVectorError(
+            f"ids must be integers, got dtype {arr.dtype}"
+        )
+    return arr.astype(np.int64, copy=False)
+
+
 class DynamicIndex:
     """In-memory growing index for freshly inserted vectors.
 
@@ -129,8 +223,15 @@ class UpdatableSegment:
     # -- updates ------------------------------------------------------------------
 
     def insert(self, vectors: np.ndarray) -> np.ndarray:
-        """Add vectors to the dynamic index; returns their global IDs."""
-        vectors = np.atleast_2d(vectors)
+        """Add vectors to the dynamic index; returns their global IDs.
+
+        Input is validated up front (:func:`validate_vectors`): wrong dim,
+        cross-kind dtype, empty batches, and non-contiguous views raise
+        :class:`InvalidVectorError` instead of being silently coerced.
+        """
+        vectors = validate_vectors(
+            vectors, dim=self.dynamic.dim, dtype=self.dynamic.dtype
+        )
         self.dynamic.add(vectors)
         ids = np.arange(
             self._next_id, self._next_id + vectors.shape[0], dtype=np.int64
@@ -139,11 +240,22 @@ class UpdatableSegment:
         self._next_id += vectors.shape[0]
         return ids
 
-    def delete(self, ids) -> int:
-        """Mark IDs deleted (bitset semantics); returns how many were live."""
-        marked = 0
+    def delete(self, ids, *, strict: bool = True) -> int:
+        """Mark IDs deleted (bitset semantics); returns how many were live.
+
+        Deleting an already-deleted ID is a no-op (contributes 0 to the
+        return value).  IDs this segment never allocated raise
+        :class:`UnknownIdError` under ``strict`` (the default); pass
+        ``strict=False`` for the legacy ignore-unknown behaviour.
+        """
+        requested = validate_ids(ids).tolist()
         known = set(self._static_ids.tolist()) | set(self._dynamic_ids)
-        for vid in np.atleast_1d(np.asarray(ids, dtype=np.int64)).tolist():
+        unknown = [vid for vid in requested
+                   if vid not in known and vid not in self._deleted]
+        if unknown and strict:
+            raise UnknownIdError(unknown)
+        marked = 0
+        for vid in requested:
             if vid in known and vid not in self._deleted:
                 self._deleted.add(vid)
                 marked += 1

@@ -110,6 +110,11 @@ class ServeSpec:
             batch coalesce shared block reads.  Results stay bit-identical
             to the default in-order mode; when the segment is not
             wave-capable the executor falls back to ``batched`` on its own.
+        ingest_queue_depth: Admission bound for concurrent ingest calls
+            (:meth:`SearchService.ingest` / :meth:`SearchService.remove`):
+            writes beyond it are rejected with :class:`Overloaded` instead
+            of piling up behind the WAL's group commit, the write-side
+            mirror of query admission.
     """
 
     workers: int = 4
@@ -124,6 +129,7 @@ class ServeSpec:
     decode_cache_blocks: int = 4096
     min_rounds: int = 1
     wave: bool = False
+    ingest_queue_depth: int = 64
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -152,6 +158,8 @@ class ServeSpec:
             raise ValueError("decode_cache_blocks must be non-negative")
         if self.min_rounds < 0:
             raise ValueError("min_rounds must be non-negative")
+        if self.ingest_queue_depth <= 0:
+            raise ValueError("ingest_queue_depth must be positive")
 
     def with_(self, **changes) -> "ServeSpec":
         return replace(self, **changes)
@@ -170,6 +178,7 @@ class ServeSpec:
             "decode_cache_blocks": self.decode_cache_blocks,
             "min_rounds": self.min_rounds,
             "wave": self.wave,
+            "ingest_queue_depth": self.ingest_queue_depth,
         }
 
     @classmethod
@@ -511,6 +520,12 @@ class SearchService:
             self._order_sensitive(segment)
             for segment in coordinator.segments
         )
+        # Ingest admission (write-side mirror of the query queue).
+        self._ingest_target = None
+        self._ingest_gate = threading.Lock()
+        self._ingest_inflight = 0
+        self.ingest_accepted = 0
+        self.ingest_rejected = 0
 
     # -- shared policy helpers ---------------------------------------------
 
@@ -571,6 +586,73 @@ class SearchService:
             exec_spec=self._exec_spec,
             stoppers=stoppers,
         )
+
+    # -- ingest admission ---------------------------------------------------
+
+    def attach_ingest(self, target) -> None:
+        """Register the writable segment behind :meth:`ingest`/:meth:`remove`.
+
+        ``target`` needs ``insert(vectors)`` and ``delete(ids)`` — a
+        :class:`~repro.core.lifecycle.SegmentLifecycle` (durable WAL-backed
+        writes) or an :class:`~repro.core.updates.UpdatableSegment`.
+        """
+        if not (hasattr(target, "insert") and hasattr(target, "delete")):
+            raise TypeError("ingest target needs insert() and delete()")
+        self._ingest_target = target
+
+    def _admit_ingest(self):
+        """Reserve one ingest slot; returns an Overloaded on a full gate."""
+        if self._ingest_target is None:
+            raise RuntimeError("no ingest target attached (attach_ingest)")
+        with self._ingest_gate:
+            if self._ingest_inflight >= self.spec.ingest_queue_depth:
+                self.ingest_rejected += 1
+                return Overloaded(
+                    self.spec.ingest_queue_depth,
+                    self._ingest_inflight,
+                    self._now_us() if self.running else 0.0,
+                )
+            self._ingest_inflight += 1
+        return None
+
+    def _release_ingest(self, accepted: bool) -> None:
+        with self._ingest_gate:
+            self._ingest_inflight -= 1
+            if accepted:
+                self.ingest_accepted += 1
+
+    def ingest(self, vectors):
+        """Durably insert vectors; returns their IDs or :class:`Overloaded`.
+
+        Admission is bounded by ``spec.ingest_queue_depth`` concurrent
+        calls; past it, writes are rejected (typed, never raised) so a
+        write burst cannot starve the query workers of the WAL fsync lane.
+        A returned ID array means the rows are durable — the WAL commit
+        happened inside the call.
+        """
+        rejection = self._admit_ingest()
+        if rejection is not None:
+            return rejection
+        accepted = False
+        try:
+            ids = self._ingest_target.insert(vectors)
+            accepted = True
+            return ids
+        finally:
+            self._release_ingest(accepted)
+
+    def remove(self, ids):
+        """Durably tombstone IDs; returns the live count or :class:`Overloaded`."""
+        rejection = self._admit_ingest()
+        if rejection is not None:
+            return rejection
+        accepted = False
+        try:
+            count = self._ingest_target.delete(ids)
+            accepted = True
+            return count
+        finally:
+            self._release_ingest(accepted)
 
     # -- persistent data plane ---------------------------------------------
 

@@ -38,6 +38,14 @@ from .persist import (
     save_updatable,
 )
 from .repair import FsckReport, fsck, rebuild_segment
+from .wal import (
+    WalError,
+    WalRecord,
+    WalReplay,
+    WriteAheadLog,
+    replay_wal,
+    truncate_torn_tail,
+)
 
 __all__ = [
     "BlockDevice",
@@ -60,6 +68,10 @@ __all__ = [
     "ReadFaultError",
     "SimulatedCrash",
     "VertexFormat",
+    "WalError",
+    "WalRecord",
+    "WalReplay",
+    "WriteAheadLog",
     "WriteFaultSpec",
     "block_checksum",
     "build_disk_graph",
@@ -73,6 +85,8 @@ __all__ = [
     "read_index_meta",
     "read_manifest",
     "rebuild_segment",
+    "replay_wal",
+    "truncate_torn_tail",
     "save_diskann",
     "save_starling",
     "save_updatable",

@@ -384,13 +384,21 @@ class CrashInjector:
 
     # -- enumeration helpers ----------------------------------------------
 
+    def op_indices(self, prefix: str) -> list[int]:
+        """Indices of recorded ops whose label starts with ``prefix``.
+
+        The lifecycle sweep uses this to target one boundary family at a
+        time (``"write:wal"``, ``"truncate:"``, ``"prune:"``, ...).
+        """
+        return [i for i, op in enumerate(self.ops) if op.startswith(prefix)]
+
     def write_op_indices(self) -> list[int]:
         """Indices of ops eligible for ``torn`` mode."""
-        return [i for i, op in enumerate(self.ops) if op.startswith("write:")]
+        return self.op_indices("write:")
 
     def fsync_op_indices(self) -> list[int]:
         """Indices of ops eligible for ``lost_durability`` mode."""
-        return [i for i, op in enumerate(self.ops) if op.startswith("fsync:")]
+        return self.op_indices("fsync:")
 
     # -- hooks called by the commit protocol ------------------------------
 

@@ -102,6 +102,13 @@ def _resolve_files_dir(
         raise IndexLoadError(
             f"{directory} has no meta.json or MANIFEST.json"
         )
+    if manifest.kind == "lifecycle":
+        # A lifecycle root's generations hold catalog metadata, not index
+        # files; its sealed segments live under <dir>/segments/<name>.
+        raise IndexLoadError(
+            f"{directory} is a segment-lifecycle directory; open it with "
+            "repro.core.lifecycle.SegmentLifecycle.open"
+        )
     if generation is not None and generation != manifest.generation:
         # The caller pins a specific committed generation (an updatable
         # segment's state names the static generation it was saved with).

@@ -266,6 +266,13 @@ def fsck(
     """
     root = Path(directory)
     report = _fsck_root(root, repair=repair, strict=strict)
+    if (
+        report.kind == "lifecycle"
+        and report.status != "unrecoverable"
+        and report.generation is not None
+    ):
+        _fsck_lifecycle(root, report, repair=repair, strict=strict)
+        return report
     meta = _current_meta(root, report)
     if meta is not None and meta.get("kind") == "updatable":
         _fsck_updatable(root, report, meta, repair=repair, strict=strict)
@@ -435,6 +442,135 @@ def _fsck_updatable(
         return
     report.status = "unrecoverable"
     report.actions.append("quarantine the segment and rebuild from vectors")
+
+
+def _fsck_lifecycle(
+    root: Path, report: FsckReport, *, repair: bool, strict: bool
+) -> None:
+    """Scrub a segment-lifecycle directory's extra surfaces.
+
+    Beyond the catalog commit (already settled by ``_fsck_root``), a
+    lifecycle has three things an index directory does not: the sealed
+    segment trees under ``segments/`` (each its own manifest-committed
+    index, scrubbed recursively), the write-ahead log (torn tail from a
+    crashed append, tmp debris from a crashed truncation, a fully-applied
+    log a crash left un-truncated), and orphaned segment directories —
+    debris of a seal or merge that died between the segment save and the
+    catalog commit, recognizable because no surviving catalog generation
+    references them.
+    """
+    from .wal import WalError, replay_wal, truncate_torn_tail
+
+    gen_dir = root / generation_name(report.generation)
+    try:
+        catalog = json.loads((gen_dir / "catalog.json").read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        report.status = "unrecoverable"
+        report.problems.append(f"lifecycle catalog unreadable: {exc}")
+        return
+
+    # Phase L1: recurse into every sealed segment the catalog serves.
+    seg_root = root / "segments"
+    for entry in catalog.get("segments", ()):
+        name = entry["name"]
+        sub = _fsck_root(seg_root / name, repair=repair, strict=strict)
+        report.problems.extend(f"segments/{name}: {p}" for p in sub.problems)
+        report.actions.extend(f"segments/{name}: {a}" for a in sub.actions)
+        _escalate(report, sub.status)
+    if report.status == "unrecoverable":
+        report.actions.append(
+            "a referenced sealed segment is unrecoverable; "
+            "quarantine the lifecycle and rebuild from source vectors"
+        )
+        return
+
+    # Phase L2: the write-ahead log.
+    wal_tmp = root / "wal.log.tmp"
+    if wal_tmp.is_file():
+        report.problems.append(
+            "stray wal.log.tmp (crash during WAL truncation)"
+        )
+        if repair:
+            wal_tmp.unlink()
+            report.actions.append("removed wal.log.tmp")
+        else:
+            report.actions.append("would remove wal.log.tmp")
+        _escalate(report, "repaired")
+    wal_path = root / "wal.log"
+    applied = int(catalog.get("applied_lsn", 0))
+    if not wal_path.is_file():
+        report.problems.append("missing wal.log")
+        if repair:
+            truncate_torn_tail(wal_path, 0)
+            report.actions.append("created an empty WAL")
+        else:
+            report.actions.append("would create an empty WAL")
+        _escalate(report, "repaired")
+    else:
+        try:
+            scan = replay_wal(wal_path)
+        except WalError as exc:
+            # The header itself is unusable (external corruption): no
+            # record can be attributed, so the only repair is a reset.
+            report.problems.append(f"WAL header unusable: {exc}")
+            if repair:
+                truncate_torn_tail(wal_path, 0)
+                report.actions.append("reset wal.log to an empty log")
+            else:
+                report.actions.append("would reset wal.log to an empty log")
+            _escalate(report, "repaired")
+        else:
+            if scan.torn:
+                report.problems.extend(
+                    f"wal.log: {p}" for p in scan.problems
+                )
+                if repair:
+                    truncate_torn_tail(wal_path, scan.valid_bytes)
+                    report.actions.append(
+                        "truncated torn WAL tail "
+                        f"(kept {len(scan.records)} intact records)"
+                    )
+                else:
+                    report.actions.append("would truncate torn WAL tail")
+                _escalate(report, "repaired")
+            if scan.records and scan.last_lsn <= applied:
+                report.problems.append(
+                    "WAL fully applied by the committed catalog "
+                    "(crash between seal commit and WAL truncation)"
+                )
+                if repair:
+                    truncate_torn_tail(wal_path, 0)
+                    report.actions.append("truncated fully-applied WAL")
+                else:
+                    report.actions.append("would truncate fully-applied WAL")
+                _escalate(report, "repaired")
+
+    # Phase L3: orphaned sealed-segment directories.  Any surviving catalog
+    # generation (current or the rollback target) may reference a segment,
+    # so only directories referenced by none of them are debris.
+    referenced: set[str] = set()
+    for _, any_gen in list_generations(root):
+        try:
+            any_catalog = json.loads((any_gen / "catalog.json").read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        referenced.update(
+            e["name"] for e in any_catalog.get("segments", ())
+        )
+    if seg_root.is_dir():
+        for child in sorted(seg_root.iterdir()):
+            if not child.is_dir() or child.name in referenced:
+                continue
+            report.problems.append(
+                f"orphaned segment dir segments/{child.name} "
+                "(crashed seal or merge)"
+            )
+            if repair:
+                shutil.rmtree(child, ignore_errors=True)
+                report.actions.append(f"removed segments/{child.name}")
+            else:
+                report.actions.append(f"would remove segments/{child.name}")
+            _escalate(report, "repaired")
 
 
 def _fsck_root(

@@ -28,7 +28,13 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import StarlingConfig, UpdatableSegment, build_starling
+from repro.core import (
+    LifecycleSpec,
+    SegmentLifecycle,
+    StarlingConfig,
+    UpdatableSegment,
+    build_starling,
+)
 from repro.storage import (
     CrashInjector,
     IndexLoadError,
@@ -488,3 +494,341 @@ class TestUpdatableCrashSweep:
         report = fsck(d)
         assert report.exit_code == 1, report.to_dict()
         assert _assert_updatable_pair(d, seg_a, seg_b, rebuild, queries) == "old"
+
+
+# -- segment lifecycle: WAL + seals + compaction under crashes ----------------
+#
+# The invariant is the streaming-ingest contract: after a crash at ANY
+# announced lifecycle boundary, fsck + reopen must recover every write that
+# was acknowledged (insert/delete returned) and may additionally surface the
+# single in-flight operation — atomically, never a prefix of its rows — and
+# the recovered state must be one consistent generation (verified digests,
+# searchable, no duplicate ids).
+
+
+_LC_DIM = 8
+_LC_SPEC = LifecycleSpec(merge_fanout=2, tier_growth=100.0)
+
+
+def _lc_cfg():
+    from repro.core import GraphConfig, NavigationConfig, PQConfig
+
+    return StarlingConfig(
+        graph=GraphConfig(max_degree=8, build_ef=16, seed=1),
+        navigation=NavigationConfig(
+            sample_ratio=0.3, max_degree=8, build_ef=16, search_ef=16
+        ),
+        pq=PQConfig(num_subspaces=4, num_centroids=16),
+    )
+
+
+def _lc_rebuild(ds):
+    return build_starling(ds, _lc_cfg())
+
+
+def _lc_rows():
+    rng = np.random.default_rng(101)
+    return (
+        rng.normal(size=(16, _LC_DIM)).astype(np.float32),
+        rng.normal(size=(16, _LC_DIM)).astype(np.float32),
+    )
+
+
+def _run_lifecycle_script(root, injector=None):
+    """The scripted ingest workload every sweep case replays.
+
+    Touches each announced lifecycle boundary: WAL append + fsync (two
+    inserts and a delete), two seals (segment save, catalog commit, WAL
+    truncation, pruning), and one compaction (merge commit that drops the
+    tombstones).  Returns ``(acked, pending, crashed)``: the live rows whose
+    operations acknowledged before any crash, the one in-flight operation
+    (or None when the crash hit a pure reorganization step), and whether the
+    injector fired.
+    """
+    rows_a, rows_b = _lc_rows()
+    doomed = [0, 17, 31]
+    lc = SegmentLifecycle.open(
+        root, _lc_rebuild, spec=_LC_SPEC, injector=injector
+    )
+    acked: dict[int, bytes] = {}
+    pending = None
+    crashed = False
+    try:
+        pending = ("insert", {i: rows_a[i].tobytes() for i in range(16)})
+        lc.insert(rows_a)
+        acked.update(pending[1])
+        pending = None
+        lc.seal()
+        pending = ("insert", {16 + i: rows_b[i].tobytes() for i in range(16)})
+        lc.insert(rows_b)
+        acked.update(pending[1])
+        pending = ("delete", doomed)
+        lc.delete(doomed)
+        for gid in doomed:
+            acked.pop(gid)
+        pending = None
+        lc.seal()
+        lc.compact_once()
+    except SimulatedCrash:
+        crashed = True
+    finally:
+        lc.close()
+    return acked, pending, crashed
+
+
+def _lc_live_vectors(lc) -> dict[int, bytes]:
+    """``{global_id: row_bytes}`` over sealed segments + memtable − tombstones."""
+    fp = lc.state_fingerprint()
+    row_bytes = _LC_DIM * 4  # float32
+    out: dict[int, bytes] = {}
+    for _name, ids, raw in fp["segments"]:
+        for i, gid in enumerate(ids):
+            out[int(gid)] = raw[i * row_bytes:(i + 1) * row_bytes]
+    for gid, raw in fp["memtable"]:
+        out[int(gid)] = raw
+    for gid in fp["tombstones"]:
+        out.pop(int(gid), None)
+    return out
+
+
+def _lc_allowed(acked, pending):
+    """Legal recovery outcomes: acked state, or acked + the in-flight op."""
+    allowed = [dict(acked)]
+    if pending is None:
+        return allowed
+    kind, payload = pending
+    alt = dict(acked)
+    if kind == "insert":
+        alt.update(payload)
+    else:
+        for gid in payload:
+            alt.pop(gid, None)
+    allowed.append(alt)
+    return allowed
+
+
+def _lifecycle_case(case_dir, spec, *, expect_lost=False):
+    """Crash the scripted workload per ``spec``; fsck; reopen; check."""
+    root = case_dir / "lc"
+    SegmentLifecycle.create(
+        root, _lc_rebuild, dim=_LC_DIM, spec=_LC_SPEC
+    ).close()
+    acked, pending, crashed = _run_lifecycle_script(root, CrashInjector(spec))
+    report = fsck(root)
+    assert report.exit_code in (0, 1), report.to_dict()
+    lc = SegmentLifecycle.open(root, _lc_rebuild, spec=_LC_SPEC)
+    try:
+        recovered = _lc_live_vectors(lc)
+        probe = lc.search(np.zeros(_LC_DIM, dtype=np.float32), k=5)
+        assert set(probe.ids.tolist()) <= set(recovered)
+        if len(recovered) >= 5:
+            assert len(probe.ids) == 5, "recovered lifecycle cannot fill k"
+    finally:
+        lc.close()
+    allowed = _lc_allowed(acked, pending)
+    assert any(recovered == state for state in allowed), (
+        f"recovered state matches neither acked nor acked+in-flight "
+        f"(op={spec.crash_op} mode={spec.mode}): recovered ids "
+        f"{sorted(recovered)}, acked ids {sorted(acked)}"
+    )
+    survivor = "acked" if recovered == allowed[0] else "acked+inflight"
+    if expect_lost:
+        assert crashed, "lost-durability case must die before acking"
+        assert survivor == "acked", "dropped unsynced bytes must not surface"
+    _OUTCOMES.append({
+        "mode": f"lifecycle-{spec.mode}", "crash_op": spec.crash_op,
+        "crashed": crashed, "survivor": survivor, "fsck": report.status,
+    })
+    return survivor
+
+
+@pytest.fixture(scope="module")
+def lifecycle_ops(tmp_path_factory):
+    """The scripted workload's full op sequence, recorded by a dry run."""
+    root = tmp_path_factory.mktemp("lc-ops") / "lc"
+    SegmentLifecycle.create(
+        root, _lc_rebuild, dim=_LC_DIM, spec=_LC_SPEC
+    ).close()
+    recorder = CrashInjector()
+    acked, pending, crashed = _run_lifecycle_script(root, recorder)
+    assert not crashed and pending is None and len(acked) == 29
+    return recorder.ops
+
+
+class TestLifecycleCrashSweep:
+    """Kill the ingest workload at every boundary it announces."""
+
+    def test_script_announces_every_boundary(self, lifecycle_ops):
+        ops = lifecycle_ops
+        assert "write:wal" in ops and "fsync:wal" in ops
+        assert "truncate:wal" in ops
+        assert "write:tombstones.npz" in ops and "write:catalog.json" in ops
+        assert "prune:segments" in ops
+        # three segment saves (two seals + one merge) and three catalog
+        # commits each run the full commit protocol
+        assert ops.count("replace:MANIFEST.json") == 6
+
+    def test_every_injection_point(self, tmp_path, lifecycle_ops):
+        survivors = {}
+        for op in range(len(lifecycle_ops)):
+            case_dir = tmp_path / f"lc{op:03d}"
+            case_dir.mkdir()
+            survivors[op] = _lifecycle_case(
+                case_dir, WriteFaultSpec(crash_op=op, seed=CRASH_SEED)
+            )
+        # sanity: the sweep exercised both outcomes (a crash right before a
+        # WAL fsync keeps the in-flight rows off the acked state; a crash
+        # right after leaves them recoverable)
+        assert "acked" in survivors.values()
+        assert "acked+inflight" in survivors.values()
+
+    def test_torn_write_at_every_file(self, tmp_path, lifecycle_ops):
+        write_ops = [
+            i for i, op in enumerate(lifecycle_ops)
+            if op.startswith("write:")
+        ]
+        for op in write_ops:
+            case_dir = tmp_path / f"lctorn{op:03d}"
+            case_dir.mkdir()
+            _lifecycle_case(
+                case_dir,
+                WriteFaultSpec(crash_op=op, mode="torn", seed=CRASH_SEED + op),
+            )
+
+
+class TestLifecycleLostDurability:
+    """A skipped fsync plus power loss must never surface unacked rows."""
+
+    def test_skipped_wal_fsync_loses_only_unacked(self, tmp_path,
+                                                  lifecycle_ops):
+        wal_fsyncs = [
+            i for i, op in enumerate(lifecycle_ops) if op == "fsync:wal"
+        ]
+        assert len(wal_fsyncs) == 3  # two inserts + one delete
+        for op in wal_fsyncs:
+            case_dir = tmp_path / f"lcfs{op:03d}"
+            case_dir.mkdir()
+            _lifecycle_case(
+                case_dir,
+                WriteFaultSpec(
+                    crash_op=op, mode="lost_durability", seed=CRASH_SEED
+                ),
+                expect_lost=True,
+            )
+
+    def test_skipped_file_fsync_recovers_acked(self, tmp_path, lifecycle_ops):
+        file_fsyncs = [
+            i for i, op in enumerate(lifecycle_ops)
+            if op.startswith("fsync:") and op != "fsync:wal"
+        ]
+        for op in file_fsyncs:
+            case_dir = tmp_path / f"lcld{op:03d}"
+            case_dir.mkdir()
+            _lifecycle_case(
+                case_dir,
+                WriteFaultSpec(
+                    crash_op=op, mode="lost_durability", seed=CRASH_SEED
+                ),
+                expect_lost=True,
+            )
+
+
+class TestLifecycleDebris:
+    """Named debris scenarios: fsck must diagnose and repair each exactly."""
+
+    def _crashed_root(self, tmp_path, ops, label, *, which=0, mode="crash"):
+        op = [i for i, o in enumerate(ops) if o == label][which]
+        root = tmp_path / "lc"
+        SegmentLifecycle.create(
+            root, _lc_rebuild, dim=_LC_DIM, spec=_LC_SPEC
+        ).close()
+        acked, pending, crashed = _run_lifecycle_script(
+            root, CrashInjector(WriteFaultSpec(crash_op=op, seed=CRASH_SEED))
+        )
+        assert crashed
+        return root, acked, pending
+
+    def test_orphaned_wal_after_seal_commit(self, tmp_path, lifecycle_ops):
+        """Crash between the seal's catalog commit and the WAL truncation:
+        the log survives fully applied, and replay must not double-apply."""
+        root, acked, _ = self._crashed_root(
+            tmp_path, lifecycle_ops, "truncate:wal", which=0
+        )
+        report = fsck(root)
+        assert report.exit_code == 1, report.to_dict()
+        assert any("WAL fully applied" in p for p in report.problems)
+        assert any("truncated fully-applied WAL" in a for a in report.actions)
+        lc = SegmentLifecycle.open(root, _lc_rebuild, spec=_LC_SPEC)
+        try:
+            assert lc.pending_rows == 0  # nothing replayed twice
+            assert _lc_live_vectors(lc) == acked
+        finally:
+            lc.close()
+        assert fsck(root).exit_code == 0  # repair converged
+
+    def test_crashed_merge_stage_dir_swept(self, tmp_path, lifecycle_ops):
+        """Crash while staging the merge's catalog commit: a stage dir and a
+        fully-saved but unreferenced merged segment are both debris."""
+        last_stage = [
+            i for i, o in enumerate(lifecycle_ops) if o == "fsync-dir:stage"
+        ][-1]
+        root = tmp_path / "lc"
+        SegmentLifecycle.create(
+            root, _lc_rebuild, dim=_LC_DIM, spec=_LC_SPEC
+        ).close()
+        acked, pending, crashed = _run_lifecycle_script(
+            root,
+            CrashInjector(WriteFaultSpec(crash_op=last_stage, seed=CRASH_SEED)),
+        )
+        assert crashed and pending is None
+        assert (root / "segments" / "seg-000003").is_dir()  # the orphan
+        report = fsck(root)
+        assert report.exit_code == 1, report.to_dict()
+        assert any("stray staging dir" in p for p in report.problems)
+        assert any(
+            "orphaned segment dir segments/seg-000003" in p
+            for p in report.problems
+        )
+        assert not (root / "segments" / "seg-000003").exists()
+        lc = SegmentLifecycle.open(root, _lc_rebuild, spec=_LC_SPEC)
+        try:
+            assert _lc_live_vectors(lc) == acked
+            # pre-merge segment set still serves
+            assert {n for n, _ in lc.segment_counts()} == {
+                "seg-000001", "seg-000002"
+            }
+        finally:
+            lc.close()
+        assert fsck(root).exit_code == 0
+
+    def test_torn_tombstone_flush_keeps_old_catalog(self, tmp_path,
+                                                    lifecycle_ops):
+        """Torn write of tombstones.npz during the second seal's catalog
+        commit: the old catalog keeps serving and WAL replay re-derives the
+        tombstones the torn flush failed to persist."""
+        op = [
+            i for i, o in enumerate(lifecycle_ops)
+            if o == "write:tombstones.npz"
+        ][1]  # [0] = first seal, [1] = second seal (carries the deletes)
+        root = tmp_path / "lc"
+        SegmentLifecycle.create(
+            root, _lc_rebuild, dim=_LC_DIM, spec=_LC_SPEC
+        ).close()
+        acked, pending, crashed = _run_lifecycle_script(
+            root,
+            CrashInjector(
+                WriteFaultSpec(crash_op=op, mode="torn", seed=CRASH_SEED)
+            ),
+        )
+        assert crashed and pending is None
+        report = fsck(root)
+        assert report.exit_code == 1, report.to_dict()
+        lc = SegmentLifecycle.open(root, _lc_rebuild, spec=_LC_SPEC)
+        try:
+            assert _lc_live_vectors(lc) == acked
+            assert lc.num_deleted == 3  # acked deletes re-derived from WAL
+            probe = lc.search(np.zeros(_LC_DIM, dtype=np.float32), k=5)
+            assert 0 not in probe.ids.tolist()
+        finally:
+            lc.close()
+        assert fsck(root).exit_code == 0

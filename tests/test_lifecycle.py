@@ -1,0 +1,502 @@
+"""Tests for the WAL-backed segment lifecycle (core/lifecycle.py)."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GraphConfig,
+    LifecycleSpec,
+    NavigationConfig,
+    PQConfig,
+    SegmentCoordinator,
+    SegmentLifecycle,
+    StarlingConfig,
+    build_starling,
+    plan_compaction,
+)
+from repro.core.updates import InvalidVectorError, UnknownIdError
+from repro.engine.serve import Overloaded, SearchService, ServeSpec
+from repro.storage.persist import load_starling
+from repro.storage.wal import replay_wal
+from repro.vectors import get_metric
+
+DIM = 8
+
+CFG = StarlingConfig(
+    graph=GraphConfig(max_degree=8, build_ef=16, seed=1),
+    navigation=NavigationConfig(
+        sample_ratio=0.3, max_degree=8, build_ef=16, search_ef=16
+    ),
+    pq=PQConfig(num_subspaces=4, num_centroids=16),
+)
+
+
+def rebuild(ds):
+    return build_starling(ds, CFG)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+def _rows(rng, n):
+    return rng.normal(size=(n, DIM)).astype(np.float32)
+
+
+def _make(tmp_path, **spec_kwargs):
+    spec = LifecycleSpec(**spec_kwargs) if spec_kwargs else None
+    return SegmentLifecycle.create(
+        tmp_path / "lc", rebuild, dim=DIM, spec=spec
+    )
+
+
+def _mirror_topk(mirror: dict, query, k):
+    """Exact reference answer over the live-id mirror."""
+    metric = get_metric("l2")
+    ids = np.asarray(sorted(mirror), dtype=np.int64)
+    data = np.stack([mirror[int(i)] for i in ids])
+    dists = metric.distances(query, data)
+    order = np.argsort(dists, kind="stable")[:k]
+    return set(ids[order].tolist())
+
+
+class TestPlanCompaction:
+    SPEC = LifecycleSpec(merge_fanout=3, tier_growth=4.0)
+
+    def test_empty_until_tier_fills(self):
+        assert plan_compaction([], self.SPEC) == []
+        assert plan_compaction([("a", 10), ("b", 10)], self.SPEC) == []
+
+    def test_picks_smallest_in_lowest_full_tier(self):
+        segs = [("a", 10), ("b", 300), ("c", 12), ("d", 9), ("e", 11)]
+        # tier of 9..12 = floor(log4) = 1; four members -> three smallest
+        assert plan_compaction(segs, self.SPEC) == ["d", "a", "e"]
+
+    def test_deterministic_and_order_insensitive(self):
+        segs = [("a", 10), ("b", 12), ("c", 11), ("d", 500), ("e", 480)]
+        first = plan_compaction(segs, self.SPEC)
+        assert first == plan_compaction(list(reversed(segs)), self.SPEC)
+        assert first == plan_compaction(segs, self.SPEC)
+
+    def test_name_breaks_count_ties(self):
+        segs = [("b", 10), ("a", 10), ("c", 10), ("d", 10)]
+        assert plan_compaction(segs, self.SPEC) == ["a", "b", "c"]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LifecycleSpec(merge_fanout=1)
+        with pytest.raises(ValueError):
+            LifecycleSpec(tier_growth=1.0)
+        with pytest.raises(ValueError):
+            LifecycleSpec(seal_threshold=0)
+
+
+class TestMemtablePath:
+    def test_insert_assigns_sequential_global_ids(self, tmp_path, rng):
+        lc = _make(tmp_path)
+        a = lc.insert(_rows(rng, 3))
+        b = lc.insert(_rows(rng, 2))
+        assert a.tolist() == [0, 1, 2]
+        assert b.tolist() == [3, 4]
+        assert lc.num_live == 5 and lc.pending_rows == 5
+
+    def test_memtable_search_is_exact(self, tmp_path, rng):
+        lc = _make(tmp_path)
+        rows = _rows(rng, 10)
+        lc.insert(rows)
+        mirror = {i: rows[i] for i in range(10)}
+        q = _rows(rng, 1)[0]
+        res = lc.search(q, k=4)
+        assert set(res.ids.tolist()) == _mirror_topk(mirror, q, 4)
+
+    def test_insert_is_durable_before_ack(self, tmp_path, rng):
+        lc = _make(tmp_path)
+        rows = _rows(rng, 4)
+        lc.insert(rows)
+        lc.delete([1])
+        lc.close()  # no seal: everything lives in the WAL
+
+        lc2 = SegmentLifecycle.open(tmp_path / "lc", rebuild)
+        assert lc2.num_live == 3 and lc2.pending_rows == 4
+        assert lc2.live_ids() == {0, 2, 3}
+        q = rows[2]
+        assert int(lc2.search(q, k=1).ids[0]) == 2
+
+    def test_unknown_delete_raises_known_noop(self, tmp_path, rng):
+        lc = _make(tmp_path)
+        lc.insert(_rows(rng, 3))
+        with pytest.raises(UnknownIdError):
+            lc.delete([99])
+        assert lc.delete([1]) == 1
+        assert lc.delete([1]) == 0  # tombstoned: no-op, not unknown
+
+    def test_input_validation_delegates(self, tmp_path, rng):
+        lc = _make(tmp_path)
+        with pytest.raises(InvalidVectorError):
+            lc.insert(rng.normal(size=(2, DIM + 1)).astype(np.float32))
+        with pytest.raises(InvalidVectorError):
+            lc.delete([1.5])
+
+
+class TestSealAndReopen:
+    def test_seal_moves_rows_to_immutable_segment(self, tmp_path, rng):
+        lc = _make(tmp_path)
+        rows = _rows(rng, 20)
+        lc.insert(rows)
+        assert lc.seal()
+        assert lc.pending_rows == 0 and lc.num_segments == 1
+        assert lc.segment_counts() == [("seg-000001", 20)]
+        # WAL was truncated: the records are folded into the segment.
+        assert replay_wal(tmp_path / "lc" / "wal.log").records == []
+        q = rows[7]
+        assert int(lc.search(q, k=1).ids[0]) == 7
+
+    def test_auto_seal_at_threshold(self, tmp_path, rng):
+        lc = _make(tmp_path, seal_threshold=16)
+        lc.insert(_rows(rng, 20))
+        assert lc.num_segments == 1 and lc.pending_rows == 0
+        lc.insert(_rows(rng, 4))
+        assert lc.num_segments == 1 and lc.pending_rows == 4
+
+    def test_seal_empty_is_noop(self, tmp_path):
+        lc = _make(tmp_path)
+        assert not lc.seal()
+
+    def test_reopen_restores_sealed_and_memtable(self, tmp_path, rng):
+        lc = _make(tmp_path)
+        rows = _rows(rng, 20)
+        lc.insert(rows)
+        lc.seal()
+        tail = _rows(rng, 3)
+        lc.insert(tail)
+        lc.delete([5])
+        lc.close()
+
+        lc2 = SegmentLifecycle.open(tmp_path / "lc", rebuild)
+        assert lc2.num_segments == 1
+        assert lc2.pending_rows == 3
+        assert lc2.num_live == 22
+        assert 5 not in lc2.live_ids()
+        q = tail[0]
+        assert int(lc2.search(q, k=1).ids[0]) == 20
+
+    def test_tombstones_mask_across_generations(self, tmp_path, rng):
+        lc = _make(tmp_path)
+        rows = _rows(rng, 20)
+        lc.insert(rows)
+        lc.seal()
+        q = rows[3]
+        assert int(lc.search(q, k=1).ids[0]) == 3
+        lc.delete([3])  # sealed vector, masked not rewritten
+        res = lc.search(q, k=5)
+        assert 3 not in res.ids.tolist()
+        assert len(res) == 5
+
+    def test_load_starling_rejects_lifecycle_root(self, tmp_path, rng):
+        from repro.storage.persist import IndexLoadError
+
+        lc = _make(tmp_path)
+        lc.insert(_rows(rng, 16))
+        lc.seal()
+        with pytest.raises(IndexLoadError, match="lifecycle"):
+            load_starling(tmp_path / "lc")
+        # The sealed segment itself is an ordinary index directory.
+        seg = load_starling(tmp_path / "lc" / "segments" / "seg-000001")
+        assert seg.num_vectors == 16
+
+
+class TestCompaction:
+    def _filled(self, tmp_path, rng, *, seals=3, rows_per_seal=16):
+        lc = _make(tmp_path, merge_fanout=3, tier_growth=100.0)
+        mirror = {}
+        for _ in range(seals):
+            rows = _rows(rng, rows_per_seal)
+            ids = lc.insert(rows)
+            mirror.update(zip(ids.tolist(), rows))
+            lc.seal()
+        return lc, mirror
+
+    def test_compaction_merges_and_drops_tombstones(self, tmp_path, rng):
+        lc, mirror = self._filled(tmp_path, rng)
+        victims = [0, 17, 33]
+        lc.delete(victims)
+        for vid in victims:
+            del mirror[vid]
+        assert lc.compaction_candidates() == [
+            "seg-000001", "seg-000002", "seg-000003"
+        ]
+        assert lc.compact_once()
+        assert lc.num_segments == 1
+        assert lc.num_deleted == 0  # tombstones physically dropped
+        assert lc.num_live == len(mirror) == 45
+        q = _rows(rng, 1)[0]
+        got = set(lc.search(q, k=5, candidate_size=64).ids.tolist())
+        want = _mirror_topk(mirror, q, 5)
+        assert len(got & want) >= 4  # ANN: allow one boundary swap
+
+    def test_compacted_ids_survive_reopen(self, tmp_path, rng):
+        lc, mirror = self._filled(tmp_path, rng)
+        lc.delete([1, 2])
+        del mirror[1], mirror[2]
+        lc.compact_once()
+        lc.close()
+        lc2 = SegmentLifecycle.open(tmp_path / "lc", rebuild)
+        assert lc2.live_ids() == set(mirror)
+        assert lc2.state_fingerprint() == lc.state_fingerprint()
+
+    def test_merge_prunes_unreferenced_segment_dirs(self, tmp_path, rng):
+        lc, _ = self._filled(tmp_path, rng)
+        lc.compact_once()
+        seg_root = tmp_path / "lc" / "segments"
+        names = sorted(p.name for p in seg_root.iterdir() if p.is_dir())
+        # The rollback catalog still references the merged inputs, so they
+        # survive the first merge; a later seal+merge cycle retires them.
+        assert "seg-000004" in names
+
+    def test_maybe_compact_runs_to_quiescence(self, tmp_path, rng):
+        lc, mirror = self._filled(tmp_path, rng, seals=3)
+        ran = lc.maybe_compact()
+        assert ran == 1
+        assert lc.compaction_candidates() == []
+        assert lc.live_ids() == set(mirror)
+
+    def test_new_ids_continue_after_compaction(self, tmp_path, rng):
+        lc, mirror = self._filled(tmp_path, rng)
+        lc.compact_once()
+        ids = lc.insert(_rows(rng, 2))
+        assert ids.tolist() == [48, 49]
+
+
+class TestReplayIdempotence:
+    def test_crash_between_seal_commit_and_truncate(self, tmp_path, rng):
+        """The classic double-replay: catalog committed, WAL never truncated."""
+        lc = _make(tmp_path)
+        rows = _rows(rng, 16)
+        lc.insert(rows)
+        wal_path = tmp_path / "lc" / "wal.log"
+        pre_truncate = wal_path.read_bytes()
+        lc.seal()
+        lc.close()
+        # Put the already-applied records back: exactly what a crash between
+        # the catalog commit and the WAL truncation leaves behind.
+        wal_path.write_bytes(pre_truncate)
+
+        lc2 = SegmentLifecycle.open(tmp_path / "lc", rebuild)
+        assert lc2.num_live == 16
+        assert lc2.pending_rows == 0  # applied records skipped, not doubled
+        lc3 = SegmentLifecycle.open(tmp_path / "lc", rebuild)
+        assert lc2.state_fingerprint() == lc3.state_fingerprint()
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("insert"), st.integers(1, 4)),
+                st.tuples(st.just("delete"), st.integers(0, 30)),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_replaying_any_log_twice_is_identical(self, tmp_path, ops):
+        """Property: open() is a pure function of the on-disk state."""
+        rng = np.random.default_rng(5)
+        root = tmp_path / f"lc-{abs(hash(tuple(ops))) % 10**8:08d}"
+        lc = SegmentLifecycle.create(root, rebuild, dim=DIM)
+        live = []
+        for op, arg in ops:
+            if op == "insert":
+                live.extend(lc.insert(_rows(rng, arg)).tolist())
+            elif live:
+                vid = live[arg % len(live)]
+                lc.delete([vid])
+                live.remove(vid)
+        lc.close()
+        first = SegmentLifecycle.open(root, rebuild)
+        second = SegmentLifecycle.open(root, rebuild)
+        assert first.state_fingerprint() == second.state_fingerprint()
+        assert first.live_ids() == set(live)
+
+
+class TestSearchDuringCompaction:
+    def test_queries_serve_throughout_a_merge(self, tmp_path, rng):
+        lc = _make(tmp_path, merge_fanout=3, tier_growth=100.0)
+        inserted = set()
+        for _ in range(3):
+            ids = lc.insert(_rows(rng, 16))
+            inserted.update(ids.tolist())
+            lc.seal()
+        queries = _rows(rng, 4)
+        stop = threading.Event()
+        failures: list[BaseException] = []
+        served = [0]
+
+        def hammer():
+            while not stop.is_set():
+                for q in queries:
+                    try:
+                        res = lc.search(q, k=5)
+                    except BaseException as exc:  # noqa: BLE001
+                        failures.append(exc)
+                        stop.set()
+                        return
+                    # Whole-generation snapshots only: every id must come
+                    # from the committed id space, and k must be filled.
+                    if len(res) != 5 or not set(res.ids.tolist()) <= inserted:
+                        failures.append(AssertionError(str(res.ids)))
+                        stop.set()
+                        return
+                    served[0] += 1
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            assert lc.compact_once()
+        finally:
+            stop.set()
+            thread.join()
+        assert not failures
+        assert served[0] > 0
+        assert lc.num_segments == 1
+
+
+class TestCoordinatorReplaceRace:
+    def test_replace_under_live_searches(self, rng):
+        ds_rows = _rows(rng, 64)
+        from repro.vectors.dataset import VectorDataset
+
+        def dataset(offset):
+            return VectorDataset(
+                name=f"part{offset}",
+                vectors=ds_rows,
+                queries=np.zeros((1, DIM), np.float32),
+                metric="l2",
+            )
+
+        a = rebuild(dataset(0))
+        b = rebuild(dataset(1))
+        coord = SegmentCoordinator([a, b], [0, 64])
+        queries = _rows(rng, 4)
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def hammer():
+            while not stop.is_set():
+                for q in queries:
+                    try:
+                        res = coord.search(q, k=5)
+                    except BaseException as exc:  # noqa: BLE001
+                        failures.append(exc)
+                        stop.set()
+                        return
+                    if len(res) != 5:
+                        failures.append(AssertionError("short result"))
+                        stop.set()
+                        return
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            for _ in range(25):
+                coord.replace_segment(1, b, offset=64)
+                coord.quarantine_segment(0)
+                coord.reinstate(0)
+        finally:
+            stop.set()
+            thread.join()
+        assert not failures
+
+    def test_replace_swaps_lists_not_elements(self, rng):
+        from repro.vectors.dataset import VectorDataset
+
+        ds = VectorDataset(
+            name="x", vectors=_rows(rng, 32),
+            queries=np.zeros((1, DIM), np.float32), metric="l2",
+        )
+        index = rebuild(ds)
+        coord = SegmentCoordinator([index, index], [0, 32])
+        before_segments = coord.segments
+        before_offsets = coord.id_offsets
+        coord.replace_segment(0, index, offset=5)
+        assert coord.segments is not before_segments
+        assert coord.id_offsets is not before_offsets
+        assert before_offsets[0] == 0 and coord.id_offsets[0] == 5
+
+
+class TestIngestAdmission:
+    class _SlowTarget:
+        def __init__(self):
+            self.release = threading.Event()
+            self.entered = threading.Event()
+
+        def insert(self, vectors):
+            self.entered.set()
+            assert self.release.wait(5.0)
+            return np.arange(len(vectors), dtype=np.int64)
+
+        def delete(self, ids):
+            return len(ids)
+
+    def _service(self, rng, **spec):
+        from repro.vectors.dataset import VectorDataset
+
+        ds = VectorDataset(
+            name="serve", vectors=_rows(rng, 48),
+            queries=np.zeros((1, DIM), np.float32), metric="l2",
+        )
+        return SearchService(rebuild(ds), ServeSpec(**spec))
+
+    def test_spec_validates_depth(self):
+        with pytest.raises(ValueError):
+            ServeSpec(ingest_queue_depth=0)
+        spec = ServeSpec(ingest_queue_depth=2)
+        assert spec.to_dict()["ingest_queue_depth"] == 2
+        assert ServeSpec.from_dict(spec.to_dict()) == spec
+
+    def test_requires_attached_target(self, rng):
+        service = self._service(rng)
+        with pytest.raises(RuntimeError, match="attach_ingest"):
+            service.ingest(np.zeros((1, DIM), np.float32))
+        with pytest.raises(TypeError):
+            service.attach_ingest(object())
+
+    def test_ingest_and_remove_pass_through(self, tmp_path, rng):
+        service = self._service(rng)
+        lc = _make(tmp_path)
+        service.attach_ingest(lc)
+        ids = service.ingest(_rows(rng, 3))
+        assert ids.tolist() == [0, 1, 2]
+        assert service.remove([1]) == 1
+        assert service.ingest_accepted == 2
+        assert service.ingest_rejected == 0
+
+    def test_overload_rejects_typed(self, rng):
+        service = self._service(rng, ingest_queue_depth=1)
+        target = self._SlowTarget()
+        service.attach_ingest(target)
+        rows = np.zeros((1, DIM), np.float32)
+        results = {}
+
+        def blocked():
+            results["first"] = service.ingest(rows)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        assert target.entered.wait(5.0)
+        rejected = service.ingest(rows)  # gate full: typed rejection
+        target.release.set()
+        thread.join()
+        assert isinstance(rejected, Overloaded)
+        assert rejected.queue_depth == 1
+        assert results["first"].tolist() == [0]
+        assert service.ingest_accepted == 1
+        assert service.ingest_rejected == 1

@@ -9,6 +9,7 @@ from repro.core import (
     UpdatableSegment,
     build_starling,
 )
+from repro.core import updates
 from repro.core.updates import DynamicIndex
 from repro.storage import load_updatable, save_updatable
 from repro.vectors import deep_like, get_metric
@@ -74,6 +75,56 @@ class TestInsert:
         assert seg.num_live == ds.size + 3
 
 
+class TestInputHardening:
+    """Typed errors instead of silent coercion (satellite of the lifecycle PR)."""
+
+    def test_wrong_dim_rejected(self, segment, rng):
+        seg, ds = segment
+        with pytest.raises(updates.InvalidVectorError, match="dim"):
+            seg.insert(rng.normal(size=(2, ds.dim + 1)).astype(np.float32))
+
+    def test_cross_kind_dtype_rejected(self, segment, rng):
+        seg, ds = segment
+        with pytest.raises(updates.InvalidVectorError, match="dtype"):
+            seg.insert((rng.normal(size=(2, ds.dim)) * 100).astype(np.int32))
+
+    def test_same_kind_dtype_cast_allowed(self, segment, rng):
+        seg, ds = segment
+        ids = seg.insert(rng.normal(size=(2, ds.dim)))  # float64 -> float32
+        assert ids.size == 2
+
+    def test_non_contiguous_view_rejected(self, segment, rng):
+        seg, ds = segment
+        wide = rng.normal(size=(3, ds.dim * 2)).astype(np.float32)
+        with pytest.raises(updates.InvalidVectorError, match="contiguous"):
+            seg.insert(wide[:, ::2])
+
+    def test_empty_insert_rejected(self, segment, rng):
+        seg, ds = segment
+        with pytest.raises(updates.InvalidVectorError, match="empty"):
+            seg.insert(np.empty((0, ds.dim), dtype=np.float32))
+
+    def test_three_dim_payload_rejected(self, segment, rng):
+        seg, ds = segment
+        with pytest.raises(updates.InvalidVectorError):
+            seg.insert(rng.normal(size=(2, 2, ds.dim)).astype(np.float32))
+
+    def test_float_ids_rejected(self, segment):
+        seg, _ = segment
+        with pytest.raises(updates.InvalidVectorError, match="integers"):
+            seg.delete([1.5])
+
+    def test_nested_ids_rejected(self, segment):
+        seg, _ = segment
+        with pytest.raises(updates.InvalidVectorError, match="1-D"):
+            seg.delete([[1, 2], [3, 4]])
+
+    def test_error_types_are_value_errors(self):
+        assert issubclass(updates.InvalidVectorError, updates.UpdateError)
+        assert issubclass(updates.UnknownIdError, updates.UpdateError)
+        assert issubclass(updates.UpdateError, ValueError)
+
+
 class TestDelete:
     def test_deleted_vector_disappears_from_results(self, segment):
         seg, ds = segment
@@ -84,9 +135,15 @@ class TestDelete:
         r2 = seg.search(q, k=5)
         assert victim not in r2.ids
 
-    def test_delete_unknown_id_ignored(self, segment):
+    def test_delete_unknown_id_raises(self, segment):
         seg, _ = segment
-        assert seg.delete([10**6]) == 0
+        with pytest.raises(updates.UnknownIdError) as exc:
+            seg.delete([10**6])
+        assert 10**6 in exc.value.ids
+
+    def test_delete_unknown_id_ignored_when_lenient(self, segment):
+        seg, _ = segment
+        assert seg.delete([10**6], strict=False) == 0
 
     def test_double_delete_counted_once(self, segment):
         seg, _ = segment

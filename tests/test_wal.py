@@ -1,0 +1,138 @@
+"""Tests for the write-ahead delta log (storage/wal.py)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.storage.wal import (
+    WalError,
+    WriteAheadLog,
+    replay_wal,
+    truncate_torn_tail,
+)
+
+DIM = 6
+
+
+def _rows(rng, n):
+    return rng.normal(size=(n, DIM)).astype(np.float32)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestRoundTrip:
+    def test_insert_and_delete_replay(self, tmp_path, rng):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        rows = _rows(rng, 3)
+        wal.append_insert(np.arange(3), rows)
+        wal.append_delete(np.asarray([1]))
+        wal.commit()
+        wal.close()
+
+        scan = replay_wal(tmp_path / "wal.log")
+        assert not scan.torn
+        assert [r.op for r in scan.records] == ["insert", "delete"]
+        ins, dele = scan.records
+        assert ins.ids.tolist() == [0, 1, 2]
+        np.testing.assert_array_equal(ins.vectors, rows)
+        assert ins.vectors.dtype == np.float32
+        assert dele.ids.tolist() == [1]
+        assert dele.vectors is None
+
+    def test_lsns_are_monotonic_across_commits(self, tmp_path, rng):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append_insert([0], _rows(rng, 1))
+        assert wal.commit() == 1
+        wal.append_insert([1], _rows(rng, 1))
+        wal.append_delete([0])
+        assert wal.commit() == 3
+        # Reopen continues the LSN sequence.
+        wal2 = WriteAheadLog(tmp_path / "wal.log")
+        assert wal2.last_lsn == 3
+        wal2.append_delete([1])
+        assert wal2.commit() == 4
+
+    def test_group_commit_batches_pending(self, tmp_path, rng):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        for i in range(5):
+            wal.append_insert([i], _rows(rng, 1))
+        assert wal.pending_records == 5
+        wal.commit()
+        assert wal.pending_records == 0
+        assert len(replay_wal(tmp_path / "wal.log").records) == 5
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        scan = replay_wal(tmp_path / "nope.log")
+        assert scan.records == [] and not scan.torn
+
+    def test_truncate_resets_log(self, tmp_path, rng):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append_insert([0], _rows(rng, 1))
+        wal.commit()
+        wal.truncate()
+        assert replay_wal(tmp_path / "wal.log").records == []
+        # LSNs keep counting within the open handle.
+        wal.append_insert([1], _rows(rng, 1))
+        assert wal.commit() == 2
+
+
+class TestCorruption:
+    def test_torn_tail_is_dropped(self, tmp_path, rng):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append_insert([0], _rows(rng, 1))
+        wal.commit()
+        good = path.read_bytes()
+        wal.append_insert([1], _rows(rng, 1))
+        wal.commit()
+        full = path.read_bytes()
+        # Crash mid-append: half of the second record landed.
+        cut = len(good) + (len(full) - len(good)) // 2
+        path.write_bytes(full[:cut])
+
+        scan = replay_wal(path)
+        assert scan.torn
+        assert len(scan.records) == 1
+        assert scan.valid_bytes == len(good)
+
+        # Opening repairs the tail in place.
+        wal2 = WriteAheadLog(path)
+        assert wal2.opened_with.torn
+        assert path.stat().st_size == len(good)
+        assert not replay_wal(path).torn
+
+    def test_bit_flip_fails_crc(self, tmp_path, rng):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append_insert([0], _rows(rng, 1))
+        wal.commit()
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        scan = replay_wal(path)
+        assert scan.torn and not scan.records
+        assert any("CRC" in p for p in scan.problems)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOPE" + struct.pack("<I", 1))
+        with pytest.raises(WalError, match="magic"):
+            replay_wal(path)
+
+    def test_bad_version_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"RWAL" + struct.pack("<I", 99))
+        with pytest.raises(WalError, match="version"):
+            replay_wal(path)
+
+    def test_torn_header_replays_empty_and_resets(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"RW")
+        scan = replay_wal(path)
+        assert scan.torn and scan.valid_bytes == 0
+        truncate_torn_tail(path, scan.valid_bytes)
+        assert not replay_wal(path).torn
